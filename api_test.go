@@ -1,0 +1,191 @@
+package indoorpath_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	indoorpath "indoorpath"
+)
+
+// buildDemoVenue exercises the public builder API end to end.
+func buildDemoVenue(t testing.TB) *indoorpath.Venue {
+	t.Helper()
+	b := indoorpath.NewBuilder("facade-demo")
+	hall := b.AddPartition("hall", indoorpath.HallwayPartition, indoorpath.NewRect(0, 0, 20, 10, 0))
+	shop := b.AddPartition("shop", indoorpath.PublicPartition, indoorpath.NewRect(20, 0, 30, 10, 0))
+	back := b.AddPartition("back", indoorpath.PrivatePartition, indoorpath.NewRect(0, 10, 20, 20, 0))
+	door := b.AddDoor("door", indoorpath.PublicDoor, indoorpath.Pt(20, 5, 0),
+		indoorpath.MustSchedule("[8:00, 16:00)"))
+	priv := b.AddDoor("priv", indoorpath.PrivateDoor, indoorpath.Pt(10, 10, 0), indoorpath.AlwaysOpen())
+	ent := b.AddDoor("ent", indoorpath.EntranceDoor, indoorpath.Pt(0, 5, 0), nil)
+	b.ConnectBi(door, hall, shop)
+	b.ConnectBi(priv, hall, back)
+	b.ConnectBi(ent, hall, b.Outdoors())
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestFacadeRoundTrip(t *testing.T) {
+	v := buildDemoVenue(t)
+	g, err := indoorpath.NewGraph(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := indoorpath.Query{
+		Source: indoorpath.Pt(2, 5, 0),
+		Target: indoorpath.Pt(25, 5, 0),
+		At:     indoorpath.MustParseTime("12:00"),
+	}
+	for _, m := range []indoorpath.Method{indoorpath.MethodSyn, indoorpath.MethodAsyn} {
+		e := indoorpath.NewEngine(g, indoorpath.Options{Method: m})
+		p, st, err := e.Route(q)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if math.Abs(p.Length-23) > 1e-9 {
+			t.Errorf("%v: length = %v, want 23", m, p.Length)
+		}
+		if !st.Found {
+			t.Errorf("%v: stats not found", m)
+		}
+		if err := p.Validate(g, q); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+	// Closed at night.
+	q.At = indoorpath.MustParseTime("20:00")
+	if _, err := indoorpath.Route(v, q); !errors.Is(err, indoorpath.ErrNoRoute) {
+		t.Errorf("night route err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestFacadeSerialisation(t *testing.T) {
+	v := buildDemoVenue(t)
+	var buf bytes.Buffer
+	if err := indoorpath.SaveVenue(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := indoorpath.LoadVenue(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Stats() != v.Stats() {
+		t.Error("stats changed across save/load")
+	}
+}
+
+func TestFacadePresetsAndExample(t *testing.T) {
+	ex := indoorpath.PaperFigure1()
+	p, err := indoorpath.Route(ex.Venue, indoorpath.Query{
+		Source: ex.P3, Target: ex.P4, At: indoorpath.MustParseTime("9:00"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Length-12) > 1e-9 {
+		t.Errorf("Example 1 length = %v, want 12", p.Length)
+	}
+	if indoorpath.Hospital().PartitionCount() == 0 {
+		t.Error("hospital empty")
+	}
+	if indoorpath.Office().DoorCount() == 0 {
+		t.Error("office empty")
+	}
+}
+
+func TestFacadeMallAndQueries(t *testing.T) {
+	m, err := indoorpath.GenerateMall(indoorpath.MallConfig{Floors: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := indoorpath.NewGraph(m.Venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := indoorpath.GenerateQueries(m, g, indoorpath.QueryConfig{S2T: 700, Count: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodAsyn})
+	for _, qi := range qs {
+		p, _, err := e.Route(indoorpath.Query{Source: qi.Source, Target: qi.Target, At: indoorpath.Clock(12, 0, 0)})
+		if err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		// At noon every door is open, so the valid shortest path equals
+		// the static distance.
+		if math.Abs(p.Length-qi.StaticDist) > 1e-6 {
+			t.Errorf("noon path %v != static %v", p.Length, qi.StaticDist)
+		}
+	}
+}
+
+func TestFacadeDecompose(t *testing.T) {
+	pg := indoorpath.Polygon{
+		Verts: []indoorpath.Point{
+			indoorpath.Pt(0, 0, 0), indoorpath.Pt(10, 0, 0), indoorpath.Pt(10, 5, 0),
+			indoorpath.Pt(5, 5, 0), indoorpath.Pt(5, 10, 0), indoorpath.Pt(0, 10, 0),
+		},
+		Floor: 0,
+	}
+	d, err := indoorpath.Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 2 || len(d.Doors) != 1 {
+		t.Errorf("decomposition: %d cells, %d doors", len(d.Cells), len(d.Doors))
+	}
+}
+
+func TestFacadeBenchHarness(t *testing.T) {
+	fd, err := indoorpath.RunFig5(indoorpath.BenchConfig{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := indoorpath.RenderFigureTable(fd)
+	csv := indoorpath.RenderFigureCSV(fd)
+	if len(table) == 0 || len(csv) == 0 {
+		t.Error("empty renderings")
+	}
+}
+
+func TestFacadeWaitingRouter(t *testing.T) {
+	v := buildDemoVenue(t)
+	g, err := indoorpath.NewGraph(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := indoorpath.NewWaitingRouter(g)
+	p, err := w.Route(indoorpath.Query{
+		Source: indoorpath.Pt(2, 5, 0),
+		Target: indoorpath.Pt(25, 5, 0),
+		At:     indoorpath.MustParseTime("7:00"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalWait <= 0 {
+		t.Error("expected a wait before the 8:00 opening")
+	}
+	if p.Arrivals[0] != indoorpath.MustParseTime("8:00") {
+		t.Errorf("crossing at %v", p.Arrivals[0])
+	}
+	// Static baseline ignores the closed door.
+	s := indoorpath.NewStaticRouter(g)
+	sp, _, err := s.Route(indoorpath.Query{
+		Source: indoorpath.Pt(2, 5, 0),
+		Target: indoorpath.Pt(25, 5, 0),
+		At:     indoorpath.MustParseTime("7:00"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Length-23) > 1e-9 {
+		t.Errorf("static length = %v", sp.Length)
+	}
+}

@@ -1,0 +1,336 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Liu et al., ICDE 2020, Sec. III) as go-test benchmarks. Each figure
+// also has a row-printing runner in cmd/experiments; these benches give
+// per-setting ns/op + allocs under the standard Go benchmark harness.
+//
+//	go test -bench=. -benchmem
+//
+// Venue scale follows the paper defaults (5-floor mall, |T|=8,
+// δs2t=1500 m, t=12:00; 5 query instances per setting). Shapes to
+// compare against the paper: Fig. 4 flat in |T| at t=12 and decreasing
+// at t=8; Fig. 5 mildly increasing in δs2t; Fig. 6/7 low at night with
+// a 10:00–20:00 plateau; ITG/A at or below ITG/S throughout.
+package indoorpath_test
+
+import (
+	"fmt"
+	"testing"
+
+	indoorpath "indoorpath"
+)
+
+// testbed bundles a generated venue with its graph and query set.
+type testbed struct {
+	graph   *indoorpath.Graph
+	queries []indoorpath.Query
+}
+
+func newTestbed(b *testing.B, floors, tSize int, s2t float64, at indoorpath.TimeOfDay) *testbed {
+	b.Helper()
+	m, err := indoorpath.GenerateMall(indoorpath.MallConfig{
+		Floors: floors,
+		Seed:   42,
+		ATI:    indoorpath.ATIConfig{CheckpointCount: tSize, Seed: 43},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := indoorpath.NewGraph(m.Venue)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qis, err := indoorpath.GenerateQueries(m, g, indoorpath.QueryConfig{S2T: s2t, Count: 5, Seed: 44})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := &testbed{graph: g}
+	for _, qi := range qis {
+		tb.queries = append(tb.queries, indoorpath.Query{Source: qi.Source, Target: qi.Target, At: at})
+	}
+	return tb
+}
+
+func (tb *testbed) atTime(at indoorpath.TimeOfDay) []indoorpath.Query {
+	out := make([]indoorpath.Query, len(tb.queries))
+	for i, q := range tb.queries {
+		q.At = at
+		out[i] = q
+	}
+	return out
+}
+
+// runQueries is the timed kernel: route the query set round-robin,
+// reporting the modelled working set (the paper's Fig. 7 metric) as a
+// custom benchmark metric.
+func runQueries(b *testing.B, g *indoorpath.Graph, method indoorpath.Method, qs []indoorpath.Query) {
+	b.Helper()
+	e := indoorpath.NewEngine(g, indoorpath.Options{Method: method})
+	for _, q := range qs { // warmup: snapshots, allocator
+		if _, _, err := e.RouteOrNil(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var estBytes float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := e.RouteOrNil(qs[i%len(qs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		estBytes += float64(st.BytesEstimate)
+	}
+	b.StopTimer()
+	b.ReportMetric(estBytes/float64(b.N)/1024, "estKB/query")
+}
+
+var figMethods = []struct {
+	name string
+	m    indoorpath.Method
+}{
+	{"ITG-S", indoorpath.MethodSyn},
+	{"ITG-A", indoorpath.MethodAsyn},
+}
+
+// BenchmarkFig4TimeVsCheckpoints regenerates Fig. 4: search time vs |T|
+// for both methods at t=12:00 and t=8:00.
+func BenchmarkFig4TimeVsCheckpoints(b *testing.B) {
+	for _, tSize := range []int{4, 8, 12, 16} {
+		tb := newTestbed(b, 5, tSize, 1500, indoorpath.Clock(12, 0, 0))
+		for _, at := range []indoorpath.TimeOfDay{indoorpath.Clock(12, 0, 0), indoorpath.Clock(8, 0, 0)} {
+			qs := tb.atTime(at)
+			for _, fm := range figMethods {
+				b.Run(fmt.Sprintf("T=%d/t=%v/%s", tSize, at, fm.name), func(b *testing.B) {
+					runQueries(b, tb.graph, fm.m, qs)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig5TimeVsDistance regenerates Fig. 5: search time vs δs2t.
+func BenchmarkFig5TimeVsDistance(b *testing.B) {
+	for _, s2t := range []float64{1100, 1300, 1500, 1700, 1900} {
+		tb := newTestbed(b, 5, 8, s2t, indoorpath.Clock(12, 0, 0))
+		for _, fm := range figMethods {
+			b.Run(fmt.Sprintf("s2t=%.0f/%s", s2t, fm.name), func(b *testing.B) {
+				runQueries(b, tb.graph, fm.m, tb.queries)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6TimeVsQueryTime regenerates Fig. 6: search time vs t
+// over the day (0:00–22:00 in 2 h steps).
+func BenchmarkFig6TimeVsQueryTime(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	for hour := 0; hour <= 22; hour += 2 {
+		qs := tb.atTime(indoorpath.Clock(hour, 0, 0))
+		for _, fm := range figMethods {
+			b.Run(fmt.Sprintf("t=%d/%s", hour, fm.name), func(b *testing.B) {
+				runQueries(b, tb.graph, fm.m, qs)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7MemoryVsQueryTime regenerates Fig. 7: memory cost vs t.
+// The estKB/query metric is the figure's series; -benchmem B/op gives
+// the live allocation view.
+func BenchmarkFig7MemoryVsQueryTime(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	for hour := 0; hour <= 22; hour += 4 {
+		qs := tb.atTime(indoorpath.Clock(hour, 0, 0))
+		for _, fm := range figMethods {
+			b.Run(fmt.Sprintf("t=%d/%s", hour, fm.name), func(b *testing.B) {
+				runQueries(b, tb.graph, fm.m, qs)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationEagerHeap measures A1: the literal Algorithm 1
+// initialisation (every door enheaped at ∞) vs lazy insertion.
+func BenchmarkAblationEagerHeap(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	for _, variant := range []struct {
+		name  string
+		eager bool
+	}{{"lazy", false}, {"eager", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			e := indoorpath.NewEngine(tb.graph, indoorpath.Options{
+				Method: indoorpath.MethodSyn, EagerHeapInit: variant.eager,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.RouteOrNil(tb.queries[i%len(tb.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDistanceMatrix measures A3: DM lookup vs on-the-fly
+// Euclidean recomputation.
+func BenchmarkAblationDistanceMatrix(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	for _, variant := range []struct {
+		name string
+		noDM bool
+	}{{"dm-lookup", false}, {"recompute", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			e := indoorpath.NewEngine(tb.graph, indoorpath.Options{
+				Method: indoorpath.MethodSyn, NoDistanceMatrix: variant.noDM,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.RouteOrNil(tb.queries[i%len(tb.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckerMicro measures A2: the isolated per-door cost
+// of the synchronous ATI probe vs the asynchronous snapshot probe.
+func BenchmarkAblationCheckerMicro(b *testing.B) {
+	tb := newTestbed(b, 1, 8, 750, indoorpath.Clock(12, 0, 0))
+	venue := tb.graph.Venue()
+	at := indoorpath.Clock(12, 0, 0)
+	b.Run("syn-ati-probe", func(b *testing.B) {
+		doors := venue.Doors()
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if doors[i%len(doors)].OpenAt(at) {
+				n++
+			}
+		}
+		_ = n
+	})
+	b.Run("asyn-snapshot-probe", func(b *testing.B) {
+		snap := tb.graph.Snapshots().At(at)
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if snap.DoorOpen(indoorpath.DoorID(i % venue.DoorCount())) {
+				n++
+			}
+		}
+		_ = n
+	})
+}
+
+// BenchmarkAblationPartitionExpansion measures A6: exact multi-entry
+// partition expansion (default, optimal paths) vs the literal "visited
+// partitions" pruning of Algorithm 1 (faster, can return longer paths).
+func BenchmarkAblationPartitionExpansion(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	for _, variant := range []struct {
+		name    string
+		literal bool
+	}{{"exact", false}, {"literal", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			e := indoorpath.NewEngine(tb.graph, indoorpath.Options{
+				Method: indoorpath.MethodSyn, SinglePartitionExpansion: variant.literal,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.RouteOrNil(tb.queries[i%len(tb.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFloors measures A5: venue scaling.
+func BenchmarkAblationFloors(b *testing.B) {
+	for _, floors := range []int{1, 3, 5, 7} {
+		s2t := 1500.0
+		if floors == 1 {
+			s2t = 750
+		}
+		tb := newTestbed(b, floors, 8, s2t, indoorpath.Clock(12, 0, 0))
+		for _, fm := range figMethods {
+			b.Run(fmt.Sprintf("floors=%d/%s", floors, fm.name), func(b *testing.B) {
+				runQueries(b, tb.graph, fm.m, tb.queries)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPrivateFraction measures A4: effect of private
+// partitions on search (they prune expansion).
+func BenchmarkAblationPrivateFraction(b *testing.B) {
+	for _, private := range []int{1, 10, 30} {
+		m, err := indoorpath.GenerateMall(indoorpath.MallConfig{
+			Floors: 3, Seed: 42, PrivateShopsPerFloor: private,
+			ATI: indoorpath.ATIConfig{CheckpointCount: 8, Seed: 43},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := indoorpath.NewGraph(m.Venue)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qis, err := indoorpath.GenerateQueries(m, g, indoorpath.QueryConfig{S2T: 1500, Count: 5, Seed: 44})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var qs []indoorpath.Query
+		for _, qi := range qis {
+			qs = append(qs, indoorpath.Query{Source: qi.Source, Target: qi.Target, At: indoorpath.Clock(12, 0, 0)})
+		}
+		b.Run(fmt.Sprintf("private=%d", private), func(b *testing.B) {
+			runQueries(b, g, indoorpath.MethodSyn, qs)
+		})
+	}
+}
+
+// BenchmarkGraphConstruction measures IT-Graph build cost (DM + labels)
+// at paper scale.
+func BenchmarkGraphConstruction(b *testing.B) {
+	m, err := indoorpath.GenerateMall(indoorpath.MallConfig{Floors: 5, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := indoorpath.NewGraph(m.Venue); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotAccess measures steady-state snapshot lookups (the
+// per-check cost of the asynchronous method once Graph_Update has run
+// for each slot) at paper scale.
+func BenchmarkSnapshotAccess(b *testing.B) {
+	m, err := indoorpath.GenerateMall(indoorpath.MallConfig{Floors: 5, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := indoorpath.NewGraph(m.Venue)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Snapshots().BuildAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		snap := g.Snapshots().At(indoorpath.TimeOfDay(i % 86400))
+		if snap.DoorOpen(indoorpath.DoorID(i % m.Venue.DoorCount())) {
+			n++
+		}
+	}
+	_ = n
+}

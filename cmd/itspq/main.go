@@ -1,0 +1,131 @@
+// Command itspq answers a single ITSPQ(ps, pt, t) query over a venue
+// JSON file (see cmd/venuegen).
+//
+// Usage:
+//
+//	itspq -venue mall.json -from 100,50,0 -to 900,700,2 -at 12:00
+//	itspq -venue figure1.json -from 26,11,0 -to 34,11,0 -at 9:00 -method syn
+//	itspq -venue office.json -from 2,3,0 -to 6,24,0 -at 7:30 -method waiting
+//
+// Methods: asyn (default, ITG/A), syn (ITG/S), static (temporal-unaware
+// baseline), waiting (earliest arrival with waiting tolerance).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	indoorpath "indoorpath"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("itspq: ")
+	var (
+		venueFile = flag.String("venue", "", "venue JSON file (required)")
+		from      = flag.String("from", "", "source point x,y,floor (required)")
+		to        = flag.String("to", "", "target point x,y,floor (required)")
+		atStr     = flag.String("at", "12:00", "query time of day (H:MM)")
+		method    = flag.String("method", "asyn", "syn | asyn | static | waiting")
+		verbose   = flag.Bool("v", false, "print search statistics")
+	)
+	flag.Parse()
+	if *venueFile == "" || *from == "" || *to == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*venueFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	venue, err := indoorpath.LoadVenue(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src, err := parsePoint(*from)
+	if err != nil {
+		log.Fatalf("-from: %v", err)
+	}
+	tgt, err := parsePoint(*to)
+	if err != nil {
+		log.Fatalf("-to: %v", err)
+	}
+	at, err := indoorpath.ParseTime(*atStr)
+	if err != nil {
+		log.Fatalf("-at: %v", err)
+	}
+
+	g, err := indoorpath.NewGraph(venue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := indoorpath.Query{Source: src, Target: tgt, At: at}
+
+	var (
+		path  *indoorpath.Path
+		stats indoorpath.SearchStats
+	)
+	switch *method {
+	case "waiting":
+		path, err = indoorpath.NewWaitingRouter(g).Route(q)
+	case "syn", "asyn", "static":
+		m := map[string]indoorpath.Method{
+			"syn": indoorpath.MethodSyn, "asyn": indoorpath.MethodAsyn, "static": indoorpath.MethodStatic,
+		}[*method]
+		path, stats, err = indoorpath.NewEngine(g, indoorpath.Options{Method: m}).Route(q)
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	switch {
+	case errors.Is(err, indoorpath.ErrNoRoute):
+		fmt.Println("no such routes")
+		os.Exit(1)
+	case err != nil:
+		log.Fatal(err)
+	}
+
+	fmt.Printf("path:    %s\n", path.Format(venue))
+	fmt.Printf("length:  %.2f m (%d doors)\n", path.Length, path.Hops())
+	fmt.Printf("depart:  %v   arrive: %v\n", path.DepartedAt, path.ArrivalAtTgt)
+	if path.TotalWait > 0 {
+		fmt.Printf("waiting: %v\n", path.TotalWait)
+	}
+	for i, d := range path.Doors {
+		fmt.Printf("  %2d. %-14s at %v\n", i+1, venue.Door(d).Name, path.Arrivals[i])
+	}
+	if *verbose && *method != "waiting" {
+		fmt.Printf("stats:   method=%s pops=%d settled=%d relax=%d checks=%d heapMax=%d est=%dB\n",
+			stats.Method, stats.Pops, stats.Settled, stats.Relaxations,
+			stats.Checker.Checks, stats.HeapMax, stats.BytesEstimate)
+	}
+}
+
+func parsePoint(s string) (indoorpath.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return indoorpath.Point{}, fmt.Errorf("want x,y,floor, got %q", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return indoorpath.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return indoorpath.Point{}, err
+	}
+	floor, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return indoorpath.Point{}, err
+	}
+	return indoorpath.Pt(x, y, floor), nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParsePoint(t *testing.T) {
+	tests := []struct {
+		in      string
+		x, y    float64
+		floor   int
+		wantErr bool
+	}{
+		{"1,2,0", 1, 2, 0, false},
+		{"100.5, 50.25, 3", 100.5, 50.25, 3, false},
+		{" -4 , 7 , 1 ", -4, 7, 1, false},
+		{"1,2", 0, 0, 0, true},
+		{"1,2,3,4", 0, 0, 0, true},
+		{"a,b,c", 0, 0, 0, true},
+		{"1,b,0", 0, 0, 0, true},
+		{"1,2,z", 0, 0, 0, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.in, func(t *testing.T) {
+			p, err := parsePoint(tc.in)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if err == nil && (p.X != tc.x || p.Y != tc.y || p.Floor != tc.floor) {
+				t.Errorf("parsed %v", p)
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command venuegen generates indoor venues and writes them as JSON.
+//
+// Usage:
+//
+//	venuegen -kind mall -floors 5 -checkpoints 8 -seed 42 -out mall.json
+//	venuegen -kind paper -out figure1.json
+//	venuegen -kind hospital
+//	venuegen -kind office
+//
+// Without -out the document is written to stdout; -stats prints a
+// one-line venue summary to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	indoorpath "indoorpath"
+	"indoorpath/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("venuegen: ")
+	var (
+		kind        = flag.String("kind", "mall", "venue kind: mall | paper | hospital | office")
+		floors      = flag.Int("floors", 5, "mall floors")
+		checkpoints = flag.Int("checkpoints", 8, "mall |T| (even)")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		out         = flag.String("out", "", "output file (default stdout)")
+		stats       = flag.Bool("stats", false, "print venue statistics to stderr")
+		format      = flag.String("format", "json", "output format: json | svg | dot")
+		floor       = flag.Int("floor", 0, "floor to draw (svg format)")
+		at          = flag.String("at", "", "colour doors by openness at this time (svg format)")
+		lint        = flag.Bool("lint", false, "run consistency checks and print findings to stderr")
+	)
+	flag.Parse()
+
+	venue, err := buildVenue(*kind, *floors, *checkpoints, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = indoorpath.SaveVenue(w, venue)
+	case "svg":
+		opts := render.SVGOptions{Floor: *floor, Labels: true, At: -1}
+		if *at != "" {
+			t, perr := indoorpath.ParseTime(*at)
+			if perr != nil {
+				log.Fatalf("-at: %v", perr)
+			}
+			opts.At = t
+		}
+		err = render.WriteSVG(w, venue, opts)
+	case "dot":
+		err = render.WriteDOT(w, venue)
+	default:
+		log.Fatalf("unknown -format %q (want json, svg or dot)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, venue.Stats())
+		fmt.Fprint(os.Stderr, render.FloorSummary(venue))
+	}
+	if *lint {
+		for _, p := range venue.Lint() {
+			fmt.Fprintln(os.Stderr, p)
+		}
+	}
+}
+
+func buildVenue(kind string, floors, checkpoints int, seed int64) (*indoorpath.Venue, error) {
+	switch kind {
+	case "mall":
+		m, err := indoorpath.GenerateMall(indoorpath.MallConfig{
+			Floors: floors,
+			Seed:   seed,
+			ATI:    indoorpath.ATIConfig{CheckpointCount: checkpoints, Seed: seed + 1},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return m.Venue, nil
+	case "paper":
+		return indoorpath.PaperFigure1().Venue, nil
+	case "hospital":
+		return indoorpath.Hospital(), nil
+	case "office":
+		return indoorpath.Office(), nil
+	}
+	return nil, fmt.Errorf("unknown venue kind %q", kind)
+}

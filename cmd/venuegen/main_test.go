@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestBuildVenue(t *testing.T) {
+	for _, kind := range []string{"paper", "hospital", "office"} {
+		v, err := buildVenue(kind, 0, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if v.PartitionCount() == 0 || v.DoorCount() == 0 {
+			t.Errorf("%s: empty venue", kind)
+		}
+	}
+	v, err := buildVenue("mall", 1, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := v.Stats(); st.FloorPartitions != 141 {
+		t.Errorf("mall floor partitions = %d", st.FloorPartitions)
+	}
+	if _, err := buildVenue("nope", 1, 8, 7); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if _, err := buildVenue("mall", 1, 7, 7); err == nil {
+		t.Error("odd checkpoint count must fail")
+	}
+}

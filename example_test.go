@@ -1,0 +1,92 @@
+package indoorpath_test
+
+import (
+	"errors"
+	"fmt"
+
+	indoorpath "indoorpath"
+)
+
+// ExampleRoute reproduces the paper's Example 1: at 9:00 the valid
+// shortest path from p3 to p4 crosses d18 (12 m), because the shorter
+// 10 m candidate runs through the private partition v15; at 23:30 d18
+// is closed and no valid path exists.
+func ExampleRoute() {
+	ex := indoorpath.PaperFigure1()
+
+	p, err := indoorpath.Route(ex.Venue, indoorpath.Query{
+		Source: ex.P3, Target: ex.P4, At: indoorpath.MustParseTime("9:00"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ITSPQ(p3, p4, 9:00)  = %s, %.0f m\n", p.Format(ex.Venue), p.Length)
+
+	_, err = indoorpath.Route(ex.Venue, indoorpath.Query{
+		Source: ex.P3, Target: ex.P4, At: indoorpath.MustParseTime("23:30"),
+	})
+	if errors.Is(err, indoorpath.ErrNoRoute) {
+		fmt.Println("ITSPQ(p3, p4, 23:30) = null")
+	}
+	// Output:
+	// ITSPQ(p3, p4, 9:00)  = (ps, d18, pt), 12 m
+	// ITSPQ(p3, p4, 23:30) = null
+}
+
+// ExampleNewBuilder shows venue construction with opening hours and a
+// query whose answer depends on the time of day.
+func ExampleNewBuilder() {
+	b := indoorpath.NewBuilder("kiosk")
+	hall := b.AddPartition("hall", indoorpath.HallwayPartition, indoorpath.NewRect(0, 0, 20, 10, 0))
+	kiosk := b.AddPartition("kiosk", indoorpath.PublicPartition, indoorpath.NewRect(20, 0, 30, 10, 0))
+	door := b.AddDoor("kiosk-door", indoorpath.PublicDoor, indoorpath.Pt(20, 5, 0),
+		indoorpath.MustSchedule("[9:00, 17:00)"))
+	b.ConnectBi(door, hall, kiosk)
+	venue := b.MustBuild()
+
+	g, _ := indoorpath.NewGraph(venue)
+	e := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodAsyn})
+	for _, at := range []string{"8:00", "12:00"} {
+		_, _, err := e.Route(indoorpath.Query{
+			Source: indoorpath.Pt(5, 5, 0),
+			Target: indoorpath.Pt(25, 5, 0),
+			At:     indoorpath.MustParseTime(at),
+		})
+		if errors.Is(err, indoorpath.ErrNoRoute) {
+			fmt.Printf("%s: closed\n", at)
+		} else {
+			fmt.Printf("%s: open\n", at)
+		}
+	}
+	// Output:
+	// 8:00: closed
+	// 12:00: open
+}
+
+// ExampleNewWaitingRouter contrasts the paper's no-waiting semantics
+// with the waiting-tolerance extension: before opening hours the strict
+// query fails, while the waiting router waits at the door.
+func ExampleNewWaitingRouter() {
+	b := indoorpath.NewBuilder("wait")
+	hall := b.AddPartition("hall", indoorpath.HallwayPartition, indoorpath.NewRect(0, 0, 20, 10, 0))
+	room := b.AddPartition("room", indoorpath.PublicPartition, indoorpath.NewRect(20, 0, 30, 10, 0))
+	door := b.AddDoor("door", indoorpath.PublicDoor, indoorpath.Pt(20, 5, 0),
+		indoorpath.MustSchedule("[8:00, 16:00)"))
+	b.ConnectBi(door, hall, room)
+	venue := b.MustBuild()
+
+	g, _ := indoorpath.NewGraph(venue)
+	q := indoorpath.Query{
+		Source: indoorpath.Pt(2, 5, 0),
+		Target: indoorpath.Pt(25, 5, 0),
+		At:     indoorpath.MustParseTime("7:59"),
+	}
+	if _, _, err := indoorpath.NewEngine(g, indoorpath.Options{}).Route(q); errors.Is(err, indoorpath.ErrNoRoute) {
+		fmt.Println("no-waiting: no valid route at 7:59")
+	}
+	p, _ := indoorpath.NewWaitingRouter(g).Route(q)
+	fmt.Printf("waiting: cross at %v, arrive %v\n", p.Arrivals[0], p.ArrivalAtTgt)
+	// Output:
+	// no-waiting: no valid route at 7:59
+	// waiting: cross at 8:00, arrive 8:00:04
+}

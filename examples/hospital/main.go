@@ -1,0 +1,95 @@
+// Hospital: visiting hours as temporal variation. Wards only admit
+// visitors 10:00–12:00 and 14:00–18:00 (a split ATI schedule like the
+// paper's door d13); the staff area is private and never traversed. The
+// example contrasts the paper's no-waiting semantics with the
+// waiting-tolerance extension: arriving during the lunch closure, the
+// ITSPQ answer is "no route", while the waiting router waits for the
+// 14:00 reopening.
+//
+//	go run ./examples/hospital
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	indoorpath "indoorpath"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	venue := indoorpath.Hospital()
+	fmt.Println("venue:", venue.Stats())
+	g, err := indoorpath.NewGraph(venue)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wardID, ok := venue.PartitionByName("ward-3")
+	if !ok {
+		log.Fatal("ward-3 missing")
+	}
+	ward := venue.Partition(wardID).Rect.Center()
+	lobby := indoorpath.Pt(10, 10, 0)
+
+	engine := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodAsyn})
+	waiting := indoorpath.NewWaitingRouter(g)
+
+	fmt.Println("\nLobby → ward-3 across the day:")
+	for _, at := range []string{"9:00", "10:30", "12:30", "15:00", "19:00"} {
+		t := indoorpath.MustParseTime(at)
+		q := indoorpath.Query{Source: lobby, Target: ward, At: t}
+		p, _, err := engine.Route(q)
+		switch {
+		case errors.Is(err, indoorpath.ErrNoRoute):
+			fmt.Printf("  %5s: no valid route (outside visiting hours)\n", at)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("  %5s: %.1f m via %s, arrive %v\n", at, p.Length, p.Format(venue), p.ArrivalAtTgt)
+		}
+
+		wp, werr := waiting.Route(q)
+		if werr == nil && wp.TotalWait > 0 {
+			fmt.Printf("         with waiting: arrive %v after waiting %v at %s\n",
+				wp.ArrivalAtTgt, wp.TotalWait, venue.Door(wp.Doors[len(wp.Doors)-1]).Name)
+		}
+	}
+
+	// The pharmacy is reachable through the ER at night? No — the
+	// pharmacy doors close at 20:00; the ER itself stays open via its
+	// own 24 h entrance.
+	pharmacyID, _ := venue.PartitionByName("pharmacy")
+	pharmacy := venue.Partition(pharmacyID).Rect.Center()
+	erID, _ := venue.PartitionByName("emergency")
+	er := venue.Partition(erID).Rect.Center()
+	fmt.Println("\nNight access (22:00):")
+	for name, tgt := range map[string]indoorpath.Point{"pharmacy": pharmacy, "emergency": er} {
+		q := indoorpath.Query{Source: lobby, Target: tgt, At: indoorpath.MustParseTime("22:00")}
+		p, _, err := engine.Route(q)
+		if errors.Is(err, indoorpath.ErrNoRoute) {
+			fmt.Printf("  lobby → %s: closed\n", name)
+		} else if err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Printf("  lobby → %s: %.1f m via %s\n", name, p.Length, p.Format(venue))
+		}
+	}
+
+	// Staff-only areas never appear on visitor paths even when their
+	// doors are open.
+	staffID, _ := venue.PartitionByName("staff-only")
+	q := indoorpath.Query{Source: lobby, Target: pharmacy, At: indoorpath.MustParseTime("11:00")}
+	p, _, err := engine.Route(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, part := range p.Partitions {
+		if part == staffID {
+			log.Fatal("visitor path crossed the staff area!")
+		}
+	}
+	fmt.Printf("\nLobby → pharmacy at 11:00 avoids staff-only: %s (%.1f m)\n", p.Format(venue), p.Length)
+}

@@ -1,0 +1,77 @@
+// Mall: the paper's evaluation scenario end to end — generate the
+// 5-floor synthetic shopping mall (141 partitions / 224 doors per
+// floor), generate δs2t-controlled query instances, and answer them
+// with both ITG/S and ITG/A at several times of day, comparing search
+// effort.
+//
+//	go run ./examples/mall
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	indoorpath "indoorpath"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	mall, err := indoorpath.GenerateMall(indoorpath.MallConfig{
+		Floors: 5,
+		Seed:   42,
+		ATI:    indoorpath.ATIConfig{CheckpointCount: 8, Seed: 43},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	venue := mall.Venue
+	fmt.Println("venue:", venue.Stats())
+
+	g, err := indoorpath.NewGraph(venue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g.Stats())
+	fmt.Printf("checkpoints T = %v\n\n", g.Checkpoints().Times())
+
+	queries, err := indoorpath.GenerateQueries(mall, g, indoorpath.QueryConfig{
+		S2T: 1500, Count: 3, Seed: 44,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	syn := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodSyn})
+	asy := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodAsyn})
+
+	for _, at := range []string{"4:00", "8:00", "12:00", "21:00"} {
+		t := indoorpath.MustParseTime(at)
+		open := venue.OpenDoorCount(t)
+		fmt.Printf("== t = %s (%d/%d doors open) ==\n", at, open, venue.DoorCount())
+		for i, qi := range queries {
+			q := indoorpath.Query{Source: qi.Source, Target: qi.Target, At: t}
+			ps, ss, errS := syn.Route(q)
+			pa, sa, errA := asy.Route(q)
+			switch {
+			case errors.Is(errS, indoorpath.ErrNoRoute):
+				fmt.Printf("  q%d (δ=%.0f m): no such routes\n", i+1, qi.StaticDist)
+			case errS != nil:
+				log.Fatal(errS)
+			default:
+				fmt.Printf("  q%d (δ=%.0f m): %.1f m over %d doors, arrive %v\n",
+					i+1, qi.StaticDist, ps.Length, ps.Hops(), ps.ArrivalAtTgt)
+			}
+			// The two methods must agree; their cost differs.
+			if (errS == nil) != (errA == nil) {
+				log.Fatalf("method disagreement on q%d", i+1)
+			}
+			if errS == nil && pa.Length != ps.Length {
+				log.Fatalf("length disagreement on q%d", i+1)
+			}
+			fmt.Printf("      ITG/S: %4d ATI probes   ITG/A: %4d snapshot probes, %d reduced-list expansions\n",
+				ss.Checker.ATIProbes, sa.Checker.SnapshotProbes, sa.Checker.PrunedLists)
+		}
+	}
+}

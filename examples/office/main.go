@@ -1,0 +1,87 @@
+// Office: door directionality and the static-baseline failure mode.
+// The office fire exit is one-way (exit only); meeting rooms keep core
+// hours; the kitchen sits behind a private office, so reaching it means
+// going around through the meeting rooms. A temporal-unaware static
+// router happily routes through doors that are closed on arrival —
+// StaticThenValidate then reports "no route" even though ITSPQ finds a
+// valid detour, the paper's motivation for ITSPQ.
+//
+//	go run ./examples/office
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	indoorpath "indoorpath"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	venue := indoorpath.Office()
+	fmt.Println("venue:", venue.Stats())
+	g, err := indoorpath.NewGraph(venue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodAsyn})
+	static := indoorpath.NewStaticRouter(g)
+
+	kitchenID, _ := venue.PartitionByName("kitchen")
+	kitchen := venue.Partition(kitchenID).Rect.Center()
+	hallway := indoorpath.Pt(15, 3, 0)
+
+	// During core hours: the way to the kitchen leads through meeting
+	// room 1 (the direct door belongs to the private office-1).
+	officeID, _ := venue.PartitionByName("office-1")
+	for _, at := range []string{"10:00", "20:00"} {
+		q := indoorpath.Query{Source: hallway, Target: kitchen, At: indoorpath.MustParseTime(at)}
+		p, _, err := engine.Route(q)
+		switch {
+		case errors.Is(err, indoorpath.ErrNoRoute):
+			fmt.Printf("%5s: kitchen unreachable (meeting rooms closed)\n", at)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			for _, part := range p.Partitions {
+				if part == officeID {
+					log.Fatal("path crossed the private office!")
+				}
+			}
+			fmt.Printf("%5s: kitchen via %s (%.1f m)\n", at, p.Format(venue), p.Length)
+		}
+		// The static baseline ignores hours entirely.
+		sp, _, serr := static.Route(q)
+		if serr == nil {
+			valid := "valid"
+			if sp.Validate(g, q) != nil {
+				valid = "INVALID at this hour"
+			}
+			fmt.Printf("       static baseline: %s (%.1f m) — %s\n", sp.Format(venue), sp.Length, valid)
+		}
+	}
+
+	// Directionality: leaving through the fire exit works at any time,
+	// but it cannot be used to come back in.
+	outside := hallwayOutside()
+	_ = outside
+	fireID, _ := venue.DoorByName("fire-exit")
+	fire := venue.Door(fireID)
+	fmt.Printf("\nfire exit %s: bidirectional=%v (exit only)\n", fire.Name, fire.Bidirectional())
+
+	// Demonstrate one-way enforcement via the mappings.
+	hallB, _ := venue.PartitionByName("hall-b")
+	if len(venue.NextPartitions(fireID, hallB)) == 0 {
+		log.Fatal("fire exit should allow leaving hall-b")
+	}
+	outdoor := venue.NextPartitions(fireID, hallB)[0]
+	if n := venue.NextPartitions(fireID, outdoor); len(n) != 0 {
+		log.Fatal("fire exit must not allow re-entry")
+	}
+	fmt.Println("fire exit permits hall-b → outdoors but not outdoors → hall-b")
+}
+
+// hallwayOutside is a point outside the office (documentation only).
+func hallwayOutside() indoorpath.Point { return indoorpath.Pt(-5, 3, 0) }

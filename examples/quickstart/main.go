@@ -1,0 +1,74 @@
+// Quickstart: build a tiny venue with the public API, then answer the
+// same query at different times of day, showing how temporal variation
+// changes the answer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	indoorpath "indoorpath"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A hallway, a café with opening hours, a store-room (private), and
+	// a 24 h vending corner reachable the long way round.
+	b := indoorpath.NewBuilder("quickstart")
+	hall := b.AddPartition("hall", indoorpath.HallwayPartition, indoorpath.NewRect(0, 0, 40, 10, 0))
+	cafe := b.AddPartition("cafe", indoorpath.PublicPartition, indoorpath.NewRect(0, 10, 20, 25, 0))
+	vending := b.AddPartition("vending", indoorpath.PublicPartition, indoorpath.NewRect(20, 10, 40, 25, 0))
+	store := b.AddPartition("store-room", indoorpath.PrivatePartition, indoorpath.NewRect(40, 0, 50, 25, 0))
+
+	cafeDoor := b.AddDoor("cafe-door", indoorpath.PublicDoor, indoorpath.Pt(10, 10, 0),
+		indoorpath.MustSchedule("[7:30, 18:00)"))
+	sideDoor := b.AddDoor("cafe-vending", indoorpath.PublicDoor, indoorpath.Pt(20, 17, 0),
+		indoorpath.MustSchedule("[7:30, 18:00)"))
+	vendDoor := b.AddDoor("vending-door", indoorpath.PublicDoor, indoorpath.Pt(30, 10, 0), nil) // 24h
+	storeDoor := b.AddDoor("store-door", indoorpath.PrivateDoor, indoorpath.Pt(40, 5, 0), nil)
+
+	b.ConnectBi(cafeDoor, hall, cafe)
+	b.ConnectBi(sideDoor, cafe, vending)
+	b.ConnectBi(vendDoor, hall, vending)
+	b.ConnectBi(storeDoor, hall, store)
+
+	venue, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := indoorpath.NewGraph(venue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.Stats())
+
+	engine := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodAsyn})
+	from := indoorpath.Pt(5, 5, 0) // in the hall
+	to := indoorpath.Pt(25, 20, 0) // inside the vending corner
+	inCafe := indoorpath.Pt(5, 20, 0)
+
+	for _, at := range []string{"6:00", "12:00", "19:00"} {
+		t := indoorpath.MustParseTime(at)
+		fmt.Printf("\nITSPQ(hall → vending, %s):\n", at)
+		report(engine, venue, indoorpath.Query{Source: from, Target: to, At: t})
+
+		fmt.Printf("ITSPQ(hall → cafe interior, %s):\n", at)
+		report(engine, venue, indoorpath.Query{Source: from, Target: inCafe, At: t})
+	}
+}
+
+func report(e *indoorpath.Engine, v *indoorpath.Venue, q indoorpath.Query) {
+	p, _, err := e.Route(q)
+	switch {
+	case errors.Is(err, indoorpath.ErrNoRoute):
+		fmt.Println("  no such routes")
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("  %s  %.1f m, arrive %v\n", p.Format(v), p.Length, p.ArrivalAtTgt)
+	}
+}

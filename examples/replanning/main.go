@@ -1,0 +1,105 @@
+// Replanning: operating an indoor venue whose hours change — the
+// dynamic side of temporal variation. Shows four extensions built on
+// the ITSPQ core:
+//
+//  1. ValidityWindow — how long a computed route stays usable;
+//
+//  2. DayProfile — how an OD pair's answer evolves across the day;
+//
+//  3. NearestPartitions — "closest open rooms right now" (the
+//     location-based assistance the paper's introduction motivates);
+//
+//  4. Venue.WithSchedules — what-if re-planning: simulate a lockdown of
+//     one wing and re-answer the same queries.
+//
+//     go run ./examples/replanning
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	indoorpath "indoorpath"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ex := indoorpath.PaperFigure1() // the paper's Figure 1 venue
+	venue := ex.Venue
+	g, err := indoorpath.NewGraph(venue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := indoorpath.NewEngine(g, indoorpath.Options{Method: indoorpath.MethodAsyn})
+
+	// 1. Route p3 → p4 at 9:00 (the paper's Example 1) and ask how long
+	// that answer remains valid.
+	q := indoorpath.Query{Source: ex.P3, Target: ex.P4, At: indoorpath.MustParseTime("9:00")}
+	p, _, err := engine.Route(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := indoorpath.ValidityWindow(g, p, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ITSPQ(p3, p4, 9:00) = %s, %.0f m\n", p.Format(venue), p.Length)
+	fmt.Printf("  the same route works for departures in %v\n\n", w)
+
+	// 2. Day profile of the pair: when is p4 reachable from p3 at all?
+	profile, err := indoorpath.DayProfile(engine, ex.P3, ex.P4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("day profile p3 → p4:")
+	for _, e := range profile {
+		if e.Reachable {
+			fmt.Printf("  [%v, %v): %.0f m over %d door(s)\n", e.Start, e.End, e.Length, e.Hops)
+		} else {
+			fmt.Printf("  [%v, %v): unreachable\n", e.Start, e.End)
+		}
+	}
+
+	// 3. Closest open rooms from p1 (in hallway v3) at 7:00 vs 12:00.
+	for _, at := range []string{"7:00", "12:00"} {
+		near, err := indoorpath.NearestPartitions(g, ex.P1, indoorpath.MustParseTime(at), 3, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nnearest open rooms from p1 at %s:\n", at)
+		for _, n := range near {
+			fmt.Printf("  %-4s %6.1f m\n", venue.Partition(n.Partition).Name, n.Dist)
+		}
+	}
+
+	// 4. What-if: lock down d18 (maintenance) and re-answer Example 1.
+	d18, _ := venue.DoorByName("d18")
+	locked, err := venue.WithSchedules(map[indoorpath.DoorID]indoorpath.Schedule{d18: {}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g2, err := indoorpath.NewGraph(locked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine2 := indoorpath.NewEngine(g2, indoorpath.Options{Method: indoorpath.MethodAsyn})
+	p2, _, err := engine2.Route(q)
+	switch {
+	case errors.Is(err, indoorpath.ErrNoRoute):
+		fmt.Println("\nwith d18 locked: no route at 9:00")
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("\nwith d18 locked: %s, %.1f m (detour)\n", p2.Format(locked), p2.Length)
+	}
+	// When is the earliest valid departure after 23:30 in the original
+	// venue (Example 1's null case)? None before midnight — then probe
+	// the lockdown case at 9:00.
+	lateQ := q
+	lateQ.At = indoorpath.MustParseTime("23:30")
+	if _, _, ok := indoorpath.EarliestValidDeparture(engine, lateQ); !ok {
+		fmt.Println("after 23:30 no departure works before midnight (paper's null answer)")
+	}
+}

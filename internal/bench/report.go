@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable renders a figure as an aligned plain-text table, one row
+// per x tick and one column per series — the shape of the paper's plot
+// data.
+func RenderTable(fd *FigureData) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s (%s)\n", strings.ToUpper(fd.ID), fd.Title, fd.Unit)
+	// Header.
+	cols := make([]int, len(fd.Series)+1)
+	cols[0] = len(fd.XLabel)
+	for _, x := range fd.Xs {
+		if len(x) > cols[0] {
+			cols[0] = len(x)
+		}
+	}
+	for i, s := range fd.Series {
+		cols[i+1] = len(s.Name)
+		for _, y := range s.Ys {
+			if n := len(formatY(y)); n > cols[i+1] {
+				cols[i+1] = n
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "  %-*s", cols[0], fd.XLabel)
+	for i, s := range fd.Series {
+		fmt.Fprintf(&sb, "  %*s", cols[i+1], s.Name)
+	}
+	sb.WriteByte('\n')
+	for xi, x := range fd.Xs {
+		fmt.Fprintf(&sb, "  %-*s", cols[0], x)
+		for si := range fd.Series {
+			fmt.Fprintf(&sb, "  %*s", cols[si+1], formatY(fd.Series[si].Ys[xi]))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func formatY(y float64) string {
+	switch {
+	case y >= 1000:
+		return fmt.Sprintf("%.0f", y)
+	case y >= 10:
+		return fmt.Sprintf("%.1f", y)
+	default:
+		return fmt.Sprintf("%.2f", y)
+	}
+}
+
+// RenderCSV renders a figure as CSV: header "x,series...", one row per
+// tick.
+func RenderCSV(fd *FigureData) string {
+	var sb strings.Builder
+	sb.WriteString(csvEscape(fd.XLabel))
+	for _, s := range fd.Series {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(s.Name))
+	}
+	sb.WriteByte('\n')
+	for xi, x := range fd.Xs {
+		sb.WriteString(csvEscape(x))
+		for si := range fd.Series {
+			fmt.Fprintf(&sb, ",%g", fd.Series[si].Ys[xi])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Summary renders per-cell diagnostics (found counts, pops, checks) for
+// EXPERIMENTS.md appendices.
+func Summary(fd *FigureData) string {
+	var sb strings.Builder
+	for si, s := range fd.Series {
+		for xi, x := range fd.Xs {
+			c := fd.Cells[si][xi]
+			fmt.Fprintf(&sb, "%s %s=%s: %s time=%.1fus est=%.1fKB alloc=%.1fKB found=%d/%d pops=%.0f checks=%.0f\n",
+				fd.ID, fd.XLabel, x, s.Name, c.AvgTimeUS, c.AvgEstBytes/1024,
+				c.AvgAllocBytes/1024, c.Found, c.Total, c.AvgPops, c.AvgChecks)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/pqueue"
+	"indoorpath/internal/temporal"
+)
+
+// StaticRouter is the temporal-unaware baseline: the classic indoor
+// shortest path query over the accessibility graph (Lu et al., ICDE
+// 2012). It honours door directionality and partition privacy but
+// ignores ATIs entirely, so its answers may cross doors that are closed
+// on arrival — exactly the failure mode motivating ITSPQ.
+type StaticRouter struct {
+	engine *Engine
+}
+
+// NewStaticRouter builds the baseline router.
+func NewStaticRouter(g *itgraph.Graph) *StaticRouter {
+	return &StaticRouter{engine: NewEngine(g, Options{Method: MethodStatic})}
+}
+
+// Route returns the static shortest path, which may be temporally
+// invalid.
+func (r *StaticRouter) Route(q Query) (*Path, SearchStats, error) {
+	return r.engine.Route(q)
+}
+
+// StaticThenValidate is the naive temporal strategy: compute the static
+// shortest path, then check it against the ATIs. It returns ErrNoRoute
+// whenever the single static path happens to cross a closed door, even
+// though a slightly longer valid path may exist — the second reason the
+// paper gives for why precomputed static answers are insufficient.
+func StaticThenValidate(g *itgraph.Graph, q Query) (*Path, error) {
+	r := NewStaticRouter(g)
+	p, _, err := r.Route(q)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range p.Doors {
+		if !g.Venue().Door(d).OpenAt(p.Arrivals[i].Mod()) {
+			return nil, ErrNoRoute
+		}
+	}
+	return p, nil
+}
+
+// WaitingRouter implements the extension the paper leaves as future
+// work (footnote 2): routing with waiting tolerance. The objective
+// changes from shortest distance to earliest arrival — a user reaching
+// a closed door may wait for its next opening. Labels are earliest
+// door-crossing instants; since waiting is allowed, arrival functions
+// are FIFO and label-setting Dijkstra is exact.
+type WaitingRouter struct {
+	g *itgraph.Graph
+	v *model.Venue
+
+	heap     *pqueue.Heap
+	arrive   map[int32]float64 // earliest crossing time (seconds of day)
+	walked   map[int32]float64 // walked metres along the label path
+	prevDoor map[int32]int32
+	prevPart map[int32]model.PartitionID
+	settled  map[int32]bool
+}
+
+// NewWaitingRouter builds an earliest-arrival router for the graph.
+func NewWaitingRouter(g *itgraph.Graph) *WaitingRouter {
+	return &WaitingRouter{
+		g: g, v: g.Venue(),
+		heap:     pqueue.New(64),
+		arrive:   map[int32]float64{},
+		walked:   map[int32]float64{},
+		prevDoor: map[int32]int32{},
+		prevPart: map[int32]model.PartitionID{},
+		settled:  map[int32]bool{},
+	}
+}
+
+func (r *WaitingRouter) reset() {
+	r.heap.Reset()
+	clear(r.arrive)
+	clear(r.walked)
+	clear(r.prevDoor)
+	clear(r.prevPart)
+	clear(r.settled)
+}
+
+// Route returns the earliest-arrival path from q.Source to q.Target
+// departing at q.At, waiting at closed doors when beneficial. The
+// returned path reports walked Length, per-door crossing times and
+// TotalWait. ErrNoRoute when the target is unreachable before midnight.
+func (r *WaitingRouter) Route(q Query) (*Path, error) {
+	srcPart, ok := r.v.Locate(q.Source)
+	if !ok {
+		return nil, errors.Join(ErrNotIndoor, errors.New("source"))
+	}
+	tgtPart, ok := r.v.Locate(q.Target)
+	if !ok {
+		return nil, errors.Join(ErrNotIndoor, errors.New("target"))
+	}
+	speed := q.speed()
+	t0 := float64(q.At.Mod())
+
+	r.reset()
+	srcH := int32(r.v.DoorCount())
+	tgtH := srcH + 1
+	r.arrive[srcH] = t0
+	r.walked[srcH] = 0
+	r.heap.Push(srcH, t0)
+
+	for {
+		item, ok := r.heap.Pop()
+		if !ok {
+			return nil, ErrNoRoute
+		}
+		h := item.Key
+		if h == tgtH {
+			return r.reconstruct(q, srcH, tgtH, tgtPart, speed), nil
+		}
+		if r.settled[h] {
+			continue
+		}
+		r.settled[h] = true
+
+		var anchor model.DoorID = model.NoDoor
+		var nexts []model.PartitionID
+		if h == srcH {
+			nexts = []model.PartitionID{srcPart}
+		} else {
+			anchor = model.DoorID(h)
+			nexts = r.v.NextPartitions(anchor, r.prevPart[h])
+		}
+		for _, w := range nexts {
+			if w == tgtPart {
+				var leg float64
+				if anchor == model.NoDoor {
+					leg = r.g.DM().PointToPoint(w, q.Source, q.Target)
+				} else {
+					leg = r.g.DM().PointToDoor(w, q.Target, anchor)
+				}
+				if !math.IsInf(leg, 1) {
+					cand := r.arrive[h] + leg/speed
+					if old, seen := r.arrive[tgtH]; !seen || cand < old {
+						r.arrive[tgtH] = cand
+						r.walked[tgtH] = r.walked[h] + leg
+						r.prevDoor[tgtH] = h
+						r.prevPart[tgtH] = w
+						r.heap.Push(tgtH, cand)
+					}
+				}
+				if anchor != model.NoDoor {
+					continue
+				}
+			}
+			if w != srcPart && w != tgtPart && r.v.Partition(w).Kind.IsPrivate() {
+				continue
+			}
+			r.relaxPartition(q, w, anchor, h, speed)
+		}
+	}
+}
+
+// relaxPartition relaxes every leaveable door of w from the anchor,
+// waiting at closed doors until their next opening. Unlike the
+// no-waiting engine, partitions are not marked visited: a later entry
+// through a different door can still improve other doors' labels, and
+// door-level settling keeps the search finite.
+func (r *WaitingRouter) relaxPartition(q Query, w model.PartitionID, anchor model.DoorID, h int32, speed float64) {
+	for _, dj := range r.v.LeaveDoors(w) {
+		hj := int32(dj)
+		if r.settled[hj] {
+			continue
+		}
+		var leg float64
+		if anchor == model.NoDoor {
+			leg = r.g.DM().PointToDoor(w, q.Source, dj)
+		} else {
+			leg = r.g.DM().Dist(w, anchor, dj)
+		}
+		if math.IsInf(leg, 1) {
+			continue
+		}
+		walkArr := r.arrive[h] + leg/speed
+		if walkArr >= float64(temporal.DaySeconds) {
+			continue // beyond the service day
+		}
+		cross, ok := r.v.Door(dj).ATIs.NextOpening(temporal.TimeOfDay(walkArr))
+		if !ok {
+			continue // never opens again today
+		}
+		cand := float64(cross)
+		if old, seen := r.arrive[hj]; !seen || cand < old {
+			r.arrive[hj] = cand
+			r.walked[hj] = r.walked[h] + leg
+			r.prevDoor[hj] = h
+			r.prevPart[hj] = w
+			r.heap.Push(hj, cand)
+		}
+	}
+}
+
+func (r *WaitingRouter) reconstruct(q Query, srcH, tgtH int32, tgtPart model.PartitionID, speed float64) *Path {
+	var doors []model.DoorID
+	var parts []model.PartitionID
+	var arrivals []temporal.TimeOfDay
+	for h := r.prevDoor[tgtH]; h != srcH; h = r.prevDoor[h] {
+		doors = append(doors, model.DoorID(h))
+		parts = append(parts, r.prevPart[h])
+		arrivals = append(arrivals, temporal.TimeOfDay(r.arrive[h]))
+	}
+	for i, j := 0, len(doors)-1; i < j; i, j = i+1, j-1 {
+		doors[i], doors[j] = doors[j], doors[i]
+		parts[i], parts[j] = parts[j], parts[i]
+		arrivals[i], arrivals[j] = arrivals[j], arrivals[i]
+	}
+	parts = append(parts, tgtPart)
+	length := r.walked[tgtH]
+	arrivalTgt := temporal.TimeOfDay(r.arrive[tgtH])
+	wait := arrivalTgt - q.At.Mod() - temporal.TimeOfDay(length/speed)
+	if wait < 0 {
+		wait = 0
+	}
+	return &Path{
+		Source:       q.Source,
+		Target:       q.Target,
+		Doors:        doors,
+		Partitions:   parts,
+		Length:       length,
+		Arrivals:     arrivals,
+		ArrivalAtTgt: arrivalTgt,
+		DepartedAt:   q.At.Mod(),
+		TotalWait:    wait,
+	}
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/pqueue"
+	"indoorpath/internal/temporal"
+)
+
+// Method selects the TV_Check strategy of the ITSPQ framework.
+type Method uint8
+
+// Available methods.
+const (
+	// MethodSyn is ITG/S: synchronous per-door ATI lookup (Algorithm 2).
+	MethodSyn Method = iota
+	// MethodAsyn is ITG/A: asynchronous snapshot probes (Algorithms 3–4).
+	MethodAsyn
+	// MethodStatic ignores temporal variation entirely — the classic
+	// ISPQ baseline; returned paths may cross closed doors.
+	MethodStatic
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodSyn:
+		return "ITG/S"
+	case MethodAsyn:
+		return "ITG/A"
+	case MethodStatic:
+		return "Static"
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// Options tune the engine; the zero value is the paper's ITG/S.
+type Options struct {
+	Method Method
+	// EagerHeapInit enheaps every door with distance ∞ up front, the
+	// literal initialisation of Algorithm 1 lines 2–5. The default is
+	// standard lazy insertion (identical results; ablation A1 measures
+	// the difference).
+	EagerHeapInit bool
+	// NoDistanceMatrix recomputes intra-partition distances from door
+	// geometry on every relaxation instead of reading the materialised
+	// DM (ablation A3).
+	NoDistanceMatrix bool
+	// SinglePartitionExpansion reproduces Algorithm 1 line 18 literally:
+	// each partition is expanded only from the first door that settles
+	// into it ("\ visited partitions"). This is faster but suboptimal in
+	// elongated partitions — a door settling later through a nearer
+	// entrance never relaxes the partition's remaining doors. The
+	// default expands a partition from every settled entering door
+	// (exact door-graph Dijkstra, Lu et al. 2012); ablation A6 measures
+	// the difference. See DESIGN.md interpretation note 8.
+	SinglePartitionExpansion bool
+}
+
+// SearchStats describes one query execution for the experiment harness.
+type SearchStats struct {
+	Method            string
+	Pops              int // heap extractions
+	Settled           int // doors finalised
+	Relaxations       int // candidate door updates attempted
+	DoorsTouched      int // distinct doors assigned a finite distance
+	PartitionsVisited int
+	HeapMax           int
+	Checker           CheckerStats
+	// BytesEstimate models the search working set: distance/parent map
+	// entries, heap slots, the visited sets, and (for ITG/A) the
+	// snapshots consulted. It is the deterministic memory metric behind
+	// Fig. 7; the harness also reports live heap allocations.
+	BytesEstimate int
+	Found         bool
+	PathHops      int
+	PathLength    float64
+}
+
+// Engine answers ITSPQ queries over one IT-Graph. It keeps reusable
+// search state between queries, so it is not safe for concurrent use;
+// create one engine per goroutine (the graph itself is shared and
+// read-only).
+type Engine struct {
+	g       *itgraph.Graph
+	v       *model.Venue
+	opts    Options
+	checker AccessChecker
+
+	heap     *pqueue.Heap
+	dist     map[int32]float64
+	prevDoor map[int32]int32
+	prevPart map[int32]model.PartitionID
+	settled  map[int32]bool
+	visited  map[model.PartitionID]bool
+}
+
+// NewEngine builds an engine for the graph with the given options.
+func NewEngine(g *itgraph.Graph, opts Options) *Engine {
+	e := &Engine{
+		g:        g,
+		v:        g.Venue(),
+		opts:     opts,
+		heap:     pqueue.New(64),
+		dist:     map[int32]float64{},
+		prevDoor: map[int32]int32{},
+		prevPart: map[int32]model.PartitionID{},
+		settled:  map[int32]bool{},
+		visited:  map[model.PartitionID]bool{},
+	}
+	switch opts.Method {
+	case MethodAsyn:
+		e.checker = NewAsynChecker(g)
+	case MethodStatic:
+		e.checker = &alwaysOpenChecker{}
+	default:
+		e.checker = NewSynChecker(g)
+	}
+	return e
+}
+
+// Graph returns the engine's IT-Graph.
+func (e *Engine) Graph() *itgraph.Graph { return e.g }
+
+// MethodName returns the display name of the configured method.
+func (e *Engine) MethodName() string { return e.checker.Name() }
+
+func (e *Engine) reset() {
+	e.heap.Reset()
+	clear(e.dist)
+	clear(e.prevDoor)
+	clear(e.prevPart)
+	clear(e.settled)
+	clear(e.visited)
+}
+
+// legDist returns the intra-partition distance between two doors of
+// partition p, honouring the NoDistanceMatrix ablation.
+func (e *Engine) legDist(p model.PartitionID, a, b model.DoorID) float64 {
+	if !e.opts.NoDistanceMatrix {
+		return e.g.DM().Dist(p, a, b)
+	}
+	if d, ok := e.v.DistOverride(p, a, b); ok {
+		return d
+	}
+	da, db := e.v.Door(a), e.v.Door(b)
+	if da.Pos.Floor != db.Pos.Floor {
+		return e.g.DM().Dist(p, a, b) // stairwells always use the DM
+	}
+	return da.Pos.DistXY(db.Pos)
+}
+
+// Route answers ITSPQ(q.Source, q.Target, q.At). On success it returns
+// the valid shortest path under the paper's semantics; when no valid
+// path exists the error is ErrNoRoute. Stats are returned in both
+// cases.
+func (e *Engine) Route(q Query) (*Path, SearchStats, error) {
+	stats := SearchStats{Method: e.checker.Name()}
+	srcPart, ok := e.v.Locate(q.Source)
+	if !ok {
+		return nil, stats, fmt.Errorf("%w: source %v", ErrNotIndoor, q.Source)
+	}
+	tgtPart, ok := e.v.Locate(q.Target)
+	if !ok {
+		return nil, stats, fmt.Errorf("%w: target %v", ErrNotIndoor, q.Target)
+	}
+	t0 := q.At.Mod()
+	speed := q.speed()
+
+	e.reset()
+	e.checker.Begin(t0, speed)
+
+	srcH := int32(e.v.DoorCount())
+	tgtH := srcH + 1
+	inf := math.Inf(1)
+
+	if e.opts.EagerHeapInit {
+		// Algorithm 1 lines 2–5/7 literally: every door and pt start in
+		// the heap at distance ∞.
+		for d := 0; d < e.v.DoorCount(); d++ {
+			e.heap.Push(int32(d), inf)
+		}
+		e.heap.Push(tgtH, inf)
+	}
+	e.dist[srcH] = 0
+	e.heap.Push(srcH, 0)
+
+	for {
+		item, ok := e.heap.Pop()
+		if !ok || math.IsInf(item.Prio, 1) {
+			// Heap exhausted (lazy) or only ∞ entries remain (eager):
+			// "no such routes".
+			e.finishStats(&stats)
+			return nil, stats, ErrNoRoute
+		}
+		h := item.Key
+		stats.Pops++
+		if h == tgtH {
+			p := e.reconstruct(q, srcH, tgtH, srcPart, tgtPart, t0, speed)
+			stats.Found = true
+			stats.PathHops = p.Hops()
+			stats.PathLength = p.Length
+			e.finishStats(&stats)
+			return p, stats, nil
+		}
+		if e.settled[h] {
+			continue
+		}
+		e.settled[h] = true
+		stats.Settled++
+		baseDist := e.dist[h]
+
+		// Determine the partitions to expand into and the anchor door.
+		var anchor model.DoorID = model.NoDoor
+		var nexts []model.PartitionID
+		if h == srcH {
+			nexts = []model.PartitionID{srcPart}
+		} else {
+			anchor = model.DoorID(h)
+			nexts = e.v.NextPartitions(anchor, e.prevPart[h])
+		}
+		for _, w := range nexts {
+			// Entering the target's partition: the next hop is pt itself
+			// (Algorithm 1 lines 20–24).
+			if w == tgtPart {
+				var cand float64
+				if anchor == model.NoDoor {
+					cand = baseDist + e.g.DM().PointToPoint(w, q.Source, q.Target)
+				} else {
+					cand = baseDist + e.g.DM().PointToDoor(w, q.Target, anchor)
+				}
+				if old, seen := e.dist[tgtH]; (!seen || cand < old) && !math.IsInf(cand, 1) {
+					e.dist[tgtH] = cand
+					e.prevDoor[tgtH] = h
+					e.prevPart[tgtH] = w
+					e.heap.Push(tgtH, cand)
+					stats.Relaxations++
+				}
+				if w != srcPart || anchor != model.NoDoor {
+					// Do not expand through the target partition: any
+					// route entering and leaving it again is longer
+					// (convex cells, positive legs). The source
+					// partition must still be expanded normally.
+					continue
+				}
+			}
+			if e.opts.SinglePartitionExpansion && e.visited[w] {
+				continue
+			}
+			if w != srcPart && w != tgtPart && e.v.Partition(w).Kind.IsPrivate() {
+				continue // rule 2
+			}
+			if !e.visited[w] {
+				e.visited[w] = true
+				stats.PartitionsVisited++
+			}
+			e.expand(q, w, anchor, h, baseDist, &stats, srcPart, tgtPart)
+		}
+	}
+}
+
+// expand relaxes every leaveable door of partition w from the anchor
+// (Algorithm 1 lines 25–34). With the asynchronous checker, expansions
+// whose whole arrival window fits inside the current checkpoint slot
+// iterate the snapshot's reduced leave-door list instead, pruning
+// closed doors up front and skipping the per-door check (exactly
+// equivalent: listed doors are open throughout the slot).
+func (e *Engine) expand(q Query, w model.PartitionID, anchor model.DoorID, h int32,
+	baseDist float64, stats *SearchStats, srcPart, tgtPart model.PartitionID) {
+
+	doors := e.v.LeaveDoors(w)
+	checkEach := true
+	if pruner, ok := e.checker.(leavePruner); ok {
+		// Bound the longest possible leg inside w: the largest DM entry
+		// covers door-to-door legs; the rectangle diagonal covers the
+		// source-point legs of the first expansion.
+		maxLeg := e.g.DM().Matrix(w).MaxEntry()
+		if anchor == model.NoDoor {
+			r := e.v.Partition(w).Rect
+			if diag := math.Hypot(r.Width(), r.Height()); diag > maxLeg {
+				maxLeg = diag
+			}
+		}
+		if pruned, exact := pruner.PrunedLeaveDoors(w, baseDist, maxLeg); exact {
+			doors = pruned
+			checkEach = false
+		}
+	}
+	for _, dj := range doors {
+		hj := int32(dj)
+		if e.settled[hj] {
+			continue
+		}
+		// Early privacy prune (line 28): skip doors that lead only to
+		// private partitions, unless one holds ps or pt.
+		useful := false
+		for _, nxt := range e.v.NextPartitions(dj, w) {
+			if nxt == srcPart || nxt == tgtPart || !e.v.Partition(nxt).Kind.IsPrivate() {
+				useful = true
+				break
+			}
+		}
+		if !useful {
+			continue
+		}
+		var leg float64
+		if anchor == model.NoDoor {
+			leg = e.g.DM().PointToDoor(w, q.Source, dj)
+		} else {
+			leg = e.legDist(w, anchor, dj)
+		}
+		if math.IsInf(leg, 1) {
+			continue
+		}
+		distj := baseDist + leg
+		// TV_Check (line 30; see DESIGN.md on the printed polarity).
+		// Skipped when the reduced list already guarantees openness.
+		if checkEach && !e.checker.Check(dj, distj) {
+			continue
+		}
+		stats.Relaxations++
+		if old, seen := e.dist[hj]; !seen || distj < old {
+			e.dist[hj] = distj
+			e.prevDoor[hj] = h
+			e.prevPart[hj] = w
+			e.heap.Push(hj, distj)
+		}
+	}
+}
+
+// reconstruct rebuilds the path from the prev chains (Algorithm 1
+// lines 11–17).
+func (e *Engine) reconstruct(q Query, srcH, tgtH int32, srcPart, tgtPart model.PartitionID,
+	t0 temporal.TimeOfDay, speed float64) *Path {
+
+	var doors []model.DoorID
+	var parts []model.PartitionID
+	for h := e.prevDoor[tgtH]; h != srcH; h = e.prevDoor[h] {
+		doors = append(doors, model.DoorID(h))
+		parts = append(parts, e.prevPart[h])
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(doors)-1; i < j; i, j = i+1, j-1 {
+		doors[i], doors[j] = doors[j], doors[i]
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	parts = append(parts, tgtPart)
+	length := e.dist[tgtH]
+	arrivals := make([]temporal.TimeOfDay, len(doors))
+	for i, d := range doors {
+		arrivals[i] = t0 + temporal.TimeOfDay(e.dist[int32(d)]/speed)
+	}
+	return &Path{
+		Source:       q.Source,
+		Target:       q.Target,
+		Doors:        doors,
+		Partitions:   parts,
+		Length:       length,
+		Arrivals:     arrivals,
+		ArrivalAtTgt: t0 + temporal.TimeOfDay(length/speed),
+		DepartedAt:   t0,
+	}
+}
+
+// finishStats derives the aggregate counters.
+func (e *Engine) finishStats(s *SearchStats) {
+	s.DoorsTouched = len(e.dist)
+	s.HeapMax = e.heap.MaxLen()
+	s.Checker = e.checker.Stats()
+	// Working-set model: three hash-map entries per touched handle
+	// (dist, prevDoor, prevPart at ~48 B each incl. bucket overhead),
+	// one heap slot per high-water entry, one byte-pair per visited
+	// partition/settled door, plus consulted snapshot bytes.
+	s.BytesEstimate = len(e.dist)*3*48 +
+		s.HeapMax*16 +
+		len(e.visited)*16 + len(e.settled)*16 +
+		s.Checker.SnapshotBytes
+}
+
+// RouteOrNil is Route for callers that treat "no route" as a regular
+// outcome: it returns nil without error in that case.
+func (e *Engine) RouteOrNil(q Query) (*Path, SearchStats, error) {
+	p, st, err := e.Route(q)
+	if err == ErrNoRoute {
+		return nil, st, nil
+	}
+	return p, st, err
+}

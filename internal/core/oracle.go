@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// OracleResult is the outcome of the exhaustive reference search.
+type OracleResult struct {
+	Found  bool
+	Length float64
+	Doors  []model.DoorID
+}
+
+// OracleShortest exhaustively enumerates every simple partition
+// sequence from the source to the target and returns the shortest valid
+// one under ITSPQ semantics (doors open on arrival, no waiting, no
+// private through-partitions). It is exponential and intended only for
+// validating the engine on small venues in tests.
+func OracleShortest(g *itgraph.Graph, q Query) OracleResult {
+	v := g.Venue()
+	srcPart, ok := v.Locate(q.Source)
+	if !ok {
+		return OracleResult{}
+	}
+	tgtPart, ok := v.Locate(q.Target)
+	if !ok {
+		return OracleResult{}
+	}
+	speed := q.speed()
+	t0 := q.At.Mod()
+
+	best := OracleResult{Length: math.Inf(1)}
+	inPath := map[model.PartitionID]bool{srcPart: true}
+	var doors []model.DoorID
+
+	var dfs func(w model.PartitionID, anchor model.DoorID, dist float64)
+	dfs = func(w model.PartitionID, anchor model.DoorID, dist float64) {
+		// Reaching the target partition ends the walk at pt.
+		if w == tgtPart {
+			var leg float64
+			if anchor == model.NoDoor {
+				leg = g.DM().PointToPoint(w, q.Source, q.Target)
+			} else {
+				leg = g.DM().PointToDoor(w, q.Target, anchor)
+			}
+			if total := dist + leg; total < best.Length {
+				best.Found = true
+				best.Length = total
+				best.Doors = append(best.Doors[:0], doors...)
+			}
+			return
+		}
+		for _, dj := range v.LeaveDoors(w) {
+			var leg float64
+			if anchor == model.NoDoor {
+				leg = g.DM().PointToDoor(w, q.Source, dj)
+			} else {
+				leg = g.DM().Dist(w, anchor, dj)
+			}
+			if math.IsInf(leg, 1) {
+				continue
+			}
+			distj := dist + leg
+			if distj >= best.Length {
+				continue
+			}
+			tarr := (t0 + temporal.TimeOfDay(distj/speed)).Mod()
+			if !v.Door(dj).OpenAt(tarr) {
+				continue
+			}
+			for _, nxt := range v.NextPartitions(dj, w) {
+				if inPath[nxt] {
+					continue
+				}
+				if nxt != tgtPart && v.Partition(nxt).Kind.IsPrivate() {
+					continue
+				}
+				inPath[nxt] = true
+				doors = append(doors, dj)
+				dfs(nxt, dj, distj)
+				doors = doors[:len(doors)-1]
+				delete(inPath, nxt)
+			}
+		}
+	}
+	dfs(srcPart, model.NoDoor, 0)
+	if !best.Found {
+		return OracleResult{}
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/pqueue"
+	"indoorpath/internal/temporal"
+)
+
+// The service-query layer builds the indoor LBS operations the paper's
+// introduction motivates (navigation assistance, location-based
+// shopping) on top of the ITSPQ machinery: single-source valid
+// distances, k-nearest reachable partitions, and day profiles of an OD
+// pair.
+
+// DistanceMap is the result of SingleSource: temporally valid shortest
+// distances from one point at one departure time.
+type DistanceMap struct {
+	Source geom.Point
+	At     temporal.TimeOfDay
+	// Doors maps every reachable door to its valid shortest distance.
+	Doors map[model.DoorID]float64
+	// Partitions maps every reachable partition to the shortest valid
+	// distance to its nearest entering door (the source partition maps
+	// to 0).
+	Partitions map[model.PartitionID]float64
+}
+
+// SingleSource computes temporally valid shortest distances from src at
+// departure time at to every reachable door and partition, under the
+// same semantics as ITSPQ (doors open on arrival, no waiting, no
+// private through-traffic). It is the one-to-all building block for
+// kNN and range queries.
+func SingleSource(g *itgraph.Graph, src geom.Point, at temporal.TimeOfDay, speed float64) (*DistanceMap, error) {
+	v := g.Venue()
+	srcPart, ok := v.Locate(src)
+	if !ok {
+		return nil, ErrNotIndoor
+	}
+	if speed <= 0 {
+		speed = WalkingSpeedMPS
+	}
+	at = at.Mod()
+	checker := NewSynChecker(g)
+	checker.Begin(at, speed)
+
+	dm := &DistanceMap{
+		Source:     src,
+		At:         at,
+		Doors:      map[model.DoorID]float64{},
+		Partitions: map[model.PartitionID]float64{srcPart: 0},
+	}
+	prevPart := map[model.DoorID]model.PartitionID{}
+	settled := map[model.DoorID]bool{}
+	h := pqueue.New(64)
+
+	relax := func(w model.PartitionID, anchor model.DoorID, base float64) {
+		for _, dj := range v.LeaveDoors(w) {
+			if settled[dj] {
+				continue
+			}
+			var leg float64
+			if anchor == model.NoDoor {
+				leg = g.DM().PointToDoor(w, src, dj)
+			} else {
+				leg = g.DM().Dist(w, anchor, dj)
+			}
+			if math.IsInf(leg, 1) {
+				continue
+			}
+			cand := base + leg
+			if !checker.Check(dj, cand) {
+				continue
+			}
+			if old, seen := dm.Doors[dj]; !seen || cand < old {
+				dm.Doors[dj] = cand
+				prevPart[dj] = w
+				h.Push(int32(dj), cand)
+			}
+		}
+	}
+	relax(srcPart, model.NoDoor, 0)
+	for {
+		item, ok := h.Pop()
+		if !ok {
+			break
+		}
+		d := model.DoorID(item.Key)
+		if settled[d] {
+			continue
+		}
+		settled[d] = true
+		base := dm.Doors[d]
+		for _, w := range v.NextPartitions(d, prevPart[d]) {
+			if old, seen := dm.Partitions[w]; !seen || base < old {
+				dm.Partitions[w] = base
+			}
+			if v.Partition(w).Kind.IsPrivate() && w != srcPart {
+				continue // enterable as a destination, not traversable
+			}
+			relax(w, d, base)
+		}
+	}
+	return dm, nil
+}
+
+// Near is one kNN result: a reachable partition with its valid walking
+// distance at the query time.
+type Near struct {
+	Partition model.PartitionID
+	Dist      float64
+}
+
+// NearestPartitions returns the k nearest partitions (by temporally
+// valid walking distance from src at time at) among those accepted by
+// filter (nil = public, hallway-free partitions, i.e. rooms/shops).
+// Results are sorted by distance. Fewer than k results mean the rest of
+// the venue is unreachable at that time.
+func NearestPartitions(g *itgraph.Graph, src geom.Point, at temporal.TimeOfDay, k int,
+	filter func(model.Partition) bool) ([]Near, error) {
+
+	if filter == nil {
+		filter = func(p model.Partition) bool { return p.Kind == model.PublicPartition }
+	}
+	dm, err := SingleSource(g, src, at, 0)
+	if err != nil {
+		return nil, err
+	}
+	v := g.Venue()
+	var out []Near
+	for p, d := range dm.Partitions {
+		if filter(*v.Partition(p)) {
+			out = append(out, Near{Partition: p, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Partition < out[j].Partition
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// ProfileEntry is one slot of a day profile: the outcome of the OD pair
+// when departing at Start.
+type ProfileEntry struct {
+	Start, End temporal.TimeOfDay
+	Reachable  bool
+	Length     float64
+	Hops       int
+}
+
+// DayProfile answers the OD pair at the start of every checkpoint slot
+// of the venue, summarising how the answer evolves over the day (the
+// temporal counterpart of a distance profile). Slot boundaries are the
+// only instants where the topology changes, though within a slot the
+// answer can still drift as walking windows shift; the profile reports
+// the slot-start outcome.
+func DayProfile(e *Engine, src, tgt geom.Point) ([]ProfileEntry, error) {
+	cps := e.Graph().Checkpoints()
+	var out []ProfileEntry
+	for slot := 0; slot < cps.SlotCount(); slot++ {
+		at := cps.SlotStart(slot)
+		p, _, err := e.RouteOrNil(Query{Source: src, Target: tgt, At: at})
+		if err != nil {
+			return nil, err
+		}
+		entry := ProfileEntry{Start: at, End: cps.SlotEnd(slot)}
+		if p != nil {
+			entry.Reachable = true
+			entry.Length = p.Length
+			entry.Hops = p.Hops()
+		}
+		out = append(out, entry)
+	}
+	return out, nil
+}

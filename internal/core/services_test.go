@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+func TestSingleSourceMatchesPairwise(t *testing.T) {
+	// Distances from SingleSource must equal per-pair engine routes to
+	// partition-center targets.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		v := randomVenue(t, rng, 3, 3)
+		g := itgraph.MustNew(v)
+		e := NewEngine(g, Options{})
+		src := geom.Pt(5, 5, 0) // corner partition is always public
+		at := temporal.TimeOfDay(rng.Float64() * 86400)
+		dm, err := SingleSource(g, src, at, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range v.Partitions() {
+			center := p.Rect.Center()
+			path, _, err := e.Route(Query{Source: src, Target: center, At: at})
+			pd, reach := dm.Partitions[p.ID]
+			if errors.Is(err, ErrNoRoute) {
+				// The partition may still be "reached" by the map while
+				// the center is unreachable only if ... it cannot: center
+				// targets share the partition's entering doors.
+				if reach && p.ID != dm.mustLocate(t, v, src) {
+					t.Fatalf("trial %d: map reaches %s but route does not", trial, p.Name)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reach {
+				t.Fatalf("trial %d: route reaches %s but map does not", trial, p.Name)
+			}
+			// Path length = door distance + final in-partition leg >= map
+			// distance to the partition.
+			if path.Length < pd-1e-9 {
+				t.Fatalf("trial %d: pair %v < map %v for %s", trial, path.Length, pd, p.Name)
+			}
+			_ = pd
+		}
+	}
+}
+
+// mustLocate is a test helper fetching the source partition.
+func (dm *DistanceMap) mustLocate(t *testing.T, v *model.Venue, src geom.Point) model.PartitionID {
+	t.Helper()
+	id, ok := v.Locate(src)
+	if !ok {
+		t.Fatal("source not indoor")
+	}
+	return id
+}
+
+func TestSingleSourceDoorsMatchEngineDist(t *testing.T) {
+	g, _, ds := corridorVenue(t)
+	at := temporal.Clock(12, 0, 0)
+	src := geom.Pt(2, 5, 0)
+	dm, err := SingleSource(g, src, at, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d1 at (10,5): straight 8 m. d2 via B: 8+10. d3 via C: 28.
+	want := map[model.DoorID]float64{
+		ds["d1"]: 8, ds["d2"]: 18, ds["d3"]: 28,
+	}
+	for d, w := range want {
+		if got := dm.Doors[d]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("door %v dist = %v, want %v", d, got, w)
+		}
+	}
+	// At 3:00, d2 is closed: C reachable only via the detour.
+	dm2, err := SingleSource(g, src, temporal.Clock(3, 0, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm2.Doors[ds["d2"]] != 0 && dm2.Doors[ds["d2"]] == 18 {
+		t.Error("closed d2 must not keep its daytime distance")
+	}
+	if _, ok := dm2.Doors[ds["d2"]]; ok {
+		t.Error("closed d2 must be absent from the map")
+	}
+	if dm2.Partitions[mustPart(t, g.Venue(), "C")] <= dm.Partitions[mustPart(t, g.Venue(), "C")] {
+		t.Error("C must be farther at night (detour)")
+	}
+}
+
+func mustPart(t *testing.T, v *model.Venue, name string) model.PartitionID {
+	t.Helper()
+	id, ok := v.PartitionByName(name)
+	if !ok {
+		t.Fatalf("partition %s missing", name)
+	}
+	return id
+}
+
+func TestSingleSourceErrors(t *testing.T) {
+	g, _, _ := corridorVenue(t)
+	if _, err := SingleSource(g, geom.Pt(-99, -99, 0), 0, 0); !errors.Is(err, ErrNotIndoor) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNearestPartitions(t *testing.T) {
+	g, ps, _ := corridorVenue(t)
+	src := geom.Pt(2, 5, 0)
+	at := temporal.Clock(12, 0, 0)
+	near, err := NearestPartitions(g, src, at, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) != 3 {
+		t.Fatalf("got %d results", len(near))
+	}
+	if near[0].Partition != ps["A"] || near[0].Dist != 0 {
+		t.Errorf("nearest should be the source partition: %+v", near[0])
+	}
+	if !sort.SliceIsSorted(near, func(i, j int) bool {
+		return near[i].Dist < near[j].Dist || (near[i].Dist == near[j].Dist && near[i].Partition < near[j].Partition)
+	}) {
+		t.Error("results not sorted")
+	}
+	// At 3:00 fewer partitions are reachable... all partitions here are
+	// reachable via detours except through d2; count stays 3 of 5.
+	nearNight, err := NearestPartitions(g, src, temporal.Clock(3, 0, 0), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nearNight) == 0 {
+		t.Error("night kNN empty")
+	}
+	// Custom filter: hallway-like X only.
+	only := func(p model.Partition) bool { return p.Name == "X" }
+	nx, err := NearestPartitions(g, src, at, 0, only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nx) != 1 || nx[0].Partition != ps["X"] {
+		t.Errorf("filtered kNN = %+v", nx)
+	}
+	if _, err := NearestPartitions(g, geom.Pt(-1, -1, 0), at, 1, nil); err == nil {
+		t.Error("outdoor source must fail")
+	}
+}
+
+func TestNearestRespectsClosures(t *testing.T) {
+	v := deadEndVenue(t)
+	g := itgraph.MustNew(v)
+	src := geom.Pt(2, 5, 0)
+	day, err := NearestPartitions(g, src, temporal.Clock(12, 0, 0), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, err := NearestPartitions(g, src, temporal.Clock(20, 0, 0), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(day) != 1 { // "room" is the only public partition
+		t.Fatalf("day kNN = %+v", day)
+	}
+	if len(night) != 0 {
+		t.Fatalf("night kNN should be empty, got %+v", night)
+	}
+}
+
+func TestDayProfile(t *testing.T) {
+	v := deadEndVenue(t)
+	g := itgraph.MustNew(v)
+	e := NewEngine(g, Options{})
+	profile, err := DayProfile(e, geom.Pt(2, 5, 0), geom.Pt(15, 5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints 8:00 and 16:00 → slots [0,8), [8,16), [16,24).
+	if len(profile) != 3 {
+		t.Fatalf("profile has %d entries", len(profile))
+	}
+	if profile[0].Reachable {
+		t.Error("slot [0,8) must be unreachable")
+	}
+	if !profile[1].Reachable || profile[1].Hops != 1 {
+		t.Errorf("slot [8,16) = %+v", profile[1])
+	}
+	if profile[2].Reachable {
+		t.Error("slot [16,24) must be unreachable")
+	}
+	if profile[1].Start != temporal.Clock(8, 0, 0) || profile[1].End != temporal.Clock(16, 0, 0) {
+		t.Errorf("slot bounds %v–%v", profile[1].Start, profile[1].End)
+	}
+	if math.Abs(profile[1].Length-13) > 1e-9 { // 8 m to the door + 5 m inside
+		t.Errorf("slot length = %v", profile[1].Length)
+	}
+}

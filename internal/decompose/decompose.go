@@ -1,0 +1,249 @@
+// Package decompose splits irregular (rectilinear, non-convex) hallway
+// polygons into regular rectangular cells connected by virtual doors,
+// following the decomposition approach of Xie, Lu and Pedersen (ICDE
+// 2013) that the evaluated venue relies on ("the irregular hallways are
+// decomposed into smaller, regular partitions").
+//
+// The decomposition is a vertical slab sweep: every distinct vertex
+// x-coordinate opens a slab, each slab's interior y-intervals become
+// cells, and adjacent cells that share a boundary segment of positive
+// length get a virtual door at the segment midpoint. Within a cell the
+// Euclidean metric is exact (cells are convex), so the cell graph plus
+// virtual doors approximates the polygon's geodesic metric from above.
+package decompose
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+)
+
+// VirtualDoor records one virtual door between two cells.
+type VirtualDoor struct {
+	CellA, CellB int          // indices into Decomposition.Cells
+	Pos          geom.Point   // door position (midpoint of shared edge)
+	Edge         geom.Segment // full shared boundary segment
+}
+
+// Decomposition is the result of decomposing one rectilinear polygon.
+type Decomposition struct {
+	Cells []geom.Rect
+	Doors []VirtualDoor
+}
+
+// Decompose splits the rectilinear simple polygon pg into rectangular
+// cells with virtual doors. The polygon must have at least 4 vertices,
+// axis-parallel edges only, and positive area.
+func Decompose(pg geom.Polygon) (*Decomposition, error) {
+	return DecomposeWithHoles(pg, nil)
+}
+
+// DecomposeWithHoles decomposes a rectilinear region with holes — the
+// shape of a real hallway network, whose inner blocks (shop islands)
+// are holes in the corridor polygon. Crossing parity handles the holes:
+// a vertical midline enters and leaves each hole, splitting the slab's
+// interior intervals around it. Hole rings must be rectilinear,
+// mutually disjoint and contained in the outer ring; a hole edge lying
+// on the outer boundary carves a notch instead of a hole.
+func DecomposeWithHoles(outer geom.Polygon, holes []geom.Polygon) (*Decomposition, error) {
+	rings := append([]geom.Polygon{outer}, holes...)
+	for ri, pg := range rings {
+		if len(pg.Verts) < 4 {
+			return nil, fmt.Errorf("decompose: ring %d has %d vertices, need >= 4", ri, len(pg.Verts))
+		}
+		if !pg.IsRectilinear() {
+			return nil, fmt.Errorf("decompose: ring %d is not rectilinear", ri)
+		}
+		if pg.Area() <= geom.Eps {
+			return nil, fmt.Errorf("decompose: ring %d has no area", ri)
+		}
+		if pg.Floor != outer.Floor {
+			return nil, fmt.Errorf("decompose: ring %d on floor %d, outer on %d", ri, pg.Floor, outer.Floor)
+		}
+	}
+	pg := outer
+
+	// Distinct x-coordinates (over all rings) define the slabs.
+	xsSet := map[float64]bool{}
+	for _, ring := range rings {
+		for _, v := range ring.Verts {
+			xsSet[v.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("decompose: degenerate polygon (single x)")
+	}
+
+	// Horizontal edges of all rings (used for slab interior scans).
+	type hEdge struct{ x1, x2, y float64 }
+	var hedges []hEdge
+	for _, ring := range rings {
+		n := len(ring.Verts)
+		for i := 0; i < n; i++ {
+			a, b := ring.Verts[i], ring.Verts[(i+1)%n]
+			if math.Abs(a.Y-b.Y) <= geom.Eps { // horizontal
+				x1, x2 := math.Min(a.X, b.X), math.Max(a.X, b.X)
+				if x2-x1 > geom.Eps {
+					hedges = append(hedges, hEdge{x1, x2, a.Y})
+				}
+			}
+		}
+	}
+
+	d := &Decomposition{}
+	// prev holds the cell indices of the previous slab, for adjacency.
+	var prev []int
+	for si := 0; si+1 < len(xs); si++ {
+		x0, x1 := xs[si], xs[si+1]
+		if x1-x0 <= geom.Eps {
+			continue
+		}
+		xm := (x0 + x1) / 2
+		// Crossings of the vertical line x=xm with horizontal edges give
+		// the inside y-intervals (even-odd pairing).
+		var ys []float64
+		for _, e := range hedges {
+			if e.x1 < xm && xm < e.x2 {
+				ys = append(ys, e.y)
+			}
+		}
+		if len(ys)%2 != 0 {
+			return nil, fmt.Errorf("decompose: odd crossing count at x=%v (self-intersecting polygon?)", xm)
+		}
+		sort.Float64s(ys)
+		var cur []int
+		for k := 0; k+1 < len(ys); k += 2 {
+			if ys[k+1]-ys[k] <= geom.Eps {
+				continue // degenerate interval: a hole edge on the outer boundary
+			}
+			cell := geom.NewRect(x0, ys[k], x1, ys[k+1], pg.Floor)
+			ci := len(d.Cells)
+			d.Cells = append(d.Cells, cell)
+			cur = append(cur, ci)
+		}
+		// Virtual doors between this slab and the previous one.
+		for _, pi := range prev {
+			for _, ci := range cur {
+				if seg, ok := d.Cells[pi].SharedEdge(d.Cells[ci]); ok {
+					d.Doors = append(d.Doors, VirtualDoor{
+						CellA: pi, CellB: ci, Pos: seg.Mid(), Edge: seg,
+					})
+				}
+			}
+		}
+		prev = cur
+	}
+	if len(d.Cells) == 0 {
+		return nil, fmt.Errorf("decompose: produced no cells")
+	}
+	return d, nil
+}
+
+// TotalArea returns the summed cell area; for a correct decomposition it
+// equals the polygon area.
+func (d *Decomposition) TotalArea() float64 {
+	sum := 0.0
+	for _, c := range d.Cells {
+		sum += c.Area()
+	}
+	return sum
+}
+
+// CellAt returns the index of the cell containing p, or -1.
+func (d *Decomposition) CellAt(p geom.Point) int {
+	for i, c := range d.Cells {
+		if c.Contains(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddToBuilder registers the decomposition's cells as hallway partitions
+// and its virtual doors on the given venue builder. Cell and door names
+// are prefixed ("<prefix>-c<i>", "<prefix>-vd<i>"). Virtual doors are
+// always open and bidirectional. It returns the new partition and door
+// IDs, indexed like Cells and Doors.
+func (d *Decomposition) AddToBuilder(b *model.Builder, prefix string) ([]model.PartitionID, []model.DoorID) {
+	parts := make([]model.PartitionID, len(d.Cells))
+	for i, c := range d.Cells {
+		parts[i] = b.AddPartition(fmt.Sprintf("%s-c%d", prefix, i), model.HallwayPartition, c)
+	}
+	doors := make([]model.DoorID, len(d.Doors))
+	for i, vd := range d.Doors {
+		doors[i] = b.AddDoor(fmt.Sprintf("%s-vd%d", prefix, i), model.VirtualDoor, vd.Pos, nil)
+		b.ConnectBi(doors[i], parts[vd.CellA], parts[vd.CellB])
+	}
+	return parts, doors
+}
+
+// GraphDistance returns the shortest walking distance from point a to
+// point b across the decomposed cells, routing through virtual door
+// midpoints. It is the decomposition-level counterpart of
+// dmat.VisibilityDistance and is used to validate decomposition quality
+// (it upper-bounds the true geodesic distance).
+func (d *Decomposition) GraphDistance(a, b geom.Point) (float64, error) {
+	ca, cb := d.CellAt(a), d.CellAt(b)
+	if ca < 0 || cb < 0 {
+		return 0, fmt.Errorf("decompose: endpoints must lie inside the decomposed polygon")
+	}
+	if ca == cb {
+		return a.DistXY(b), nil
+	}
+	// Nodes: virtual doors; plus implicit source/target handled directly.
+	nd := len(d.Doors)
+	const inf = math.MaxFloat64
+	dist := make([]float64, nd)
+	done := make([]bool, nd)
+	for i := range dist {
+		dist[i] = inf
+	}
+	doorsOf := make([][]int, len(d.Cells))
+	for i, vd := range d.Doors {
+		doorsOf[vd.CellA] = append(doorsOf[vd.CellA], i)
+		doorsOf[vd.CellB] = append(doorsOf[vd.CellB], i)
+	}
+	for _, di := range doorsOf[ca] {
+		dist[di] = a.DistXY(d.Doors[di].Pos)
+	}
+	best := inf
+	for {
+		u, bd := -1, inf
+		for i := 0; i < nd; i++ {
+			if !done[i] && dist[i] < bd {
+				u, bd = i, dist[i]
+			}
+		}
+		if u < 0 || bd >= best {
+			break
+		}
+		done[u] = true
+		for _, cell := range []int{d.Doors[u].CellA, d.Doors[u].CellB} {
+			if cell == cb {
+				if t := bd + d.Doors[u].Pos.DistXY(b); t < best {
+					best = t
+				}
+			}
+			for _, w := range doorsOf[cell] {
+				if w == u || done[w] {
+					continue
+				}
+				if t := bd + d.Doors[u].Pos.DistXY(d.Doors[w].Pos); t < dist[w] {
+					dist[w] = t
+				}
+			}
+		}
+	}
+	if best == inf {
+		return 0, fmt.Errorf("decompose: cells of a and b are not connected")
+	}
+	return best, nil
+}

@@ -1,0 +1,270 @@
+package decompose
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indoorpath/internal/dmat"
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+)
+
+func mustPolygon(t testing.TB, pts ...geom.Point) geom.Polygon {
+	t.Helper()
+	pg, err := geom.NewPolygon(pts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestDecomposeRectangle(t *testing.T) {
+	pg := geom.RectPolygon(geom.NewRect(0, 0, 10, 6, 0))
+	d, err := Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 1 {
+		t.Fatalf("rectangle should stay one cell, got %d", len(d.Cells))
+	}
+	if len(d.Doors) != 0 {
+		t.Errorf("no virtual doors expected, got %d", len(d.Doors))
+	}
+	if math.Abs(d.TotalArea()-60) > 1e-9 {
+		t.Errorf("area = %v, want 60", d.TotalArea())
+	}
+}
+
+func TestDecomposeLShape(t *testing.T) {
+	pg := mustPolygon(t,
+		geom.Pt(0, 0, 0), geom.Pt(10, 0, 0), geom.Pt(10, 5, 0),
+		geom.Pt(5, 5, 0), geom.Pt(5, 10, 0), geom.Pt(0, 10, 0),
+	)
+	d, err := Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 2 {
+		t.Fatalf("L-shape should split into 2 cells, got %d: %v", len(d.Cells), d.Cells)
+	}
+	if len(d.Doors) != 1 {
+		t.Fatalf("expected 1 virtual door, got %d", len(d.Doors))
+	}
+	if math.Abs(d.TotalArea()-pg.Area()) > 1e-9 {
+		t.Errorf("area mismatch: cells %v vs polygon %v", d.TotalArea(), pg.Area())
+	}
+	// The virtual door sits on x=5 between y=0 and y=5.
+	vd := d.Doors[0]
+	if math.Abs(vd.Pos.X-5) > 1e-9 || vd.Pos.Y < 0 || vd.Pos.Y > 5 {
+		t.Errorf("virtual door at %v", vd.Pos)
+	}
+	// Cells are disjoint and inside the polygon.
+	if d.Cells[0].OverlapsInterior(d.Cells[1]) {
+		t.Error("cells overlap")
+	}
+	for _, c := range d.Cells {
+		if !pg.Contains(c.Center()) {
+			t.Errorf("cell center %v outside polygon", c.Center())
+		}
+	}
+}
+
+func TestDecomposeUShape(t *testing.T) {
+	// U-shape: two towers on a base.
+	pg := mustPolygon(t,
+		geom.Pt(0, 0, 0), geom.Pt(30, 0, 0), geom.Pt(30, 20, 0), geom.Pt(20, 20, 0),
+		geom.Pt(20, 5, 0), geom.Pt(10, 5, 0), geom.Pt(10, 20, 0), geom.Pt(0, 20, 0),
+	)
+	d, err := Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.TotalArea()-pg.Area()) > 1e-9 {
+		t.Errorf("area mismatch: %v vs %v", d.TotalArea(), pg.Area())
+	}
+	// All cells must be connected through virtual doors (single polygon).
+	adj := make([][]int, len(d.Cells))
+	for _, vd := range d.Doors {
+		adj[vd.CellA] = append(adj[vd.CellA], vd.CellB)
+		adj[vd.CellB] = append(adj[vd.CellB], vd.CellA)
+	}
+	seen := make([]bool, len(d.Cells))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[c] {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	if count != len(d.Cells) {
+		t.Errorf("decomposition not connected: %d of %d cells", count, len(d.Cells))
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	slanted := mustPolygon(t, geom.Pt(0, 0, 0), geom.Pt(10, 0, 0), geom.Pt(5, 8, 0))
+	if _, err := Decompose(slanted); err == nil {
+		t.Error("non-rectilinear polygon must fail")
+	}
+	if _, err := Decompose(geom.Polygon{Verts: []geom.Point{{}, {}}}); err == nil {
+		t.Error("too-few vertices must fail")
+	}
+	degenerate := mustPolygon(t,
+		geom.Pt(0, 0, 0), geom.Pt(10, 0, 0), geom.Pt(10, 0, 0), geom.Pt(0, 0, 0))
+	if _, err := Decompose(degenerate); err == nil {
+		t.Error("zero-area polygon must fail")
+	}
+}
+
+func TestCellAt(t *testing.T) {
+	pg := mustPolygon(t,
+		geom.Pt(0, 0, 0), geom.Pt(10, 0, 0), geom.Pt(10, 5, 0),
+		geom.Pt(5, 5, 0), geom.Pt(5, 10, 0), geom.Pt(0, 10, 0),
+	)
+	d, err := Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := d.CellAt(geom.Pt(8, 8, 0)); i != -1 {
+		t.Errorf("notch point in cell %d, want -1", i)
+	}
+	if i := d.CellAt(geom.Pt(2, 2, 0)); i < 0 {
+		t.Error("interior point not located")
+	}
+}
+
+func TestGraphDistanceUpperBoundsGeodesic(t *testing.T) {
+	pg := mustPolygon(t,
+		geom.Pt(0, 0, 0), geom.Pt(30, 0, 0), geom.Pt(30, 10, 0),
+		geom.Pt(10, 10, 0), geom.Pt(10, 30, 0), geom.Pt(0, 30, 0),
+	)
+	d, err := Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		var a, b geom.Point
+		for {
+			a = geom.Pt(rng.Float64()*30, rng.Float64()*30, 0)
+			if pg.Contains(a) && d.CellAt(a) >= 0 {
+				break
+			}
+		}
+		for {
+			b = geom.Pt(rng.Float64()*30, rng.Float64()*30, 0)
+			if pg.Contains(b) && d.CellAt(b) >= 0 {
+				break
+			}
+		}
+		gd, err := d.GraphDistance(a, b)
+		if err != nil {
+			t.Fatalf("GraphDistance(%v, %v): %v", a, b, err)
+		}
+		geo, err := dmat.VisibilityDistance(pg, a, b)
+		if err != nil {
+			t.Fatalf("VisibilityDistance: %v", err)
+		}
+		if gd < geo-1e-6 {
+			t.Fatalf("graph distance %v below geodesic %v for %v→%v", gd, geo, a, b)
+		}
+		// Midpoint routing detours should stay moderate.
+		if gd > geo*2+1e-6 {
+			t.Fatalf("graph distance %v more than 2x geodesic %v for %v→%v", gd, geo, a, b)
+		}
+	}
+}
+
+func TestGraphDistanceSameCell(t *testing.T) {
+	pg := geom.RectPolygon(geom.NewRect(0, 0, 10, 10, 0))
+	d, err := Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GraphDistance(geom.Pt(1, 1, 0), geom.Pt(4, 5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-9 {
+		t.Errorf("same-cell distance = %v, want 5", got)
+	}
+	if _, err := d.GraphDistance(geom.Pt(-1, -1, 0), geom.Pt(4, 5, 0)); err == nil {
+		t.Error("outside endpoint must fail")
+	}
+}
+
+func TestAddToBuilder(t *testing.T) {
+	pg := mustPolygon(t,
+		geom.Pt(0, 0, 0), geom.Pt(10, 0, 0), geom.Pt(10, 5, 0),
+		geom.Pt(5, 5, 0), geom.Pt(5, 10, 0), geom.Pt(0, 10, 0),
+	)
+	d, err := Decompose(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := model.NewBuilder("decomposed")
+	parts, doors := d.AddToBuilder(b, "hall")
+	if len(parts) != len(d.Cells) || len(doors) != len(d.Doors) {
+		t.Fatalf("AddToBuilder sizes: %d parts, %d doors", len(parts), len(doors))
+	}
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.PartitionCount() != len(d.Cells) {
+		t.Errorf("venue partitions = %d", v.PartitionCount())
+	}
+	for _, did := range doors {
+		door := v.Door(did)
+		if door.Kind != model.VirtualDoor {
+			t.Errorf("door %v kind = %v", did, door.Kind)
+		}
+		if !door.ATIs.AlwaysOpenAllDay() {
+			t.Error("virtual doors must be always open")
+		}
+		if !door.Bidirectional() {
+			t.Error("virtual doors must be bidirectional")
+		}
+	}
+	// Point location works on the new partitions.
+	if _, ok := v.Locate(geom.Pt(2, 2, 0)); !ok {
+		t.Error("Locate failed on decomposed cell")
+	}
+}
+
+func TestDecomposeManyRandomStaircases(t *testing.T) {
+	// Staircase-shaped rectilinear polygons with k steps: decomposition
+	// must preserve area and stay connected for every k.
+	for k := 1; k <= 6; k++ {
+		var pts []geom.Point
+		// Build ascending staircase boundary.
+		pts = append(pts, geom.Pt(0, 0, 0))
+		for i := 0; i < k; i++ {
+			x0, y1 := float64(i)*10, float64(i+1)*10
+			pts = append(pts, geom.Pt(x0+10, float64(i)*10, 0), geom.Pt(x0+10, y1, 0))
+		}
+		pts = append(pts, geom.Pt(0, float64(k)*10, 0))
+		pg := mustPolygon(t, pts...)
+		d, err := Decompose(pg)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if math.Abs(d.TotalArea()-pg.Area()) > 1e-6 {
+			t.Errorf("k=%d: area %v vs %v", k, d.TotalArea(), pg.Area())
+		}
+		if len(d.Cells) != k {
+			t.Errorf("k=%d: got %d cells", k, len(d.Cells))
+		}
+		if k > 1 && len(d.Doors) != k-1 {
+			t.Errorf("k=%d: got %d doors", k, len(d.Doors))
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package decompose
+
+import (
+	"math"
+	"testing"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/synth"
+)
+
+func TestDecomposeDonut(t *testing.T) {
+	outer := geom.RectPolygon(geom.NewRect(0, 0, 30, 30, 0))
+	hole := geom.RectPolygon(geom.NewRect(10, 10, 20, 20, 0))
+	d, err := DecomposeWithHoles(outer, []geom.Polygon{hole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArea := outer.Area() - hole.Area()
+	if math.Abs(d.TotalArea()-wantArea) > 1e-9 {
+		t.Errorf("area = %v, want %v", d.TotalArea(), wantArea)
+	}
+	// The hole interior is in no cell.
+	if i := d.CellAt(geom.Pt(15, 15, 0)); i >= 0 {
+		t.Errorf("hole interior landed in cell %d", i)
+	}
+	// Ring interior points are covered.
+	for _, p := range []geom.Point{
+		geom.Pt(5, 15, 0), geom.Pt(25, 15, 0), geom.Pt(15, 5, 0), geom.Pt(15, 25, 0),
+	} {
+		if d.CellAt(p) < 0 {
+			t.Errorf("ring point %v uncovered", p)
+		}
+	}
+	// The ring is connected: walking distance exists all the way around.
+	gd, err := d.GraphDistance(geom.Pt(5, 15, 0), geom.Pt(25, 15, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any route must go around the hole: strictly longer than the chord.
+	if gd <= 20 {
+		t.Errorf("distance around the hole = %v, must exceed 20", gd)
+	}
+	// Cells must not leak into the hole.
+	holeRect := geom.NewRect(10, 10, 20, 20, 0)
+	for i, c := range d.Cells {
+		if c.OverlapsInterior(holeRect) {
+			t.Errorf("cell %d (%v) overlaps the hole", i, c)
+		}
+	}
+}
+
+func TestDecomposeTwoHoles(t *testing.T) {
+	outer := geom.RectPolygon(geom.NewRect(0, 0, 50, 20, 0))
+	holes := []geom.Polygon{
+		geom.RectPolygon(geom.NewRect(10, 5, 20, 15, 0)),
+		geom.RectPolygon(geom.NewRect(30, 5, 40, 15, 0)),
+	}
+	d, err := DecomposeWithHoles(outer, holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50*20 - 2*100.0
+	if math.Abs(d.TotalArea()-want) > 1e-9 {
+		t.Errorf("area = %v, want %v", d.TotalArea(), want)
+	}
+	if !connected(d) {
+		t.Error("two-hole region must stay connected")
+	}
+}
+
+func TestDecomposeHoleErrors(t *testing.T) {
+	outer := geom.RectPolygon(geom.NewRect(0, 0, 30, 30, 0))
+	slanted, err := geom.NewPolygon(geom.Pt(10, 10, 0), geom.Pt(20, 10, 0), geom.Pt(15, 18, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecomposeWithHoles(outer, []geom.Polygon{slanted}); err == nil {
+		t.Error("non-rectilinear hole must fail")
+	}
+	wrongFloor := geom.RectPolygon(geom.NewRect(10, 10, 20, 20, 3))
+	if _, err := DecomposeWithHoles(outer, []geom.Polygon{wrongFloor}); err == nil {
+		t.Error("hole on another floor must fail")
+	}
+}
+
+// TestDecomposeWaffleCorridorNetwork decomposes the exact corridor
+// network of the synthetic mall — the outer waffle outline with the
+// four fully-enclosed central blocks as holes — and checks area and
+// connectivity against the generator's analytic corridor area.
+func TestDecomposeWaffleCorridorNetwork(t *testing.T) {
+	outer, holes := synth.MallCorridorRings(0)
+	d, err := DecomposeWithHoles(outer, holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.TotalArea()-synth.MallCorridorArea()) > 1e-6 {
+		t.Errorf("corridor area = %v, want %v", d.TotalArea(), synth.MallCorridorArea())
+	}
+	if !connected(d) {
+		t.Error("corridor network must be connected")
+	}
+	// The slab sweep yields 15 cells (it keeps each vertical corridor as
+	// one full-height cell where the generator splits at intersections):
+	// 7 slabs alternating 3 corridor intervals and 1 full strip.
+	if len(d.Cells) != 15 {
+		t.Errorf("cell count = %d, want 15", len(d.Cells))
+	}
+}
+
+func connected(d *Decomposition) bool {
+	if len(d.Cells) == 0 {
+		return false
+	}
+	adj := make([][]int, len(d.Cells))
+	for _, vd := range d.Doors {
+		adj[vd.CellA] = append(adj[vd.CellA], vd.CellB)
+		adj[vd.CellB] = append(adj[vd.CellB], vd.CellA)
+	}
+	seen := make([]bool, len(d.Cells))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[c] {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == len(d.Cells)
+}

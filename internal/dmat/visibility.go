@@ -1,0 +1,80 @@
+package dmat
+
+import (
+	"fmt"
+	"math"
+
+	"indoorpath/internal/geom"
+)
+
+// VisibilityDistance returns the shortest obstacle-free walking distance
+// between points a and b inside the simple polygon pg, via a visibility
+// graph over the polygon vertices. It generalises the Euclidean DM entry
+// to non-convex partitions (irregular hallways before decomposition) and
+// is the reference metric the decomposition substrate is validated
+// against.
+//
+// Complexity is O(k^3) for k polygon vertices — fine for the small rooms
+// and hallway fragments it is applied to; large irregular hallways go
+// through internal/decompose instead.
+func VisibilityDistance(pg geom.Polygon, a, b geom.Point) (float64, error) {
+	if !pg.Contains(a) || !pg.Contains(b) {
+		return 0, fmt.Errorf("dmat: visibility endpoints must lie inside the polygon")
+	}
+	if pg.Visible(a, b) {
+		return a.DistXY(b), nil
+	}
+	// Nodes: a, b, then polygon vertices.
+	nodes := make([]geom.Point, 0, len(pg.Verts)+2)
+	nodes = append(nodes, a, b)
+	nodes = append(nodes, pg.Verts...)
+	n := len(nodes)
+	const inf = math.MaxFloat64
+	adj := make([][]float64, n)
+	for i := range adj {
+		adj[i] = make([]float64, n)
+		for j := range adj[i] {
+			adj[i][j] = inf
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pg.Visible(nodes[i], nodes[j]) {
+				d := nodes[i].DistXY(nodes[j])
+				adj[i][j], adj[j][i] = d, d
+			}
+		}
+	}
+	// Dijkstra from node 0 (a) to node 1 (b); n is tiny, use the simple
+	// O(n^2) scan.
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u, best := -1, inf
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		if u == 1 {
+			return dist[1], nil
+		}
+		done[u] = true
+		for w := 0; w < n; w++ {
+			if adj[u][w] < inf && dist[u]+adj[u][w] < dist[w] {
+				dist[w] = dist[u] + adj[u][w]
+			}
+		}
+	}
+	if dist[1] == inf {
+		return 0, fmt.Errorf("dmat: no visible path between points (degenerate polygon?)")
+	}
+	return dist[1], nil
+}

@@ -1,0 +1,238 @@
+// Package geom provides the 2-D geometry substrate used by the indoor
+// space model: points with a floor coordinate, axis-aligned rectangles,
+// rectilinear polygons, and the predicates (containment, segment
+// intersection, visibility) needed for distance-matrix construction and
+// point location.
+//
+// All linear units are metres. Floors are integers; geometry is planar
+// per floor and floors are connected only through explicit stairwells in
+// the model layer.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used for geometric comparisons. Venue coordinates
+// are metres with sub-centimetre precision, so 1e-7 is far below any
+// meaningful feature size while absorbing float rounding.
+const Eps = 1e-7
+
+// Point is a location on a floor.
+type Point struct {
+	X, Y  float64
+	Floor int
+}
+
+// Pt is shorthand for Point{x, y, floor}.
+func Pt(x, y float64, floor int) Point { return Point{X: x, Y: y, Floor: floor} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f, %.2f, F%d)", p.X, p.Y, p.Floor)
+}
+
+// Dist returns the Euclidean distance to q. Points on different floors
+// have no planar distance; Dist returns +Inf in that case so that callers
+// relying on it for routing treat cross-floor pairs as unreachable unless
+// connected by an explicit stairwell.
+func (p Point) Dist(q Point) float64 {
+	if p.Floor != q.Floor {
+		return math.Inf(1)
+	}
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistXY returns the planar Euclidean distance ignoring floors.
+func (p Point) DistXY(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Eq reports whether p and q coincide within Eps on the same floor.
+func (p Point) Eq(q Point) bool {
+	return p.Floor == q.Floor && math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// Rect is an axis-aligned rectangle on a single floor, the canonical
+// partition shape after decomposition. MinX <= MaxX and MinY <= MaxY hold
+// for every Rect produced by NewRect or Canon.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+	Floor                  int
+}
+
+// NewRect builds a canonical rectangle from two opposite corners.
+func NewRect(x1, y1, x2, y2 float64, floor int) Rect {
+	return Rect{
+		MinX: math.Min(x1, x2), MinY: math.Min(y1, y2),
+		MaxX: math.Max(x1, x2), MaxY: math.Max(y1, y2),
+		Floor: floor,
+	}
+}
+
+// Canon returns r with min/max corners ordered.
+func (r Rect) Canon() Rect {
+	return NewRect(r.MinX, r.MinY, r.MaxX, r.MaxY, r.Floor)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f %.1fx%.1f F%d]", r.MinX, r.MinY, r.Width(), r.Height(), r.Floor)
+}
+
+// Width returns the X extent.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the Y extent.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the rectangle's area in square metres.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle's centroid.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2, Floor: r.Floor}
+}
+
+// Contains reports whether p lies in r (boundary inclusive, within Eps).
+func (r Rect) Contains(p Point) bool {
+	if p.Floor != r.Floor {
+		return false
+	}
+	return p.X >= r.MinX-Eps && p.X <= r.MaxX+Eps &&
+		p.Y >= r.MinY-Eps && p.Y <= r.MaxY+Eps
+}
+
+// ContainsXY is Contains ignoring the floor coordinate.
+func (r Rect) ContainsXY(x, y float64) bool {
+	return x >= r.MinX-Eps && x <= r.MaxX+Eps && y >= r.MinY-Eps && y <= r.MaxY+Eps
+}
+
+// Intersects reports whether r and s overlap (touching edges count) on the
+// same floor.
+func (r Rect) Intersects(s Rect) bool {
+	if r.Floor != s.Floor {
+		return false
+	}
+	return r.MinX <= s.MaxX+Eps && s.MinX <= r.MaxX+Eps &&
+		r.MinY <= s.MaxY+Eps && s.MinY <= r.MaxY+Eps
+}
+
+// OverlapsInterior reports whether r and s share interior area (touching
+// edges do not count).
+func (r Rect) OverlapsInterior(s Rect) bool {
+	if r.Floor != s.Floor {
+		return false
+	}
+	return r.MinX < s.MaxX-Eps && s.MinX < r.MaxX-Eps &&
+		r.MinY < s.MaxY-Eps && s.MinY < r.MaxY-Eps
+}
+
+// SharedEdge returns the segment along which r and s touch, if their
+// boundaries share a segment of positive length. ok is false when the
+// rectangles do not abut (or merely touch at a corner). The returned
+// segment is the common boundary portion; doors between adjacent
+// partitions are conventionally placed at its midpoint.
+func (r Rect) SharedEdge(s Rect) (seg Segment, ok bool) {
+	if r.Floor != s.Floor {
+		return Segment{}, false
+	}
+	// Vertical contact: r's right edge on s's left edge or vice versa.
+	if math.Abs(r.MaxX-s.MinX) <= Eps || math.Abs(s.MaxX-r.MinX) <= Eps {
+		x := r.MaxX
+		if math.Abs(s.MaxX-r.MinX) <= Eps {
+			x = r.MinX
+		}
+		lo := math.Max(r.MinY, s.MinY)
+		hi := math.Min(r.MaxY, s.MaxY)
+		if hi-lo > Eps {
+			return Segment{A: Pt(x, lo, r.Floor), B: Pt(x, hi, r.Floor)}, true
+		}
+		return Segment{}, false
+	}
+	// Horizontal contact.
+	if math.Abs(r.MaxY-s.MinY) <= Eps || math.Abs(s.MaxY-r.MinY) <= Eps {
+		y := r.MaxY
+		if math.Abs(s.MaxY-r.MinY) <= Eps {
+			y = r.MinY
+		}
+		lo := math.Max(r.MinX, s.MinX)
+		hi := math.Min(r.MaxX, s.MaxX)
+		if hi-lo > Eps {
+			return Segment{A: Pt(lo, y, r.Floor), B: Pt(hi, y, r.Floor)}, true
+		}
+		return Segment{}, false
+	}
+	return Segment{}, false
+}
+
+// ClampPoint returns the point of r closest to p (p itself when inside).
+func (r Rect) ClampPoint(p Point) Point {
+	return Point{
+		X:     math.Max(r.MinX, math.Min(r.MaxX, p.X)),
+		Y:     math.Max(r.MinY, math.Min(r.MaxY, p.Y)),
+		Floor: r.Floor,
+	}
+}
+
+// Segment is a line segment between two points on one floor.
+type Segment struct {
+	A, B Point
+}
+
+// Len returns the segment length.
+func (s Segment) Len() float64 { return s.A.DistXY(s.B) }
+
+// Mid returns the segment midpoint.
+func (s Segment) Mid() Point {
+	return Point{X: (s.A.X + s.B.X) / 2, Y: (s.A.Y + s.B.Y) / 2, Floor: s.A.Floor}
+}
+
+// cross returns the z-component of (b-a) x (c-a).
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether c, known collinear with [a,b], lies on it.
+func onSegment(a, b, c Point) bool {
+	return math.Min(a.X, b.X)-Eps <= c.X && c.X <= math.Max(a.X, b.X)+Eps &&
+		math.Min(a.Y, b.Y)-Eps <= c.Y && c.Y <= math.Max(a.Y, b.Y)+Eps
+}
+
+// SegmentsIntersect reports whether segments [a,b] and [c,d] intersect,
+// including touching endpoints and collinear overlap.
+func SegmentsIntersect(a, b, c, d Point) bool {
+	d1 := cross(c, d, a)
+	d2 := cross(c, d, b)
+	d3 := cross(a, b, c)
+	d4 := cross(a, b, d)
+	if ((d1 > Eps && d2 < -Eps) || (d1 < -Eps && d2 > Eps)) &&
+		((d3 > Eps && d4 < -Eps) || (d3 < -Eps && d4 > Eps)) {
+		return true
+	}
+	switch {
+	case math.Abs(d1) <= Eps && onSegment(c, d, a):
+		return true
+	case math.Abs(d2) <= Eps && onSegment(c, d, b):
+		return true
+	case math.Abs(d3) <= Eps && onSegment(a, b, c):
+		return true
+	case math.Abs(d4) <= Eps && onSegment(a, b, d):
+		return true
+	}
+	return false
+}
+
+// SegmentsCross reports whether the open interiors of [a,b] and [c,d]
+// properly cross (shared endpoints and mere touches do not count). This is
+// the predicate used for visibility tests, where grazing a polygon vertex
+// must not block the sight line.
+func SegmentsCross(a, b, c, d Point) bool {
+	d1 := cross(c, d, a)
+	d2 := cross(c, d, b)
+	d3 := cross(a, b, c)
+	d4 := cross(a, b, d)
+	return ((d1 > Eps && d2 < -Eps) || (d1 < -Eps && d2 > Eps)) &&
+		((d3 > Eps && d4 < -Eps) || (d3 < -Eps && d4 > Eps))
+}

@@ -1,0 +1,420 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 2, 0), Pt(1, 2, 0), 0},
+		{"unit x", Pt(0, 0, 0), Pt(1, 0, 0), 1},
+		{"3-4-5", Pt(0, 0, 0), Pt(3, 4, 0), 5},
+		{"negative coords", Pt(-3, -4, 2), Pt(0, 0, 2), 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Dist(tc.q); math.Abs(got-tc.want) > Eps {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPointDistCrossFloor(t *testing.T) {
+	if d := Pt(0, 0, 0).Dist(Pt(0, 0, 1)); !math.IsInf(d, 1) {
+		t.Errorf("cross-floor Dist = %v, want +Inf", d)
+	}
+	if d := Pt(0, 0, 0).DistXY(Pt(3, 4, 1)); math.Abs(d-5) > Eps {
+		t.Errorf("cross-floor DistXY = %v, want 5", d)
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(ax, ay, 0), Pt(bx, by, 0), Pt(cx, cy, 0)
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectCanonAndContains(t *testing.T) {
+	r := NewRect(10, 10, 0, 0, 1)
+	if r.MinX != 0 || r.MinY != 0 || r.MaxX != 10 || r.MaxY != 10 {
+		t.Fatalf("NewRect did not canonicalise: %+v", r)
+	}
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Pt(5, 5, 1), true},
+		{"corner", Pt(0, 0, 1), true},
+		{"edge", Pt(10, 5, 1), true},
+		{"outside x", Pt(10.1, 5, 1), false},
+		{"outside y", Pt(5, -0.1, 1), false},
+		{"wrong floor", Pt(5, 5, 0), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := r.Contains(tc.p); got != tc.want {
+				t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := NewRect(2, 3, 6, 9, 0)
+	if w := r.Width(); w != 4 {
+		t.Errorf("Width = %v, want 4", w)
+	}
+	if h := r.Height(); h != 6 {
+		t.Errorf("Height = %v, want 6", h)
+	}
+	if a := r.Area(); a != 24 {
+		t.Errorf("Area = %v, want 24", a)
+	}
+	if c := r.Center(); !c.Eq(Pt(4, 6, 0)) {
+		t.Errorf("Center = %v, want (4,6)", c)
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(0, 0, 10, 10, 0)
+	tests := []struct {
+		name     string
+		b        Rect
+		hit, ovl bool
+	}{
+		{"overlap", NewRect(5, 5, 15, 15, 0), true, true},
+		{"touch edge", NewRect(10, 0, 20, 10, 0), true, false},
+		{"disjoint", NewRect(11, 11, 20, 20, 0), false, false},
+		{"contained", NewRect(2, 2, 3, 3, 0), true, true},
+		{"other floor", NewRect(5, 5, 15, 15, 1), false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := a.Intersects(tc.b); got != tc.hit {
+				t.Errorf("Intersects = %v, want %v", got, tc.hit)
+			}
+			if got := a.OverlapsInterior(tc.b); got != tc.ovl {
+				t.Errorf("OverlapsInterior = %v, want %v", got, tc.ovl)
+			}
+		})
+	}
+}
+
+func TestSharedEdge(t *testing.T) {
+	a := NewRect(0, 0, 10, 10, 0)
+	b := NewRect(10, 2, 20, 8, 0)
+	seg, ok := a.SharedEdge(b)
+	if !ok {
+		t.Fatal("expected shared edge")
+	}
+	if seg.Len() != 6 {
+		t.Errorf("shared edge length = %v, want 6", seg.Len())
+	}
+	if m := seg.Mid(); !m.Eq(Pt(10, 5, 0)) {
+		t.Errorf("midpoint = %v, want (10,5)", m)
+	}
+
+	c := NewRect(0, 10, 10, 20, 0) // touches a along y=10
+	seg, ok = a.SharedEdge(c)
+	if !ok || seg.Len() != 10 {
+		t.Fatalf("horizontal shared edge: ok=%v len=%v", ok, seg.Len())
+	}
+
+	d := NewRect(10, 10, 20, 20, 0) // corner touch only
+	if _, ok := a.SharedEdge(d); ok {
+		t.Error("corner touch must not yield a shared edge")
+	}
+	e := NewRect(30, 30, 40, 40, 0)
+	if _, ok := a.SharedEdge(e); ok {
+		t.Error("disjoint rects must not yield a shared edge")
+	}
+}
+
+func TestSharedEdgeSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := NewRect(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, 0)
+		// Construct b sharing a's right edge with random overlap.
+		b := NewRect(a.MaxX, a.MinY+rng.Float64()*10-5, a.MaxX+10, a.MaxY+rng.Float64()*10-5, 0)
+		s1, ok1 := a.SharedEdge(b)
+		s2, ok2 := b.SharedEdge(a)
+		if ok1 != ok2 {
+			t.Fatalf("asymmetric SharedEdge ok: %v vs %v (a=%v b=%v)", ok1, ok2, a, b)
+		}
+		if ok1 && math.Abs(s1.Len()-s2.Len()) > Eps {
+			t.Fatalf("asymmetric SharedEdge len: %v vs %v", s1.Len(), s2.Len())
+		}
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		name       string
+		a, b, c, d Point
+		want       bool
+	}{
+		{"crossing", Pt(0, 0, 0), Pt(10, 10, 0), Pt(0, 10, 0), Pt(10, 0, 0), true},
+		{"parallel", Pt(0, 0, 0), Pt(10, 0, 0), Pt(0, 1, 0), Pt(10, 1, 0), false},
+		{"touching endpoint", Pt(0, 0, 0), Pt(5, 5, 0), Pt(5, 5, 0), Pt(10, 0, 0), true},
+		{"collinear overlap", Pt(0, 0, 0), Pt(10, 0, 0), Pt(5, 0, 0), Pt(15, 0, 0), true},
+		{"collinear disjoint", Pt(0, 0, 0), Pt(4, 0, 0), Pt(5, 0, 0), Pt(15, 0, 0), false},
+		{"T junction", Pt(0, 0, 0), Pt(10, 0, 0), Pt(5, -5, 0), Pt(5, 0, 0), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SegmentsIntersect(tc.a, tc.b, tc.c, tc.d); got != tc.want {
+				t.Errorf("SegmentsIntersect = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentsCross(t *testing.T) {
+	// Proper crossing counts; touching does not.
+	if !SegmentsCross(Pt(0, 0, 0), Pt(10, 10, 0), Pt(0, 10, 0), Pt(10, 0, 0)) {
+		t.Error("proper crossing not detected")
+	}
+	if SegmentsCross(Pt(0, 0, 0), Pt(5, 5, 0), Pt(5, 5, 0), Pt(10, 0, 0)) {
+		t.Error("endpoint touch must not count as crossing")
+	}
+	if SegmentsCross(Pt(0, 0, 0), Pt(10, 0, 0), Pt(5, -5, 0), Pt(5, 0, 0)) {
+		t.Error("T junction touch must not count as crossing")
+	}
+}
+
+func TestPolygonBasics(t *testing.T) {
+	pg, err := NewPolygon(Pt(0, 0, 0), Pt(4, 0, 0), Pt(4, 3, 0), Pt(0, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := pg.Area(); math.Abs(a-12) > Eps {
+		t.Errorf("Area = %v, want 12", a)
+	}
+	if !pg.IsCCW() {
+		t.Error("expected CCW")
+	}
+	if !pg.Reverse().IsCCW() == false {
+		t.Error("Reverse should flip winding")
+	}
+	if !pg.IsRectilinear() {
+		t.Error("rectangle is rectilinear")
+	}
+	if !pg.IsConvex() {
+		t.Error("rectangle is convex")
+	}
+	bb := pg.BoundingBox()
+	if bb.MinX != 0 || bb.MaxX != 4 || bb.MinY != 0 || bb.MaxY != 3 {
+		t.Errorf("BoundingBox = %+v", bb)
+	}
+}
+
+func TestNewPolygonErrors(t *testing.T) {
+	if _, err := NewPolygon(Pt(0, 0, 0), Pt(1, 1, 0)); err == nil {
+		t.Error("expected error for 2 vertices")
+	}
+	if _, err := NewPolygon(Pt(0, 0, 0), Pt(1, 1, 0), Pt(2, 0, 1)); err == nil {
+		t.Error("expected error for mixed floors")
+	}
+}
+
+// lShape is a non-convex rectilinear hexagon:
+//
+//	(0,10)---(5,10)
+//	  |         |
+//	  |  (5,5)--+---(10,5)
+//	  |  notch       |
+//	(0,0)---------(10,0)
+func lShape(t *testing.T) Polygon {
+	t.Helper()
+	pg, err := NewPolygon(
+		Pt(0, 0, 0), Pt(10, 0, 0), Pt(10, 5, 0),
+		Pt(5, 5, 0), Pt(5, 10, 0), Pt(0, 10, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestPolygonContainsLShape(t *testing.T) {
+	pg := lShape(t)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"lower arm", Pt(8, 2, 0), true},
+		{"upper arm", Pt(2, 8, 0), true},
+		{"notch (outside)", Pt(8, 8, 0), false},
+		{"on boundary", Pt(10, 2, 0), true},
+		{"reflex corner", Pt(5, 5, 0), true},
+		{"far outside", Pt(20, 20, 0), false},
+		{"wrong floor", Pt(2, 2, 1), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := pg.Contains(tc.p); got != tc.want {
+				t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+	if pg.IsConvex() {
+		t.Error("L-shape must not be convex")
+	}
+	if !pg.IsRectilinear() {
+		t.Error("L-shape is rectilinear")
+	}
+	if math.Abs(pg.Area()-75) > Eps {
+		t.Errorf("L-shape area = %v, want 75", pg.Area())
+	}
+}
+
+func TestPolygonVisibility(t *testing.T) {
+	pg := lShape(t)
+	if !pg.Visible(Pt(1, 1, 0), Pt(9, 1, 0)) {
+		t.Error("straight line in lower arm should be visible")
+	}
+	if pg.Visible(Pt(9, 4, 0), Pt(4, 9, 0)) {
+		t.Error("line through the notch must be blocked")
+	}
+	if !pg.Visible(Pt(1, 1, 0), Pt(1, 9, 0)) {
+		t.Error("straight line in upper arm should be visible")
+	}
+	if pg.Visible(Pt(1, 1, 0), Pt(20, 20, 0)) {
+		t.Error("line to outside point must not be visible")
+	}
+	// Diagonal hugging the reflex corner stays inside.
+	if !pg.Visible(Pt(4, 1, 0), Pt(1, 4, 0)) {
+		t.Error("diagonal within lower-left square should be visible")
+	}
+}
+
+func TestGridIndexLocate(t *testing.T) {
+	rects := []Rect{
+		NewRect(0, 0, 10, 10, 0),
+		NewRect(10, 0, 20, 10, 0),
+		NewRect(0, 10, 20, 20, 0),
+	}
+	ids := []int32{100, 200, 300}
+	g, err := NewGridIndex(0, rects, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.Locate(Pt(5, 5, 0)); len(got) != 1 || got[0] != 100 {
+		t.Errorf("Locate(5,5) = %v, want [100]", got)
+	}
+	// Boundary point reports both neighbours.
+	got := g.Locate(Pt(10, 5, 0))
+	if len(got) != 2 {
+		t.Errorf("Locate(10,5) = %v, want two hits", got)
+	}
+	if _, ok := g.LocateFirst(Pt(15, 15, 0)); !ok {
+		t.Error("LocateFirst should find rect 300")
+	}
+	if _, ok := g.LocateFirst(Pt(50, 50, 0)); ok {
+		t.Error("LocateFirst outside bounds should miss")
+	}
+	if hits := g.Locate(Pt(5, 5, 3)); hits != nil {
+		t.Error("wrong floor should miss")
+	}
+}
+
+func TestGridIndexErrors(t *testing.T) {
+	if _, err := NewGridIndex(0, []Rect{NewRect(0, 0, 1, 1, 0)}, nil, 0); err == nil {
+		t.Error("expected id/rect length mismatch error")
+	}
+	if _, err := NewGridIndex(0, []Rect{NewRect(0, 0, 1, 1, 2)}, []int32{1}, 0); err == nil {
+		t.Error("expected floor mismatch error")
+	}
+	g, err := NewGridIndex(0, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := g.Locate(Pt(0, 0, 0)); hits != nil {
+		t.Error("empty index should return no hits")
+	}
+}
+
+func TestGridIndexRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var rects []Rect
+	var ids []int32
+	// Non-overlapping 10x10 tiles with gaps.
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			if (i+j)%3 == 0 {
+				continue
+			}
+			rects = append(rects, NewRect(float64(i)*12, float64(j)*12, float64(i)*12+10, float64(j)*12+10, 0))
+			ids = append(ids, int32(len(ids)))
+		}
+	}
+	g, err := NewGridIndex(0, rects, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 2000; n++ {
+		p := Pt(rng.Float64()*190-5, rng.Float64()*190-5, 0)
+		want := int32(-1)
+		for k, r := range rects {
+			if r.Contains(p) {
+				want = ids[k]
+				break
+			}
+		}
+		got, ok := g.LocateFirst(p)
+		if (want >= 0) != ok {
+			t.Fatalf("LocateFirst(%v): ok=%v, brute force found=%v", p, ok, want >= 0)
+		}
+		if ok && got != want {
+			// Boundary points may legitimately match several tiles; accept
+			// any containing tile.
+			if !rects[got].Contains(p) {
+				t.Fatalf("LocateFirst(%v) = %d which does not contain p", p, got)
+			}
+		}
+	}
+}
+
+func BenchmarkGridIndexLocate(b *testing.B) {
+	var rects []Rect
+	var ids []int32
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			rects = append(rects, NewRect(float64(i)*10, float64(j)*10, float64(i)*10+10, float64(j)*10+10, 0))
+			ids = append(ids, int32(len(ids)))
+		}
+	}
+	g, err := NewGridIndex(0, rects, ids, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 1024)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*400, rng.Float64()*400, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LocateFirst(pts[i%len(pts)])
+	}
+}

@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridIndex is a uniform spatial grid over rectangles, used for point
+// location (mapping an indoor point to its covering partition) in O(1)
+// expected time. One index covers one floor.
+type GridIndex struct {
+	floor      int
+	bounds     Rect
+	cellSize   float64
+	cols, rows int
+	cells      [][]int32 // cell -> ids of rects overlapping the cell
+	rects      []Rect
+	ids        []int32
+}
+
+// NewGridIndex indexes the given rectangles (with external ids) on one
+// floor. cellSize <= 0 picks a size that targets a handful of rectangles
+// per cell.
+func NewGridIndex(floor int, rects []Rect, ids []int32, cellSize float64) (*GridIndex, error) {
+	if len(rects) != len(ids) {
+		return nil, fmt.Errorf("geom: %d rects but %d ids", len(rects), len(ids))
+	}
+	g := &GridIndex{floor: floor, rects: rects, ids: ids}
+	if len(rects) == 0 {
+		g.cols, g.rows, g.cellSize = 1, 1, 1
+		g.cells = make([][]int32, 1)
+		return g, nil
+	}
+	b := Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1), Floor: floor}
+	for i, r := range rects {
+		if r.Floor != floor {
+			return nil, fmt.Errorf("geom: rect %d on floor %d, index floor %d", i, r.Floor, floor)
+		}
+		b.MinX = math.Min(b.MinX, r.MinX)
+		b.MinY = math.Min(b.MinY, r.MinY)
+		b.MaxX = math.Max(b.MaxX, r.MaxX)
+		b.MaxY = math.Max(b.MaxY, r.MaxY)
+	}
+	g.bounds = b
+	if cellSize <= 0 {
+		// Aim for ~1 rect per cell on average, assuming roughly uniform
+		// tiling of the venue footprint by partitions.
+		area := math.Max(b.Area(), 1)
+		cellSize = math.Sqrt(area / float64(len(rects)))
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	g.cellSize = cellSize
+	g.cols = int(math.Ceil(math.Max(b.Width(), Eps)/cellSize)) + 1
+	g.rows = int(math.Ceil(math.Max(b.Height(), Eps)/cellSize)) + 1
+	g.cells = make([][]int32, g.cols*g.rows)
+	for i, r := range rects {
+		c0, r0 := g.cellOf(r.MinX, r.MinY)
+		c1, r1 := g.cellOf(r.MaxX, r.MaxY)
+		for cy := r0; cy <= r1; cy++ {
+			for cx := c0; cx <= c1; cx++ {
+				k := cy*g.cols + cx
+				g.cells[k] = append(g.cells[k], int32(i))
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *GridIndex) cellOf(x, y float64) (cx, cy int) {
+	cx = int((x - g.bounds.MinX) / g.cellSize)
+	cy = int((y - g.bounds.MinY) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+// Locate returns the ids of all indexed rectangles containing p, in
+// insertion order. A point on a shared boundary reports both neighbours.
+func (g *GridIndex) Locate(p Point) []int32 {
+	if p.Floor != g.floor || len(g.rects) == 0 {
+		return nil
+	}
+	cx, cy := g.cellOf(p.X, p.Y)
+	var out []int32
+	for _, i := range g.cells[cy*g.cols+cx] {
+		if g.rects[i].Contains(p) {
+			out = append(out, g.ids[i])
+		}
+	}
+	return out
+}
+
+// LocateFirst returns the id of one rectangle containing p, preferring
+// the one whose center is nearest (stable for boundary points), and ok
+// reports whether any was found.
+func (g *GridIndex) LocateFirst(p Point) (int32, bool) {
+	if p.Floor != g.floor || len(g.rects) == 0 {
+		return 0, false
+	}
+	cx, cy := g.cellOf(p.X, p.Y)
+	best := int32(-1)
+	bestDist := math.Inf(1)
+	for _, i := range g.cells[cy*g.cols+cx] {
+		if g.rects[i].Contains(p) {
+			d := g.rects[i].Center().DistXY(p)
+			if d < bestDist {
+				bestDist = d
+				best = g.ids[i]
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Len returns the number of indexed rectangles.
+func (g *GridIndex) Len() int { return len(g.rects) }
+
+// Bounds returns the indexed extent.
+func (g *GridIndex) Bounds() Rect { return g.bounds }

@@ -1,0 +1,182 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polygon is a simple polygon on a single floor, given as a ring of
+// vertices without repetition of the first vertex at the end. Indoor
+// partitions are rectangles after decomposition, but irregular hallways
+// arrive as rectilinear polygons which internal/decompose splits into
+// cells; Polygon carries them through that pipeline and supports the
+// visibility tests used by internal/dmat for non-convex shapes.
+type Polygon struct {
+	Verts []Point
+	Floor int
+}
+
+// NewPolygon builds a polygon from vertices; all must share one floor.
+func NewPolygon(verts ...Point) (Polygon, error) {
+	if len(verts) < 3 {
+		return Polygon{}, fmt.Errorf("geom: polygon needs >= 3 vertices, got %d", len(verts))
+	}
+	floor := verts[0].Floor
+	for i, v := range verts {
+		if v.Floor != floor {
+			return Polygon{}, fmt.Errorf("geom: polygon vertex %d on floor %d, expected %d", i, v.Floor, floor)
+		}
+	}
+	return Polygon{Verts: verts, Floor: floor}, nil
+}
+
+// RectPolygon converts a rectangle into its four-vertex polygon (CCW).
+func RectPolygon(r Rect) Polygon {
+	return Polygon{
+		Verts: []Point{
+			Pt(r.MinX, r.MinY, r.Floor),
+			Pt(r.MaxX, r.MinY, r.Floor),
+			Pt(r.MaxX, r.MaxY, r.Floor),
+			Pt(r.MinX, r.MaxY, r.Floor),
+		},
+		Floor: r.Floor,
+	}
+}
+
+// Area returns the polygon's absolute area (shoelace formula).
+func (pg Polygon) Area() float64 {
+	return math.Abs(pg.SignedArea())
+}
+
+// SignedArea returns the signed shoelace area: positive for CCW rings.
+func (pg Polygon) SignedArea() float64 {
+	n := len(pg.Verts)
+	if n < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		a, b := pg.Verts[i], pg.Verts[(i+1)%n]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	return sum / 2
+}
+
+// IsCCW reports whether the vertices wind counter-clockwise.
+func (pg Polygon) IsCCW() bool { return pg.SignedArea() > 0 }
+
+// Reverse returns the polygon with opposite winding.
+func (pg Polygon) Reverse() Polygon {
+	out := Polygon{Verts: make([]Point, len(pg.Verts)), Floor: pg.Floor}
+	for i, v := range pg.Verts {
+		out.Verts[len(pg.Verts)-1-i] = v
+	}
+	return out
+}
+
+// BoundingBox returns the polygon's axis-aligned bounding rectangle.
+func (pg Polygon) BoundingBox() Rect {
+	r := Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1), Floor: pg.Floor}
+	for _, v := range pg.Verts {
+		r.MinX = math.Min(r.MinX, v.X)
+		r.MinY = math.Min(r.MinY, v.Y)
+		r.MaxX = math.Max(r.MaxX, v.X)
+		r.MaxY = math.Max(r.MaxY, v.Y)
+	}
+	return r
+}
+
+// Contains reports whether p lies inside the polygon or on its boundary,
+// using the even-odd ray-casting rule with boundary handling.
+func (pg Polygon) Contains(p Point) bool {
+	if p.Floor != pg.Floor {
+		return false
+	}
+	n := len(pg.Verts)
+	if n < 3 {
+		return false
+	}
+	// Boundary check first: on-edge counts as contained.
+	for i := 0; i < n; i++ {
+		a, b := pg.Verts[i], pg.Verts[(i+1)%n]
+		if math.Abs(cross(a, b, p)) <= Eps*math.Max(1, a.DistXY(b)) && onSegment(a, b, p) {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pg.Verts[i], pg.Verts[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// IsRectilinear reports whether every edge is axis-parallel.
+func (pg Polygon) IsRectilinear() bool {
+	n := len(pg.Verts)
+	for i := 0; i < n; i++ {
+		a, b := pg.Verts[i], pg.Verts[(i+1)%n]
+		if math.Abs(a.X-b.X) > Eps && math.Abs(a.Y-b.Y) > Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConvex reports whether the polygon is convex (collinear runs allowed).
+func (pg Polygon) IsConvex() bool {
+	n := len(pg.Verts)
+	if n < 4 {
+		return true
+	}
+	sign := 0
+	for i := 0; i < n; i++ {
+		c := cross(pg.Verts[i], pg.Verts[(i+1)%n], pg.Verts[(i+2)%n])
+		if math.Abs(c) <= Eps {
+			continue
+		}
+		s := 1
+		if c < 0 {
+			s = -1
+		}
+		if sign == 0 {
+			sign = s
+		} else if sign != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Visible reports whether the open segment between a and b stays inside
+// the polygon, i.e. the straight walk from a to b is unobstructed. Both
+// endpoints must be contained in the polygon.
+func (pg Polygon) Visible(a, b Point) bool {
+	if !pg.Contains(a) || !pg.Contains(b) {
+		return false
+	}
+	n := len(pg.Verts)
+	for i := 0; i < n; i++ {
+		va, vb := pg.Verts[i], pg.Verts[(i+1)%n]
+		if SegmentsCross(a, b, va, vb) {
+			return false
+		}
+	}
+	// No proper crossing: the segment may still run through a notch of a
+	// non-convex polygon while touching only vertices. Sample interior
+	// points along the segment to reject that case.
+	const samples = 8
+	for i := 1; i < samples; i++ {
+		f := float64(i) / samples
+		m := Point{X: a.X + (b.X-a.X)*f, Y: a.Y + (b.Y-a.Y)*f, Floor: a.Floor}
+		if !pg.Contains(m) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,42 @@
+package itgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad: venue JSON loading must never panic, and any document it
+// accepts must build a venue that survives a save/load round trip.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real venue document and broken variants.
+	var buf bytes.Buffer
+	if err := Save(&buf, smallVenue(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{}`)
+	f.Add(`{"name":"x","partitions":[],"doors":[]}`)
+	f.Add(`{"name":"x","partitions":[{"name":"p","kind":"PBP","rect":[0,0,1,1],"floor":0}],"doors":[]}`)
+	f.Add(`{"name":"x","partitions":[{"name":"p","kind":"ZZZ","rect":[0,0,1,1],"floor":0}],"doors":[]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"doors":[{"name":"d","kind":"PBD","arcs":[["a","b"]]}]}`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		v, err := Load(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Save(&out, v); err != nil {
+			t.Fatalf("accepted venue failed to save: %v", err)
+		}
+		v2, err := Load(&out)
+		if err != nil {
+			t.Fatalf("saved venue failed to reload: %v", err)
+		}
+		if v2.PartitionCount() != v.PartitionCount() || v2.DoorCount() != v.DoorCount() {
+			t.Fatal("round trip changed counts")
+		}
+	})
+}

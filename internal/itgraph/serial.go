@@ -1,0 +1,217 @@
+package itgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// VenueDoc is the JSON document form of a venue: partition and door
+// tables (the IT-Graph's partition table and door table), arcs by
+// partition name, and distance overrides. It is the storage format of
+// cmd/venuegen and cmd/itspq.
+type VenueDoc struct {
+	Name       string         `json:"name"`
+	Partitions []PartitionDoc `json:"partitions"`
+	Doors      []DoorDoc      `json:"doors"`
+	Overrides  []OverrideDoc  `json:"distance_overrides,omitempty"`
+}
+
+// PartitionDoc serialises one partition.
+type PartitionDoc struct {
+	Name  string     `json:"name"`
+	Kind  string     `json:"kind"` // PBP | PRP | HALL | STAIR | OUT
+	Rect  [4]float64 `json:"rect"` // minx, miny, maxx, maxy
+	Floor int        `json:"floor"`
+}
+
+// DoorDoc serialises one door with its ATIs and directed arcs.
+type DoorDoc struct {
+	Name  string      `json:"name"`
+	Kind  string      `json:"kind"` // PBD | PRD | VIRT | STAIR | ENTR
+	X     float64     `json:"x"`
+	Y     float64     `json:"y"`
+	Floor int         `json:"floor"`
+	ATIs  []string    `json:"atis,omitempty"` // "8:00-16:00"; empty = always open
+	Arcs  [][2]string `json:"arcs"`           // [from, to] partition names
+}
+
+// OverrideDoc serialises one explicit intra-partition distance.
+type OverrideDoc struct {
+	Partition string  `json:"partition"`
+	DoorA     string  `json:"door_a"`
+	DoorB     string  `json:"door_b"`
+	Dist      float64 `json:"dist"`
+}
+
+var partKindNames = map[model.PartitionKind]string{
+	model.PublicPartition:    "PBP",
+	model.PrivatePartition:   "PRP",
+	model.HallwayPartition:   "HALL",
+	model.StairwellPartition: "STAIR",
+	model.OutdoorPartition:   "OUT",
+}
+
+var doorKindNames = map[model.DoorKind]string{
+	model.PublicDoor:   "PBD",
+	model.PrivateDoor:  "PRD",
+	model.VirtualDoor:  "VIRT",
+	model.StairDoor:    "STAIR",
+	model.EntranceDoor: "ENTR",
+}
+
+func partKindFromName(s string) (model.PartitionKind, error) {
+	for k, n := range partKindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("itgraph: unknown partition kind %q", s)
+}
+
+func doorKindFromName(s string) (model.DoorKind, error) {
+	for k, n := range doorKindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("itgraph: unknown door kind %q", s)
+}
+
+// Encode converts a venue to its document form.
+func Encode(v *model.Venue) *VenueDoc {
+	doc := &VenueDoc{Name: v.Name}
+	for _, p := range v.Partitions() {
+		doc.Partitions = append(doc.Partitions, PartitionDoc{
+			Name:  p.Name,
+			Kind:  partKindNames[p.Kind],
+			Rect:  [4]float64{p.Rect.MinX, p.Rect.MinY, p.Rect.MaxX, p.Rect.MaxY},
+			Floor: p.Rect.Floor,
+		})
+	}
+	for _, d := range v.Doors() {
+		dd := DoorDoc{
+			Name:  d.Name,
+			Kind:  doorKindNames[d.Kind],
+			X:     d.Pos.X,
+			Y:     d.Pos.Y,
+			Floor: d.Pos.Floor,
+		}
+		if !d.ATIs.AlwaysOpenAllDay() {
+			for _, iv := range d.ATIs {
+				dd.ATIs = append(dd.ATIs, fmt.Sprintf("%v-%v", iv.Open, iv.Close))
+			}
+		}
+		for _, a := range d.Arcs {
+			dd.Arcs = append(dd.Arcs, [2]string{
+				v.Partition(a.From).Name, v.Partition(a.To).Name,
+			})
+		}
+		doc.Doors = append(doc.Doors, dd)
+	}
+	for _, p := range v.Partitions() {
+		if !v.HasDistOverrides(p.ID) {
+			continue
+		}
+		doors := v.DoorsOf(p.ID)
+		for i := 0; i < len(doors); i++ {
+			for j := i + 1; j < len(doors); j++ {
+				if dist, ok := v.DistOverride(p.ID, doors[i], doors[j]); ok {
+					doc.Overrides = append(doc.Overrides, OverrideDoc{
+						Partition: p.Name,
+						DoorA:     v.Door(doors[i]).Name,
+						DoorB:     v.Door(doors[j]).Name,
+						Dist:      dist,
+					})
+				}
+			}
+		}
+	}
+	return doc
+}
+
+// Decode reconstructs a venue from its document form.
+func (doc *VenueDoc) Decode() (*model.Venue, error) {
+	b := model.NewBuilder(doc.Name)
+	for _, pd := range doc.Partitions {
+		kind, err := partKindFromName(pd.Kind)
+		if err != nil {
+			return nil, err
+		}
+		rect := geom.NewRect(pd.Rect[0], pd.Rect[1], pd.Rect[2], pd.Rect[3], pd.Floor)
+		if kind == model.StairwellPartition {
+			b.AddStairwell(pd.Name, rect)
+		} else {
+			b.AddPartition(pd.Name, kind, rect)
+		}
+	}
+	for _, dd := range doc.Doors {
+		kind, err := doorKindFromName(dd.Kind)
+		if err != nil {
+			return nil, err
+		}
+		var sched temporal.Schedule
+		if len(dd.ATIs) > 0 {
+			var ivs []temporal.Interval
+			for _, s := range dd.ATIs {
+				iv, err := temporal.ParseInterval(s)
+				if err != nil {
+					return nil, fmt.Errorf("itgraph: door %s: %w", dd.Name, err)
+				}
+				ivs = append(ivs, iv)
+			}
+			sched, err = temporal.NewSchedule(ivs...)
+			if err != nil {
+				return nil, fmt.Errorf("itgraph: door %s: %w", dd.Name, err)
+			}
+		}
+		did := b.AddDoor(dd.Name, kind, geom.Pt(dd.X, dd.Y, dd.Floor), sched)
+		for _, arc := range dd.Arcs {
+			from, ok := b.PartitionByName(arc[0])
+			if !ok {
+				return nil, fmt.Errorf("itgraph: door %s: unknown partition %q", dd.Name, arc[0])
+			}
+			to, ok := b.PartitionByName(arc[1])
+			if !ok {
+				return nil, fmt.Errorf("itgraph: door %s: unknown partition %q", dd.Name, arc[1])
+			}
+			b.ConnectOneWay(did, from, to)
+		}
+	}
+	for _, od := range doc.Overrides {
+		p, ok := b.PartitionByName(od.Partition)
+		if !ok {
+			return nil, fmt.Errorf("itgraph: override: unknown partition %q", od.Partition)
+		}
+		da, ok := b.DoorByName(od.DoorA)
+		if !ok {
+			return nil, fmt.Errorf("itgraph: override: unknown door %q", od.DoorA)
+		}
+		db, ok := b.DoorByName(od.DoorB)
+		if !ok {
+			return nil, fmt.Errorf("itgraph: override: unknown door %q", od.DoorB)
+		}
+		b.SetDistance(p, da, db, od.Dist)
+	}
+	return b.Build()
+}
+
+// Save writes the venue as indented JSON.
+func Save(w io.Writer, v *model.Venue) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Encode(v))
+}
+
+// Load reads a venue from JSON.
+func Load(r io.Reader) (*model.Venue, error) {
+	var doc VenueDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("itgraph: decode venue: %w", err)
+	}
+	return doc.Decode()
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/temporal"
+)
+
+func lintMessages(ps []Problem) string {
+	var sb strings.Builder
+	for _, p := range ps {
+		sb.WriteString(p.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestLintCleanVenue(t *testing.T) {
+	v, _, _ := twoRooms(t)
+	if ps := v.Lint(); len(ps) != 0 {
+		t.Errorf("clean venue has findings:\n%s", lintMessages(ps))
+	}
+}
+
+func TestLintOverlap(t *testing.T) {
+	b := NewBuilder("overlap")
+	p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 10, 10, 0))
+	q := b.AddPartition("q", PublicPartition, geom.NewRect(5, 5, 15, 15, 0))
+	d := b.AddDoor("d", PublicDoor, geom.Pt(7, 7, 0), nil)
+	b.ConnectBi(d, p, q)
+	v := b.MustBuild()
+	ps := v.Lint()
+	if !strings.Contains(lintMessages(ps), "overlap") {
+		t.Errorf("overlap not reported:\n%s", lintMessages(ps))
+	}
+}
+
+func TestLintFarDoor(t *testing.T) {
+	b := NewBuilder("far-door")
+	p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 10, 10, 0))
+	q := b.AddPartition("q", PublicPartition, geom.NewRect(10, 0, 20, 10, 0))
+	d := b.AddDoor("d", PublicDoor, geom.Pt(50, 50, 0), nil) // nowhere near
+	b.ConnectBi(d, p, q)
+	v := b.MustBuild()
+	if !strings.Contains(lintMessages(v.Lint()), "away from partition") {
+		t.Error("distant door not reported")
+	}
+}
+
+func TestLintNeverOpenAndWrongFloor(t *testing.T) {
+	b := NewBuilder("misc")
+	p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 10, 10, 0))
+	q := b.AddPartition("q", PublicPartition, geom.NewRect(10, 0, 20, 10, 0))
+	d := b.AddDoor("shut", PublicDoor, geom.Pt(10, 5, 2), temporal.Schedule{})
+	b.ConnectBi(d, p, q)
+	v := b.MustBuild()
+	msgs := lintMessages(v.Lint())
+	if !strings.Contains(msgs, "never open") {
+		t.Errorf("never-open door not reported:\n%s", msgs)
+	}
+	if !strings.Contains(msgs, "floor") {
+		t.Errorf("wrong-floor door not reported:\n%s", msgs)
+	}
+}
+
+func TestLintDisconnected(t *testing.T) {
+	b := NewBuilder("islands")
+	a1 := b.AddPartition("a1", PublicPartition, geom.NewRect(0, 0, 10, 10, 0))
+	a2 := b.AddPartition("a2", PublicPartition, geom.NewRect(10, 0, 20, 10, 0))
+	b1 := b.AddPartition("b1", PublicPartition, geom.NewRect(40, 0, 50, 10, 0))
+	b2 := b.AddPartition("b2", PublicPartition, geom.NewRect(50, 0, 60, 10, 0))
+	d1 := b.AddDoor("d1", PublicDoor, geom.Pt(10, 5, 0), nil)
+	d2 := b.AddDoor("d2", PublicDoor, geom.Pt(50, 5, 0), nil)
+	b.ConnectBi(d1, a1, a2)
+	b.ConnectBi(d2, b1, b2)
+	v := b.MustBuild()
+	if !strings.Contains(lintMessages(v.Lint()), "disconnected") {
+		t.Error("island not reported")
+	}
+}
+
+func TestLintStairwellSpan(t *testing.T) {
+	b := NewBuilder("flat-stairs")
+	h := b.AddPartition("h", HallwayPartition, geom.NewRect(0, 0, 10, 10, 0))
+	sw := b.AddPartition("sw", StairwellPartition, geom.NewRect(10, 0, 13, 3, 0)) // TopFloor not set
+	d := b.AddDoor("d", StairDoor, geom.Pt(10, 1, 0), nil)
+	b.ConnectBi(d, h, sw)
+	v := b.MustBuild()
+	if !strings.Contains(lintMessages(v.Lint()), "span two floors") {
+		t.Error("flat stairwell not reported")
+	}
+}

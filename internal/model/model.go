@@ -1,0 +1,162 @@
+// Package model defines the indoor space model underlying the IT-Graph:
+// partitions (rooms, hallway cells, staircases, outdoors), doors with
+// directionality and active time intervals, and the accessibility
+// mappings P2D/D2P of Lu et al. (ICDE 2012) extended with the temporal
+// labels of Liu et al. (ICDE 2020).
+//
+// A Venue is immutable once built; construct it with a Builder. IDs are
+// dense small integers assigned in insertion order, so algorithm state
+// can live in flat slices.
+package model
+
+import (
+	"fmt"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/temporal"
+)
+
+// PartitionID identifies a partition within one venue.
+type PartitionID int32
+
+// DoorID identifies a door within one venue.
+type DoorID int32
+
+// NoPartition is the null partition ID.
+const NoPartition PartitionID = -1
+
+// NoDoor is the null door ID.
+const NoDoor DoorID = -1
+
+// PartitionKind classifies a partition. The paper distinguishes public
+// (PBP) and private (PRP) partitions; we additionally tag hallway cells,
+// staircases and the outdoors for generators and display — routing
+// treats Hallway, Stairwell and Outdoor exactly like Public.
+type PartitionKind uint8
+
+// Partition kinds.
+const (
+	PublicPartition    PartitionKind = iota // PBP: room open to everyone
+	PrivatePartition                        // PRP: staff-only room, never traversed
+	HallwayPartition                        // public corridor cell (from decomposition)
+	StairwellPartition                      // public stairwell connecting two floors
+	OutdoorPartition                        // the exterior, vertex v0 in the IT-Graph
+)
+
+// String implements fmt.Stringer.
+func (k PartitionKind) String() string {
+	switch k {
+	case PublicPartition:
+		return "PBP"
+	case PrivatePartition:
+		return "PRP"
+	case HallwayPartition:
+		return "HALL"
+	case StairwellPartition:
+		return "STAIR"
+	case OutdoorPartition:
+		return "OUT"
+	}
+	return fmt.Sprintf("PartitionKind(%d)", uint8(k))
+}
+
+// IsPrivate reports whether the kind blocks through-traffic (rule 2 of
+// the ITSPQ definition).
+func (k PartitionKind) IsPrivate() bool { return k == PrivatePartition }
+
+// DoorKind classifies a door: the paper's public (PBD) and private (PRD)
+// doors plus the virtual doors introduced by hallway decomposition and
+// stair doors connecting floors.
+type DoorKind uint8
+
+// Door kinds.
+const (
+	PublicDoor   DoorKind = iota // PBD
+	PrivateDoor                  // PRD: leads into a private partition
+	VirtualDoor                  // boundary between two decomposed hallway cells
+	StairDoor                    // end of a stairway
+	EntranceDoor                 // building entrance (connects to outdoors)
+)
+
+// String implements fmt.Stringer.
+func (k DoorKind) String() string {
+	switch k {
+	case PublicDoor:
+		return "PBD"
+	case PrivateDoor:
+		return "PRD"
+	case VirtualDoor:
+		return "VIRT"
+	case StairDoor:
+		return "STAIR"
+	case EntranceDoor:
+		return "ENTR"
+	}
+	return fmt.Sprintf("DoorKind(%d)", uint8(k))
+}
+
+// Partition is one vertex of the IT-Graph: an indoor region bounded by
+// walls and doors. After decomposition every partition is an axis-aligned
+// rectangle; outdoors has a zero rectangle.
+type Partition struct {
+	ID   PartitionID
+	Name string
+	Kind PartitionKind
+	Rect geom.Rect
+	// TopFloor is the upper floor a stairwell reaches; equals Rect.Floor
+	// for ordinary partitions.
+	TopFloor int
+}
+
+// Floor returns the partition's (lower) floor.
+func (p Partition) Floor() int { return p.Rect.Floor }
+
+// String implements fmt.Stringer.
+func (p Partition) String() string {
+	return fmt.Sprintf("%s(%s #%d)", p.Name, p.Kind, p.ID)
+}
+
+// Arc is one permitted transition through a door: leaving From, entering
+// To. A standard bidirectional door between partitions a and b carries
+// the two arcs (a→b) and (b→a); a one-way door carries one.
+type Arc struct {
+	From, To PartitionID
+}
+
+// Door is one edge label of the IT-Graph: a door (possibly virtual) with
+// its position, its directionality arcs and its ATIs.
+type Door struct {
+	ID   DoorID
+	Name string
+	Kind DoorKind
+	Pos  geom.Point
+	// ATIs is the door's active-interval schedule in normal form. A door
+	// without temporal variation has AlwaysOpen().
+	ATIs temporal.Schedule
+	// Arcs lists the permitted transitions. Most doors have two.
+	Arcs []Arc
+}
+
+// OpenAt reports whether the door is open at instant t.
+func (d Door) OpenAt(t temporal.TimeOfDay) bool { return d.ATIs.Contains(t) }
+
+// HasTemporalVariation reports whether the door is ever closed.
+func (d Door) HasTemporalVariation() bool { return !d.ATIs.AlwaysOpenAllDay() }
+
+// Bidirectional reports whether the door can be crossed both ways
+// between some pair of partitions.
+func (d Door) Bidirectional() bool {
+	for i, a := range d.Arcs {
+		for _, b := range d.Arcs[i+1:] {
+			if a.From == b.To && a.To == b.From {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (d Door) String() string {
+	return fmt.Sprintf("%s(%s #%d)", d.Name, d.Kind, d.ID)
+}

@@ -1,0 +1,380 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/temporal"
+)
+
+// twoRooms builds:  hall (0,0)-(10,10) — d1 — roomA (10,0)-(20,10)
+//
+//	                                   — d2 → roomB (0,10)-(10,20) (one-way in)
+//	entrance e on hall's west wall to outdoors.
+func twoRooms(t testing.TB) (*Venue, map[string]PartitionID, map[string]DoorID) {
+	t.Helper()
+	b := NewBuilder("two-rooms")
+	hall := b.AddPartition("hall", HallwayPartition, geom.NewRect(0, 0, 10, 10, 0))
+	roomA := b.AddPartition("roomA", PublicPartition, geom.NewRect(10, 0, 20, 10, 0))
+	roomB := b.AddPartition("roomB", PrivatePartition, geom.NewRect(0, 10, 10, 20, 0))
+	out := b.Outdoors()
+
+	d1 := b.AddDoor("d1", PublicDoor, geom.Pt(10, 5, 0),
+		temporal.MustSchedule(temporal.MustInterval(temporal.Clock(8, 0, 0), temporal.Clock(16, 0, 0))))
+	d2 := b.AddDoor("d2", PrivateDoor, geom.Pt(5, 10, 0), nil)
+	e := b.AddDoor("e", EntranceDoor, geom.Pt(0, 5, 0), nil)
+
+	b.ConnectBi(d1, hall, roomA)
+	b.ConnectOneWay(d2, hall, roomB) // enter-only
+	b.ConnectBi(e, hall, out)
+
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v,
+		map[string]PartitionID{"hall": hall, "roomA": roomA, "roomB": roomB, "out": out},
+		map[string]DoorID{"d1": d1, "d2": d2, "e": e}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	v, ps, ds := twoRooms(t)
+	if v.PartitionCount() != 4 || v.DoorCount() != 3 {
+		t.Fatalf("counts: %d partitions, %d doors", v.PartitionCount(), v.DoorCount())
+	}
+	if v.Partition(ps["hall"]).Kind != HallwayPartition {
+		t.Error("hall kind")
+	}
+	if v.Door(ds["d2"]).Kind != PrivateDoor {
+		t.Error("d2 kind")
+	}
+	if !v.Door(ds["e"]).ATIs.AlwaysOpenAllDay() {
+		t.Error("nil schedule must become always-open")
+	}
+}
+
+func TestMappings(t *testing.T) {
+	v, ps, ds := twoRooms(t)
+	hall, roomA, roomB := ps["hall"], ps["roomA"], ps["roomB"]
+	d1, d2, e := ds["d1"], ds["d2"], ds["e"]
+
+	if got := v.DoorsOf(hall); len(got) != 3 {
+		t.Errorf("P2D(hall) = %v", got)
+	}
+	// One-way d2: hall can leave through it but not enter.
+	leave := v.LeaveDoors(hall)
+	enter := v.EnterDoors(hall)
+	if !containsDoor(leave, d2) {
+		t.Error("d2 should be leaveable from hall")
+	}
+	if containsDoor(enter, d2) {
+		t.Error("d2 must not be enterable into hall")
+	}
+	if !containsDoor(enter, d1) || !containsDoor(enter, e) {
+		t.Error("d1 and e should be enterable into hall")
+	}
+	// roomB: enter-only.
+	if got := v.LeaveDoors(roomB); len(got) != 0 {
+		t.Errorf("roomB leave doors = %v", got)
+	}
+	if got := v.EnterDoors(roomB); len(got) != 1 || got[0] != d2 {
+		t.Errorf("roomB enter doors = %v", got)
+	}
+
+	if got := v.PartitionsOf(d1); len(got) != 2 {
+		t.Errorf("D2P(d1) = %v", got)
+	}
+	if got := v.EnterParts(d2); len(got) != 1 || got[0] != roomB {
+		t.Errorf("D2P▷(d2) = %v", got)
+	}
+	if got := v.LeaveParts(d2); len(got) != 1 || got[0] != hall {
+		t.Errorf("D2P◁(d2) = %v", got)
+	}
+	if got := v.NextPartitions(d1, hall); len(got) != 1 || got[0] != roomA {
+		t.Errorf("NextPartitions(d1, hall) = %v", got)
+	}
+	if got := v.NextPartitions(d2, roomB); len(got) != 0 {
+		t.Errorf("NextPartitions(d2, roomB) = %v (one-way)", got)
+	}
+	if !v.CanCross(d1, hall, roomA) || !v.CanCross(d1, roomA, hall) {
+		t.Error("d1 is bidirectional")
+	}
+	if v.CanCross(d2, roomB, hall) {
+		t.Error("d2 must be one-way")
+	}
+	if !v.Door(d1).Bidirectional() || v.Door(d2).Bidirectional() {
+		t.Error("Bidirectional flags wrong")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	v, ps, _ := twoRooms(t)
+	tests := []struct {
+		name string
+		pt   geom.Point
+		want PartitionID
+		ok   bool
+	}{
+		{"hall center", geom.Pt(5, 5, 0), ps["hall"], true},
+		{"roomA", geom.Pt(15, 5, 0), ps["roomA"], true},
+		{"roomB", geom.Pt(5, 15, 0), ps["roomB"], true},
+		{"nowhere", geom.Pt(50, 50, 0), NoPartition, false},
+		{"wrong floor", geom.Pt(5, 5, 3), NoPartition, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := v.Locate(tc.pt)
+			if ok != tc.ok || (ok && got != tc.want) {
+				t.Errorf("Locate(%v) = %v,%v want %v,%v", tc.pt, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+	// Boundary point belongs to both hall and roomA.
+	all := v.LocateAll(geom.Pt(10, 5, 0))
+	if len(all) != 2 {
+		t.Errorf("LocateAll boundary = %v", all)
+	}
+}
+
+func TestCheckpointsAndStats(t *testing.T) {
+	v, _, _ := twoRooms(t)
+	cs := v.Checkpoints()
+	if cs.Len() != 2 { // 8:00 and 16:00 from d1
+		t.Fatalf("checkpoints = %v", cs.Times())
+	}
+	if n := v.OpenDoorCount(temporal.Clock(12, 0, 0)); n != 3 {
+		t.Errorf("open at 12:00 = %d", n)
+	}
+	if n := v.OpenDoorCount(temporal.Clock(6, 0, 0)); n != 2 {
+		t.Errorf("open at 6:00 = %d", n)
+	}
+	st := v.Stats()
+	if st.Partitions != 4 || st.Doors != 3 || st.TemporalDoors != 1 ||
+		st.PrivateParts != 1 || st.OutdoorParts != 1 || st.EntranceDoors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ArcsTotal != 5 {
+		t.Errorf("arcs = %d, want 5", st.ArcsTotal)
+	}
+	if !strings.Contains(st.String(), "partitions=4") {
+		t.Errorf("Stats.String = %q", st.String())
+	}
+	if st.FloorPartitions != 3 { // excludes outdoors
+		t.Errorf("FloorPartitions = %d", st.FloorPartitions)
+	}
+}
+
+func TestDistOverride(t *testing.T) {
+	b := NewBuilder("ov")
+	p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 10, 10, 0))
+	q := b.AddPartition("q", PublicPartition, geom.NewRect(10, 0, 20, 10, 0))
+	r := b.AddPartition("r", PublicPartition, geom.NewRect(0, 10, 10, 20, 0))
+	d1 := b.AddDoor("d1", PublicDoor, geom.Pt(10, 5, 0), nil)
+	d2 := b.AddDoor("d2", PublicDoor, geom.Pt(5, 10, 0), nil)
+	b.ConnectBi(d1, p, q)
+	b.ConnectBi(d2, p, r)
+	b.SetDistance(p, d1, d2, 42)
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := v.DistOverride(p, d1, d2); !ok || got != 42 {
+		t.Errorf("DistOverride = %v,%v", got, ok)
+	}
+	if got, ok := v.DistOverride(p, d2, d1); !ok || got != 42 {
+		t.Errorf("DistOverride reversed = %v,%v", got, ok)
+	}
+	if _, ok := v.DistOverride(q, d1, d2); ok {
+		t.Error("no override on q")
+	}
+	if !v.HasDistOverrides(p) || v.HasDistOverrides(q) {
+		t.Error("HasDistOverrides wrong")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate names", func(t *testing.T) {
+		b := NewBuilder("bad")
+		b.AddPartition("x", PublicPartition, geom.NewRect(0, 0, 1, 1, 0))
+		b.AddPartition("x", PublicPartition, geom.NewRect(1, 0, 2, 1, 0))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected duplicate-name error")
+		}
+	})
+	t.Run("unconnected door", func(t *testing.T) {
+		b := NewBuilder("bad")
+		b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 1, 1, 0))
+		b.AddDoor("d", PublicDoor, geom.Pt(0, 0, 0), nil)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected unconnected-door error")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		b := NewBuilder("bad")
+		p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 1, 1, 0))
+		d := b.AddDoor("d", PublicDoor, geom.Pt(0, 0, 0), nil)
+		b.ConnectOneWay(d, p, p)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected self-loop error")
+		}
+	})
+	t.Run("unknown ids", func(t *testing.T) {
+		b := NewBuilder("bad")
+		p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 1, 1, 0))
+		d := b.AddDoor("d", PublicDoor, geom.Pt(0, 0, 0), nil)
+		b.ConnectOneWay(d, p, PartitionID(99))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected unknown-partition error")
+		}
+	})
+	t.Run("bad override", func(t *testing.T) {
+		b := NewBuilder("bad")
+		p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 1, 1, 0))
+		q := b.AddPartition("q", PublicPartition, geom.NewRect(1, 0, 2, 1, 0))
+		d := b.AddDoor("d", PublicDoor, geom.Pt(1, 0.5, 0), nil)
+		d2 := b.AddDoor("far", PublicDoor, geom.Pt(0, 0.5, 0), nil)
+		b.ConnectBi(d, p, q)
+		b.ConnectBi(d2, p, q)
+		b.SetDistance(q, d, DoorID(57), 1) // unknown door id -> panic-free failure
+		if _, err := b.Build(); err == nil {
+			t.Error("expected invalid override error")
+		}
+	})
+	t.Run("negative distance", func(t *testing.T) {
+		b := NewBuilder("bad")
+		p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 1, 1, 0))
+		q := b.AddPartition("q", PublicPartition, geom.NewRect(1, 0, 2, 1, 0))
+		d := b.AddDoor("d", PublicDoor, geom.Pt(1, 0.5, 0), nil)
+		e := b.AddDoor("e", PublicDoor, geom.Pt(1, 0.7, 0), nil)
+		b.ConnectBi(d, p, q)
+		b.ConnectBi(e, p, q)
+		b.SetDistance(p, d, e, -1)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected negative-distance error")
+		}
+	})
+}
+
+func TestConnectIdempotent(t *testing.T) {
+	b := NewBuilder("idem")
+	p := b.AddPartition("p", PublicPartition, geom.NewRect(0, 0, 1, 1, 0))
+	q := b.AddPartition("q", PublicPartition, geom.NewRect(1, 0, 2, 1, 0))
+	d := b.AddDoor("d", PublicDoor, geom.Pt(1, 0.5, 0), nil)
+	b.ConnectBi(d, p, q)
+	b.ConnectBi(d, p, q) // repeated: no duplicate arcs
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.Door(d).Arcs); got != 2 {
+		t.Errorf("arcs = %d, want 2", got)
+	}
+}
+
+func TestStairwell(t *testing.T) {
+	b := NewBuilder("stairs")
+	h0 := b.AddPartition("hall0", HallwayPartition, geom.NewRect(0, 0, 10, 10, 0))
+	h1 := b.AddPartition("hall1", HallwayPartition, geom.NewRect(0, 0, 10, 10, 1))
+	sw := b.AddStairwell("stair", geom.NewRect(10, 0, 13, 3, 0))
+	lo := b.AddDoor("stair-lo", StairDoor, geom.Pt(10, 1.5, 0), nil)
+	hi := b.AddDoor("stair-hi", StairDoor, geom.Pt(10, 1.5, 1), nil)
+	b.ConnectBi(lo, h0, sw)
+	b.ConnectBi(hi, sw, h1)
+	b.SetDistance(sw, lo, hi, 20) // paper: 20 m stairway
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Partition(sw).TopFloor != 1 {
+		t.Error("TopFloor")
+	}
+	if got := v.Floors(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Floors = %v", got)
+	}
+	if d, ok := v.DistOverride(sw, hi, lo); !ok || d != 20 {
+		t.Errorf("stairway length = %v,%v", d, ok)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[string]string{
+		PublicPartition.String():    "PBP",
+		PrivatePartition.String():   "PRP",
+		HallwayPartition.String():   "HALL",
+		StairwellPartition.String(): "STAIR",
+		OutdoorPartition.String():   "OUT",
+		PublicDoor.String():         "PBD",
+		PrivateDoor.String():        "PRD",
+		VirtualDoor.String():        "VIRT",
+		StairDoor.String():          "STAIR",
+		EntranceDoor.String():       "ENTR",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("kind string %q != %q", got, want)
+		}
+	}
+	if !PrivatePartition.IsPrivate() || PublicPartition.IsPrivate() {
+		t.Error("IsPrivate")
+	}
+	if s := PartitionKind(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown kind string %q", s)
+	}
+	if s := DoorKind(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown door kind string %q", s)
+	}
+}
+
+func TestWithSchedules(t *testing.T) {
+	v, _, ds := twoRooms(t)
+	lockdown, err := v.WithSchedules(map[DoorID]temporal.Schedule{
+		ds["d1"]: {}, // never open
+		ds["e"]:  temporal.MustSchedule(temporal.MustInterval(temporal.Clock(9, 0, 0), temporal.Clock(10, 0, 0))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if !v.Door(ds["d1"]).OpenAt(temporal.Clock(12, 0, 0)) {
+		t.Error("original venue mutated")
+	}
+	if lockdown.Door(ds["d1"]).OpenAt(temporal.Clock(12, 0, 0)) {
+		t.Error("locked door still open")
+	}
+	if !lockdown.Door(ds["e"]).OpenAt(temporal.Clock(9, 30, 0)) {
+		t.Error("rescheduled entrance closed at 9:30")
+	}
+	// nil schedule = always open.
+	reopened, err := lockdown.WithSchedules(map[DoorID]temporal.Schedule{ds["d1"]: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.Door(ds["d1"]).ATIs.AlwaysOpenAllDay() {
+		t.Error("nil schedule must reopen the door")
+	}
+	// Topology and lookups shared and intact.
+	if lockdown.PartitionCount() != v.PartitionCount() {
+		t.Error("partition count changed")
+	}
+	if _, ok := lockdown.DoorByName("d1"); !ok {
+		t.Error("name lookup lost")
+	}
+	// Errors.
+	if _, err := v.WithSchedules(map[DoorID]temporal.Schedule{DoorID(99): nil}); err == nil {
+		t.Error("unknown door must fail")
+	}
+	bad := temporal.Schedule{{Open: temporal.Clock(5, 0, 0), Close: temporal.Clock(4, 0, 0)}}
+	if _, err := v.WithSchedules(map[DoorID]temporal.Schedule{ds["d1"]: bad}); err == nil {
+		t.Error("invalid schedule must fail")
+	}
+}
+
+func containsDoor(ds []DoorID, d DoorID) bool {
+	for _, e := range ds {
+		if e == d {
+			return true
+		}
+	}
+	return false
+}

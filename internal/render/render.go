@@ -1,0 +1,201 @@
+// Package render produces human-readable views of venues and IT-Graphs:
+// SVG floor plans (the shape of the paper's Figure 1) and Graphviz DOT
+// dumps of the accessibility graph (the shape of Figure 2). Both are
+// plain-text formats generated with the standard library only, used by
+// cmd/venuegen for debugging and documentation.
+package render
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// partitionFill maps partition kinds to SVG fill colours.
+var partitionFill = map[model.PartitionKind]string{
+	model.PublicPartition:    "#e8f1fb",
+	model.PrivatePartition:   "#f6d5d5",
+	model.HallwayPartition:   "#f4f4ee",
+	model.StairwellPartition: "#ddd2ef",
+	model.OutdoorPartition:   "#ffffff",
+}
+
+// doorStroke maps door kinds to marker colours.
+var doorStroke = map[model.DoorKind]string{
+	model.PublicDoor:   "#2c7a2c",
+	model.PrivateDoor:  "#b03030",
+	model.VirtualDoor:  "#9a9a9a",
+	model.StairDoor:    "#6a3fb0",
+	model.EntranceDoor: "#20639b",
+}
+
+// SVGOptions tune floor-plan rendering.
+type SVGOptions struct {
+	// Floor selects which floor to draw.
+	Floor int
+	// Scale is pixels per metre (default keeps the long side near 1000).
+	Scale float64
+	// At, when non-negative, colours doors by openness at that instant
+	// (closed doors render hollow). Negative means "ignore schedules".
+	At temporal.TimeOfDay
+	// Labels draws partition names.
+	Labels bool
+}
+
+// WriteSVG renders one floor of the venue as an SVG document.
+func WriteSVG(w io.Writer, v *model.Venue, opts SVGOptions) error {
+	minX, minY := 0.0, 0.0
+	maxX, maxY := 1.0, 1.0
+	first := true
+	for _, p := range v.Partitions() {
+		if p.Rect.Floor != opts.Floor || p.Kind == model.OutdoorPartition || p.Rect.Area() <= 0 {
+			continue
+		}
+		if first {
+			minX, minY, maxX, maxY = p.Rect.MinX, p.Rect.MinY, p.Rect.MaxX, p.Rect.MaxY
+			first = false
+			continue
+		}
+		minX = min(minX, p.Rect.MinX)
+		minY = min(minY, p.Rect.MinY)
+		maxX = max(maxX, p.Rect.MaxX)
+		maxY = max(maxY, p.Rect.MaxY)
+	}
+	if first {
+		return fmt.Errorf("render: venue has no drawable partitions on floor %d", opts.Floor)
+	}
+	scale := opts.Scale
+	if scale <= 0 {
+		long := max(maxX-minX, maxY-minY)
+		scale = 1000 / long
+	}
+	width := (maxX - minX) * scale
+	height := (maxY - minY) * scale
+	// SVG y grows downwards; flip so the plan reads like the paper's.
+	tx := func(x float64) float64 { return (x - minX) * scale }
+	ty := func(y float64) float64 { return height - (y-minY)*scale }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.1f %.1f">`+"\n",
+		width+20, height+20, width+20, height+20)
+	fmt.Fprintf(&sb, `<g transform="translate(10,10)" font-family="sans-serif">`+"\n")
+	for _, p := range v.Partitions() {
+		if p.Rect.Floor != opts.Floor || p.Kind == model.OutdoorPartition || p.Rect.Area() <= 0 {
+			continue
+		}
+		fill := partitionFill[p.Kind]
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#555" stroke-width="1"><title>%s (%s)</title></rect>`+"\n",
+			tx(p.Rect.MinX), ty(p.Rect.MaxY), p.Rect.Width()*scale, p.Rect.Height()*scale, fill, p.Name, p.Kind)
+		if opts.Labels {
+			c := p.Rect.Center()
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="#333">%s</text>`+"\n",
+				tx(c.X), ty(c.Y), p.Name)
+		}
+	}
+	for _, d := range v.Doors() {
+		if d.Pos.Floor != opts.Floor {
+			continue
+		}
+		stroke := doorStroke[d.Kind]
+		fill := stroke
+		if opts.At >= 0 && !d.OpenAt(opts.At) {
+			fill = "none"
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" stroke="%s" stroke-width="1.5"><title>%s %s ATIs=%s</title></circle>`+"\n",
+			tx(d.Pos.X), ty(d.Pos.Y), fill, stroke, d.Name, d.Kind, d.ATIs)
+	}
+	sb.WriteString("</g>\n</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteDOT dumps the venue's accessibility graph in Graphviz DOT form:
+// one node per partition, one edge per door (directional doors render
+// as directed edges), door names and ATIs as edge labels — the textual
+// counterpart of the paper's Figure 2.
+func WriteDOT(w io.Writer, v *model.Venue) error {
+	var sb strings.Builder
+	sb.WriteString("digraph itgraph {\n  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n  edge [fontsize=8];\n")
+	for _, p := range v.Partitions() {
+		style := ""
+		switch p.Kind {
+		case model.PrivatePartition:
+			style = `, style=filled, fillcolor="#f6d5d5"`
+		case model.HallwayPartition:
+			style = `, style=filled, fillcolor="#f4f4ee"`
+		case model.StairwellPartition:
+			style = `, style=filled, fillcolor="#ddd2ef"`
+		case model.OutdoorPartition:
+			style = `, shape=doublecircle`
+		}
+		fmt.Fprintf(&sb, "  %q [label=%q%s];\n", p.Name, p.Name, style)
+	}
+	// Render bidirectional doors as one undirected-style edge (dir=none)
+	// and one-way arcs as arrows.
+	for _, d := range v.Doors() {
+		label := d.Name
+		if !d.ATIs.AlwaysOpenAllDay() {
+			label += "\\n" + d.ATIs.String()
+		}
+		seen := map[[2]model.PartitionID]bool{}
+		for _, a := range d.Arcs {
+			rev := [2]model.PartitionID{a.To, a.From}
+			if seen[rev] {
+				continue // second arc of a bidirectional pair
+			}
+			seen[[2]model.PartitionID{a.From, a.To}] = true
+			dir := ""
+			if !v.CanCross(d.ID, a.To, a.From) {
+				dir = "" // keep arrowhead for one-way
+			} else {
+				dir = ", dir=none"
+			}
+			fmt.Fprintf(&sb, "  %q -> %q [label=%q%s];\n",
+				v.Partition(a.From).Name, v.Partition(a.To).Name, label, dir)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// FloorSummary renders a compact text table of a venue's floors, used
+// by cmd/venuegen -stats.
+func FloorSummary(v *model.Venue) string {
+	type row struct{ parts, doors int }
+	rows := map[int]*row{}
+	for _, p := range v.Partitions() {
+		if p.Kind == model.OutdoorPartition {
+			continue
+		}
+		r := rows[p.Rect.Floor]
+		if r == nil {
+			r = &row{}
+			rows[p.Rect.Floor] = r
+		}
+		r.parts++
+	}
+	for _, d := range v.Doors() {
+		r := rows[d.Pos.Floor]
+		if r == nil {
+			r = &row{}
+			rows[d.Pos.Floor] = r
+		}
+		r.doors++
+	}
+	floors := make([]int, 0, len(rows))
+	for f := range rows {
+		floors = append(floors, f)
+	}
+	sort.Ints(floors)
+	var sb strings.Builder
+	sb.WriteString("floor  partitions  doors\n")
+	for _, f := range floors {
+		fmt.Fprintf(&sb, "%5d  %10d  %5d\n", f, rows[f].parts, rows[f].doors)
+	}
+	return sb.String()
+}

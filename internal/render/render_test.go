@@ -1,0 +1,109 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/synth"
+	"indoorpath/internal/temporal"
+)
+
+func TestWriteSVGPaperFixture(t *testing.T) {
+	v := synth.PaperFigure1().Venue
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, v, SVGOptions{Floor: 0, Labels: true, At: temporal.MustParse("9:00")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// All 17 indoor partitions and 21 doors appear.
+	if n := strings.Count(svg, "<rect"); n != 17 {
+		t.Errorf("rect count = %d, want 17", n)
+	}
+	if n := strings.Count(svg, "<circle"); n != 21 {
+		t.Errorf("circle count = %d, want 21", n)
+	}
+	// Closed doors at 9:00 (d4 opens at 9:00 → open; d9 open; d2 open).
+	// d14/d17 always open → filled. The count of hollow markers equals
+	// closed doors at 9:00.
+	closed := 0
+	for _, d := range v.Doors() {
+		if !d.OpenAt(temporal.MustParse("9:00")) {
+			closed++
+		}
+	}
+	if n := strings.Count(svg, `fill="none"`); n != closed {
+		t.Errorf("hollow door markers = %d, want %d", n, closed)
+	}
+	if !strings.Contains(svg, ">v16<") {
+		t.Error("labels missing")
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	v := synth.PaperFigure1().Venue
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, v, SVGOptions{Floor: 7}); err == nil {
+		t.Error("empty floor must fail")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	v := synth.PaperFigure1().Venue
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.HasPrefix(dot, "digraph itgraph {") {
+		t.Fatal("not a DOT document")
+	}
+	// One edge line per door (bidirectional pairs collapse to one).
+	if n := strings.Count(dot, "->"); n != 21 {
+		t.Errorf("edge count = %d, want 21", n)
+	}
+	// d3 is one-way: its edge must keep the arrowhead (no dir=none on
+	// the d3 line).
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, `label="d3`) && strings.Contains(line, "dir=none") {
+			t.Error("one-way d3 rendered as undirected")
+		}
+		if strings.Contains(line, `label="d18`) && !strings.Contains(line, "dir=none") {
+			t.Error("bidirectional d18 rendered as directed")
+		}
+	}
+	// ATIs on temporal doors.
+	if !strings.Contains(dot, "[8:00, 16:00)") {
+		t.Error("ATIs missing from edge labels")
+	}
+	// Outdoors gets the special shape.
+	if !strings.Contains(dot, "doublecircle") {
+		t.Error("outdoors node style missing")
+	}
+}
+
+func TestFloorSummary(t *testing.T) {
+	b := model.NewBuilder("two-floor")
+	h0 := b.AddPartition("h0", model.HallwayPartition, geom.NewRect(0, 0, 10, 10, 0))
+	h1 := b.AddPartition("h1", model.HallwayPartition, geom.NewRect(0, 0, 10, 10, 1))
+	sw := b.AddStairwell("sw", geom.NewRect(10, 0, 13, 3, 0))
+	lo := b.AddDoor("lo", model.StairDoor, geom.Pt(10, 1, 0), nil)
+	hi := b.AddDoor("hi", model.StairDoor, geom.Pt(10, 1, 1), nil)
+	b.ConnectBi(lo, h0, sw)
+	b.ConnectBi(hi, sw, h1)
+	v := b.MustBuild()
+	s := FloorSummary(v)
+	if !strings.Contains(s, "floor") || !strings.Contains(s, "0") {
+		t.Errorf("summary: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 { // header + 2 floors
+		t.Errorf("summary lines = %d:\n%s", len(lines), s)
+	}
+}

@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// ATIConfig controls temporal-variation generation (paper Sec. III-1,
+// "Temporal Variations").
+type ATIConfig struct {
+	// CheckpointCount is |T|, the number of distinct open/close instants
+	// from which door ATIs are formed; the paper sweeps 4, 8, 12, 16
+	// (default 8). Must be even and >= 2.
+	CheckpointCount int
+	// MultiATIFraction is the fraction of temporal doors that receive a
+	// split schedule (two ATIs with an afternoon gap, like the paper's
+	// d13). Defaults to 0.2; set negative to disable.
+	MultiATIFraction float64
+	// Seed drives all random choices.
+	Seed int64
+}
+
+func (c ATIConfig) normalised() (ATIConfig, error) {
+	if c.CheckpointCount == 0 {
+		c.CheckpointCount = 8
+	}
+	if c.CheckpointCount < 2 || c.CheckpointCount%2 != 0 {
+		return c, fmt.Errorf("synth: CheckpointCount must be even and >= 2, got %d", c.CheckpointCount)
+	}
+	if c.MultiATIFraction == 0 {
+		c.MultiATIFraction = 0.2
+	}
+	if c.MultiATIFraction < 0 {
+		c.MultiATIFraction = 0
+	}
+	if c.MultiATIFraction > 1 {
+		return c, fmt.Errorf("synth: MultiATIFraction above 1: %v", c.MultiATIFraction)
+	}
+	return c, nil
+}
+
+// DoorClass describes one planned door for ATI assignment, before the
+// venue is built.
+type DoorClass struct {
+	Kind model.DoorKind
+	// ShareKey links doors that must share one schedule (the two doors
+	// of a two-door shop). Doors with the same non-negative key receive
+	// identical ATIs; use -1 for independent doors.
+	ShareKey int
+}
+
+// ATIAssignment is the result of GenerateATIs: the checkpoint set T and
+// one schedule per planned door (nil = always open).
+type ATIAssignment struct {
+	T         temporal.CheckpointSet
+	Opens     []temporal.TimeOfDay // sampled opening instants (half of T)
+	Closes    []temporal.TimeOfDay // sampled closing instants (half of T)
+	Schedules []temporal.Schedule
+}
+
+// GenerateATIs draws the checkpoint set T (|T| sampled open/close
+// instants from the embedded shop-hours pools) and assigns each planned
+// door up to three ATIs formed from instants of T, mirroring the
+// paper's procedure. Public, private and entrance doors vary; virtual
+// and stair doors are structural and stay always open.
+func GenerateATIs(classes []DoorClass, cfg ATIConfig) (*ATIAssignment, error) {
+	cfg, err := cfg.normalised()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := cfg.CheckpointCount / 2
+	if k > len(openPool) {
+		k = len(openPool)
+	}
+	if k > len(closePool) {
+		k = len(closePool)
+	}
+	opens := append([]temporal.TimeOfDay(nil), openPool[:k]...)
+	closes := append([]temporal.TimeOfDay(nil), closePool[:k]...)
+	sort.Slice(opens, func(i, j int) bool { return opens[i] < opens[j] })
+	sort.Slice(closes, func(i, j int) bool { return closes[i] < closes[j] })
+
+	var ts []temporal.TimeOfDay
+	ts = append(ts, opens...)
+	ts = append(ts, closes...)
+	asg := &ATIAssignment{
+		T:         temporal.NewCheckpointSet(ts),
+		Opens:     opens,
+		Closes:    closes,
+		Schedules: make([]temporal.Schedule, len(classes)),
+	}
+
+	shared := map[int]temporal.Schedule{}
+	pick := func(pool []temporal.TimeOfDay) temporal.TimeOfDay {
+		return pool[rng.Intn(len(pool))]
+	}
+	for i, c := range classes {
+		if c.Kind == model.VirtualDoor || c.Kind == model.StairDoor {
+			continue
+		}
+		if c.ShareKey >= 0 {
+			if s, ok := shared[c.ShareKey]; ok {
+				asg.Schedules[i] = s
+				continue
+			}
+		}
+		var sched temporal.Schedule
+		switch {
+		case c.Kind == model.EntranceDoor:
+			// Building entrances follow the widest sampled hours.
+			sched = temporal.MustSchedule(temporal.MustInterval(opens[0], closes[len(closes)-1]))
+		case rng.Float64() < cfg.MultiATIFraction && len(closes) >= 3:
+			// Split schedule like the paper's d13: [o, c_a) ∪ [c_b, c_c)
+			// with c_a < c_b < c_c drawn from the sampled closes.
+			o := pick(opens)
+			idx := rng.Perm(len(closes))[:3]
+			sort.Ints(idx)
+			sched = temporal.MustSchedule(
+				temporal.MustInterval(o, closes[idx[0]]),
+				temporal.MustInterval(closes[idx[1]], closes[idx[2]]),
+			)
+		default:
+			sched = temporal.MustSchedule(temporal.MustInterval(pick(opens), pick(closes)))
+		}
+		asg.Schedules[i] = sched
+		if c.ShareKey >= 0 {
+			shared[c.ShareKey] = sched
+		}
+	}
+	return asg, nil
+}

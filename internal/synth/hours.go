@@ -1,0 +1,54 @@
+// Package synth generates the synthetic evaluation data of Liu et al.
+// (ICDE 2020, Section III): multi-floor mall venues matching the paper's
+// partition/door counts, door ATIs sampled from a pool of realistic
+// shopping-mall opening hours (substituting for the authors' crawl of
+// five Hong Kong malls), and δs2t-controlled query instances. It also
+// ships the hand-encoded venue of the paper's Figure 1 / Table I running
+// example, plus smaller office and hospital presets for the examples.
+//
+// All generation is deterministic given a seed.
+package synth
+
+import "indoorpath/internal/temporal"
+
+// openPool and closePool are the opening and closing instants observed
+// in typical Hong Kong shopping-mall shop hours — the embedded
+// substitute for the paper's crawled dataset. The pools are ordered so
+// that drawing a prefix without replacement yields progressively more
+// diverse hours: small checkpoint sets |T| contain only early openings
+// and late closings (most doors open at any probe time), while larger
+// sets pull in late openers and early closers, closing more doors at
+// off-peak probe times — the behaviour the paper reports in Fig. 4.
+var openPool = []temporal.TimeOfDay{
+	temporal.MustParse("5:00"),
+	temporal.MustParse("6:00"),
+	temporal.MustParse("7:00"),
+	temporal.MustParse("8:30"),
+	temporal.MustParse("9:00"),
+	temporal.MustParse("6:30"),
+	temporal.MustParse("9:30"),
+	temporal.MustParse("7:30"),
+	temporal.MustParse("10:00"),
+	temporal.MustParse("8:00"),
+}
+
+var closePool = []temporal.TimeOfDay{
+	temporal.MustParse("22:00"),
+	temporal.MustParse("21:00"),
+	temporal.MustParse("23:00"),
+	temporal.MustParse("20:00"),
+	temporal.MustParse("21:30"),
+	temporal.MustParse("16:00"),
+	temporal.MustParse("22:30"),
+	temporal.MustParse("18:00"),
+	temporal.MustParse("20:30"),
+	temporal.MustParse("17:00"),
+	temporal.MustParse("23:30"),
+	temporal.MustParse("19:00"),
+}
+
+// HourPools exposes copies of the embedded pools (for docs and tests).
+func HourPools() (opens, closes []temporal.TimeOfDay) {
+	return append([]temporal.TimeOfDay(nil), openPool...),
+		append([]temporal.TimeOfDay(nil), closePool...)
+}

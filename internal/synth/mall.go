@@ -1,0 +1,375 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+)
+
+// Mall layout constants (paper Sec. III-1: each floor is 1368 m x 1368 m
+// with hallways decomposed into regular cells; 141 partitions and 224
+// doors per floor; adjacent floors joined by four staircases with 20 m
+// stairways).
+const (
+	FloorSize     = 1368.0
+	CorridorWidth = 8.0
+	BlocksPerAxis = 4
+	CorridorCount = BlocksPerAxis - 1 // full-span corridors per axis
+	BlockSize     = (FloorSize - CorridorCount*CorridorWidth) / BlocksPerAxis
+	ShopDepth     = 30.0
+	ShopsPerFloor = 108
+	StairwayLen   = 20.0
+	StairsPerGap  = 4
+)
+
+// MallConfig parameterises the synthetic mall generator.
+type MallConfig struct {
+	// Floors is the number of floors; the paper's default is 5.
+	Floors int
+	// PrivateShopsPerFloor marks this many shops per floor as private
+	// partitions (storage/back-of-house). Default 10.
+	PrivateShopsPerFloor int
+	// TwoDoorShopsGround / TwoDoorShopsUpper control how many shops per
+	// floor get a second door. The defaults (76 and 80) together with
+	// 108 shops, 36 virtual doors and 4 ground-floor entrances yield the
+	// paper's exact 224 doors per floor.
+	TwoDoorShopsGround int
+	TwoDoorShopsUpper  int
+	// Seed drives layout randomness (which shops are two-door/private).
+	Seed int64
+	// ATI configures temporal-variation generation.
+	ATI ATIConfig
+}
+
+func (c MallConfig) normalised() (MallConfig, error) {
+	if c.Floors == 0 {
+		c.Floors = 5
+	}
+	if c.Floors < 1 {
+		return c, fmt.Errorf("synth: Floors must be >= 1, got %d", c.Floors)
+	}
+	if c.PrivateShopsPerFloor == 0 {
+		c.PrivateShopsPerFloor = 10
+	}
+	if c.PrivateShopsPerFloor < 0 || c.PrivateShopsPerFloor > ShopsPerFloor {
+		return c, fmt.Errorf("synth: PrivateShopsPerFloor out of range: %d", c.PrivateShopsPerFloor)
+	}
+	if c.TwoDoorShopsGround == 0 {
+		c.TwoDoorShopsGround = 76
+	}
+	if c.TwoDoorShopsUpper == 0 {
+		c.TwoDoorShopsUpper = 80
+	}
+	if c.TwoDoorShopsGround < 0 || c.TwoDoorShopsGround > ShopsPerFloor ||
+		c.TwoDoorShopsUpper < 0 || c.TwoDoorShopsUpper > ShopsPerFloor {
+		return c, fmt.Errorf("synth: two-door shop counts out of range")
+	}
+	if c.ATI.Seed == 0 {
+		c.ATI.Seed = c.Seed + 1
+	}
+	return c, nil
+}
+
+// Mall is a generated venue with the handles the experiment harness
+// needs.
+type Mall struct {
+	Venue *model.Venue
+	ATIs  *ATIAssignment
+	// HallwayCells lists the hallway partitions per floor (intersections
+	// and corridor segments), used by the query generator to place
+	// points.
+	HallwayCells [][]model.PartitionID
+	// PublicShops lists the non-private shop partitions per floor.
+	PublicShops [][]model.PartitionID
+}
+
+// corridorLow returns the low edge coordinate of corridor i (0-based).
+func corridorLow(i int) float64 {
+	return float64(i+1)*BlockSize + float64(i)*CorridorWidth
+}
+
+// blockLow returns the low edge coordinate of block k.
+func blockLow(k int) float64 {
+	return float64(k) * (BlockSize + CorridorWidth)
+}
+
+// doorPlan is a door staged before ATI assignment.
+type doorPlan struct {
+	name     string
+	kind     model.DoorKind
+	pos      geom.Point
+	from, to model.PartitionID
+	oneWay   bool
+	shareKey int
+}
+
+// GenerateMall builds the paper's synthetic venue: per floor 33 hallway
+// cells (9 intersections + 24 corridor segments) and 108 shops = 141
+// partitions, and 224 doors (shop doors, second shop doors, 36 virtual
+// doors, 4 ground-floor entrances); floors joined by 4 staircases per
+// gap with 20 m stairways; ATIs drawn from the embedded hours pool.
+func GenerateMall(cfg MallConfig) (*Mall, error) {
+	cfg, err := cfg.normalised()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := model.NewBuilder(fmt.Sprintf("mall-%dF", cfg.Floors))
+	out := b.Outdoors()
+
+	m := &Mall{
+		HallwayCells: make([][]model.PartitionID, cfg.Floors),
+		PublicShops:  make([][]model.PartitionID, cfg.Floors),
+	}
+	var plans []doorPlan
+	shareKey := 0
+
+	// inter[f][i][j] is intersection cell of vertical corridor i and
+	// horizontal corridor j; hseg[f][j][k] / vseg[f][i][k] are corridor
+	// segment cells.
+	inter := make([][][]model.PartitionID, cfg.Floors)
+	hseg := make([][][]model.PartitionID, cfg.Floors)
+	vseg := make([][][]model.PartitionID, cfg.Floors)
+
+	for f := 0; f < cfg.Floors; f++ {
+		inter[f] = grid2(CorridorCount, CorridorCount)
+		hseg[f] = grid2(CorridorCount, BlocksPerAxis)
+		vseg[f] = grid2(CorridorCount, BlocksPerAxis)
+
+		// Hallway cells.
+		for i := 0; i < CorridorCount; i++ {
+			cx := corridorLow(i)
+			for j := 0; j < CorridorCount; j++ {
+				cy := corridorLow(j)
+				id := b.AddPartition(fmt.Sprintf("f%d-x-%d-%d", f, i, j), model.HallwayPartition,
+					geom.NewRect(cx, cy, cx+CorridorWidth, cy+CorridorWidth, f))
+				inter[f][i][j] = id
+				m.HallwayCells[f] = append(m.HallwayCells[f], id)
+			}
+		}
+		for j := 0; j < CorridorCount; j++ {
+			cy := corridorLow(j)
+			for k := 0; k < BlocksPerAxis; k++ {
+				bx := blockLow(k)
+				id := b.AddPartition(fmt.Sprintf("f%d-h-%d-%d", f, j, k), model.HallwayPartition,
+					geom.NewRect(bx, cy, bx+BlockSize, cy+CorridorWidth, f))
+				hseg[f][j][k] = id
+				m.HallwayCells[f] = append(m.HallwayCells[f], id)
+			}
+		}
+		for i := 0; i < CorridorCount; i++ {
+			cx := corridorLow(i)
+			for k := 0; k < BlocksPerAxis; k++ {
+				by := blockLow(k)
+				id := b.AddPartition(fmt.Sprintf("f%d-v-%d-%d", f, i, k), model.HallwayPartition,
+					geom.NewRect(cx, by, cx+CorridorWidth, by+BlockSize, f))
+				vseg[f][i][k] = id
+				m.HallwayCells[f] = append(m.HallwayCells[f], id)
+			}
+		}
+
+		// Virtual doors: every intersection joins its four neighbouring
+		// segments (9 * 4 = 36 per floor).
+		for i := 0; i < CorridorCount; i++ {
+			cx := corridorLow(i)
+			for j := 0; j < CorridorCount; j++ {
+				cy := corridorLow(j)
+				id := inter[f][i][j]
+				mid := CorridorWidth / 2
+				plans = append(plans,
+					doorPlan{name: fmt.Sprintf("f%d-vd-%d-%d-w", f, i, j), kind: model.VirtualDoor,
+						pos: geom.Pt(cx, cy+mid, f), from: id, to: hseg[f][j][i], shareKey: -1},
+					doorPlan{name: fmt.Sprintf("f%d-vd-%d-%d-e", f, i, j), kind: model.VirtualDoor,
+						pos: geom.Pt(cx+CorridorWidth, cy+mid, f), from: id, to: hseg[f][j][i+1], shareKey: -1},
+					doorPlan{name: fmt.Sprintf("f%d-vd-%d-%d-s", f, i, j), kind: model.VirtualDoor,
+						pos: geom.Pt(cx+mid, cy, f), from: id, to: vseg[f][i][j], shareKey: -1},
+					doorPlan{name: fmt.Sprintf("f%d-vd-%d-%d-n", f, i, j), kind: model.VirtualDoor,
+						pos: geom.Pt(cx+mid, cy+CorridorWidth, f), from: id, to: vseg[f][i][j+1], shareKey: -1},
+				)
+			}
+		}
+
+		// Shops: blocks 0..11 hold 7 shops, 12..15 hold 6 (108 total).
+		twoDoorTarget := cfg.TwoDoorShopsUpper
+		if f == 0 {
+			twoDoorTarget = cfg.TwoDoorShopsGround
+		}
+		twoDoor := pickSet(rng, ShopsPerFloor, twoDoorTarget)
+		private := pickSet(rng, ShopsPerFloor, cfg.PrivateShopsPerFloor)
+		shopIdx := 0
+		for bj := 0; bj < BlocksPerAxis; bj++ {
+			for bi := 0; bi < BlocksPerAxis; bi++ {
+				block := bj*BlocksPerAxis + bi
+				n := 7
+				if block >= 12 {
+					n = 6
+				}
+				// Shops line the block edge facing a horizontal corridor:
+				// the corridor above for rows 0..2, below for row 3.
+				facingUp := bj <= CorridorCount-1
+				var rowY, doorY float64
+				var corridor model.PartitionID
+				if facingUp {
+					doorY = blockLow(bj) + BlockSize
+					rowY = doorY - ShopDepth
+					corridor = hseg[f][bj][bi]
+				} else {
+					doorY = blockLow(bj)
+					rowY = doorY
+					corridor = hseg[f][bj-1][bi]
+				}
+				w := BlockSize / float64(n)
+				bx := blockLow(bi)
+				for s := 0; s < n; s++ {
+					x0 := bx + float64(s)*w
+					kind := model.PublicPartition
+					doorKind := model.PublicDoor
+					if private[shopIdx] {
+						kind = model.PrivatePartition
+						doorKind = model.PrivateDoor
+					}
+					shop := b.AddPartition(fmt.Sprintf("f%d-shop-%d", f, shopIdx), kind,
+						geom.NewRect(x0, rowY, x0+w, rowY+ShopDepth, f))
+					if kind == model.PublicPartition {
+						m.PublicShops[f] = append(m.PublicShops[f], shop)
+					}
+					key := -1
+					if twoDoor[shopIdx] {
+						key = shareKey
+						shareKey++
+					}
+					plans = append(plans, doorPlan{
+						name: fmt.Sprintf("f%d-sd-%d", f, shopIdx), kind: doorKind,
+						pos: geom.Pt(x0+w/2, doorY, f), from: shop, to: corridor, shareKey: key,
+					})
+					if twoDoor[shopIdx] {
+						plans = append(plans, doorPlan{
+							name: fmt.Sprintf("f%d-sd2-%d", f, shopIdx), kind: doorKind,
+							pos: geom.Pt(x0+w/4, doorY, f), from: shop, to: corridor, shareKey: key,
+						})
+					}
+					shopIdx++
+				}
+			}
+		}
+
+		// Ground-floor entrances at the four ends of the middle corridors.
+		if f == 0 {
+			cMid := corridorLow(1) + CorridorWidth/2
+			plans = append(plans,
+				doorPlan{name: "ent-w", kind: model.EntranceDoor, pos: geom.Pt(0, cMid, 0),
+					from: hseg[0][1][0], to: out, shareKey: -1},
+				doorPlan{name: "ent-e", kind: model.EntranceDoor, pos: geom.Pt(FloorSize, cMid, 0),
+					from: hseg[0][1][BlocksPerAxis-1], to: out, shareKey: -1},
+				doorPlan{name: "ent-s", kind: model.EntranceDoor, pos: geom.Pt(cMid, 0, 0),
+					from: vseg[0][1][0], to: out, shareKey: -1},
+				doorPlan{name: "ent-n", kind: model.EntranceDoor, pos: geom.Pt(cMid, FloorSize, 0),
+					from: vseg[0][1][BlocksPerAxis-1], to: out, shareKey: -1},
+			)
+		}
+	}
+
+	// Staircases: four per adjacent-floor pair, anchored at the four
+	// mid-edge intersections, 20 m stairways (distance override).
+	type stairRef struct {
+		part   model.PartitionID
+		lo, hi int // plan indices of the two stair doors
+	}
+	var stairs []stairRef
+	anchors := [][2]int{{1, 0}, {0, 1}, {2, 1}, {1, 2}} // (i, j) intersections
+	for f := 0; f+1 < cfg.Floors; f++ {
+		for s, a := range anchors {
+			cx, cy := corridorLow(a[0]), corridorLow(a[1])
+			sw := b.AddStairwell(fmt.Sprintf("st-%d-f%d", s, f),
+				geom.NewRect(cx-54, cy-54, cx-50, cy-50, f))
+			lo := len(plans)
+			plans = append(plans, doorPlan{
+				name: fmt.Sprintf("st-%d-f%d-lo", s, f), kind: model.StairDoor,
+				pos:  geom.Pt(cx+CorridorWidth/2, cy+CorridorWidth/2, f),
+				from: sw, to: inter[f][a[0]][a[1]], shareKey: -1,
+			})
+			hi := len(plans)
+			plans = append(plans, doorPlan{
+				name: fmt.Sprintf("st-%d-f%d-hi", s, f), kind: model.StairDoor,
+				pos:  geom.Pt(cx+CorridorWidth/2, cy+CorridorWidth/2, f+1),
+				from: sw, to: inter[f+1][a[0]][a[1]], shareKey: -1,
+			})
+			stairs = append(stairs, stairRef{part: sw, lo: lo, hi: hi})
+		}
+	}
+
+	// Assign ATIs, then realise the doors.
+	classes := make([]DoorClass, len(plans))
+	for i, p := range plans {
+		classes[i] = DoorClass{Kind: p.kind, ShareKey: p.shareKey}
+	}
+	asg, err := GenerateATIs(classes, cfg.ATI)
+	if err != nil {
+		return nil, err
+	}
+	doorIDs := make([]model.DoorID, len(plans))
+	for i, p := range plans {
+		id := b.AddDoor(p.name, p.kind, p.pos, asg.Schedules[i])
+		doorIDs[i] = id
+		if p.oneWay {
+			b.ConnectOneWay(id, p.from, p.to)
+		} else {
+			b.ConnectBi(id, p.from, p.to)
+		}
+	}
+	for _, st := range stairs {
+		b.SetDistance(st.part, doorIDs[st.lo], doorIDs[st.hi], StairwayLen)
+	}
+
+	v, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synth: mall build: %w", err)
+	}
+	m.Venue = v
+	m.ATIs = asg
+	return m, nil
+}
+
+// MallCorridorRings returns the corridor network of one mall floor as
+// a region with holes: the floor square as the outer ring and the 16
+// shop blocks as hole rings. Feeding it to decompose.DecomposeWithHoles
+// reproduces the hallway decomposition the generator performs
+// analytically — the full pipeline of the paper's venue preparation.
+func MallCorridorRings(floor int) (outer geom.Polygon, holes []geom.Polygon) {
+	outer = geom.RectPolygon(geom.NewRect(0, 0, FloorSize, FloorSize, floor))
+	for bj := 0; bj < BlocksPerAxis; bj++ {
+		for bi := 0; bi < BlocksPerAxis; bi++ {
+			bx, by := blockLow(bi), blockLow(bj)
+			holes = append(holes, geom.RectPolygon(
+				geom.NewRect(bx, by, bx+BlockSize, by+BlockSize, floor)))
+		}
+	}
+	return outer, holes
+}
+
+// MallCorridorArea returns the analytic corridor area of one floor:
+// the floor square minus the 16 shop blocks.
+func MallCorridorArea() float64 {
+	return FloorSize*FloorSize - float64(BlocksPerAxis*BlocksPerAxis)*BlockSize*BlockSize
+}
+
+// grid2 allocates a rows x cols partition-ID grid.
+func grid2(rows, cols int) [][]model.PartitionID {
+	g := make([][]model.PartitionID, rows)
+	for i := range g {
+		g[i] = make([]model.PartitionID, cols)
+	}
+	return g
+}
+
+// pickSet returns a deterministic random subset of size k of [0, n) as a
+// membership slice.
+func pickSet(rng *rand.Rand, n, k int) []bool {
+	set := make([]bool, n)
+	for _, i := range rng.Perm(n)[:k] {
+		set[i] = true
+	}
+	return set
+}

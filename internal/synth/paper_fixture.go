@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"math"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// PaperExample is the hand-encoded venue of the paper's running example:
+// the floor plan of Figure 1, the IT-Graph of Figure 2, and the door
+// ATIs of Table I. The published facts it reproduces exactly:
+//
+//   - partitions v1..v17 plus outdoors v0; doors d1..d21 with Table I's
+//     ATIs;
+//   - d3 is a one-way door from v3 into v16 (D2P(d3)={v3,v16},
+//     D2P◁(d3)=v3, D2P▷(d3)=v16);
+//   - P2D(v3) = P2D◁(v3) = {d1,d2,d3,d5,d6}, P2D▷(v3) = {d1,d2,d5,d6};
+//   - v1 is private with the single door d1; v15 is private;
+//   - v16's distance matrix has DM(d3,d17)=2, DM(d3,d21)=4,
+//     DM(d17,d21)=5;
+//   - Example 1: the candidate paths (p3,d15,d16,p4) of length 10 m
+//     (through private v15) and (p3,d18,p4) of length 12 m, so
+//     ITSPQ(p3,p4,9:00) = (p3,d18,p4) and ITSPQ(p3,p4,23:30) = null.
+//
+// The full wall geometry is not published; the rectangle coordinates
+// here are a reconstruction chosen to satisfy every stated fact (door
+// positions make the two candidate path lengths exactly 10 and 12).
+type PaperExample struct {
+	Venue *model.Venue
+	// P1..P4 are the query points marked in Figure 1 (p1, p2 are placed
+	// representatively; p3, p4 exactly reproduce Example 1).
+	P1, P2, P3, P4 geom.Point
+}
+
+// ati parses a Table I schedule string.
+func ati(s string) temporal.Schedule {
+	sched, err := temporal.ParseSchedule(s)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// PaperFigure1 builds the running-example venue.
+func PaperFigure1() *PaperExample {
+	b := model.NewBuilder("icde20-figure1")
+
+	part := func(name string, kind model.PartitionKind, x1, y1, x2, y2 float64) model.PartitionID {
+		return b.AddPartition(name, kind, geom.NewRect(x1, y1, x2, y2, 0))
+	}
+	v1 := part("v1", model.PrivatePartition, 0, 30, 10, 40)
+	v2 := part("v2", model.PublicPartition, 10, 30, 20, 40)
+	v3 := part("v3", model.HallwayPartition, 0, 20, 30, 30)
+	v4 := part("v4", model.PublicPartition, 20, 30, 30, 40)
+	v5 := part("v5", model.PublicPartition, 8, 10, 18, 20)
+	v6 := part("v6", model.PublicPartition, 18, 12, 24, 20)
+	v7 := part("v7", model.PublicPartition, 30, 30, 42, 40)
+	v8 := part("v8", model.HallwayPartition, 30, 20, 42, 30)
+	v9 := part("v9", model.PrivatePartition, 42, 20, 54, 30)
+	v10 := part("v10", model.HallwayPartition, 36, 12, 42, 20)
+	v11 := part("v11", model.PublicPartition, 42, 10, 54, 20)
+	v12 := part("v12", model.PublicPartition, 0, 0, 18, 10)
+	v13 := part("v13", model.PublicPartition, 18, 0, 30, 12)
+	v14 := part("v14", model.PublicPartition, 30, 0, 42, 12)
+	v15 := part("v15", model.PrivatePartition, 24, 12, 36, 16)
+	v16 := part("v16", model.PublicPartition, 0, 10, 8, 20)
+	v17 := part("v17", model.PublicPartition, 42, 30, 54, 40)
+	v0 := b.Outdoors()
+
+	door := func(name string, kind model.DoorKind, x, y float64, atis string) model.DoorID {
+		return b.AddDoor(name, kind, geom.Pt(x, y, 0), ati(atis))
+	}
+	// Table I ATIs, verbatim.
+	d1 := door("d1", model.PrivateDoor, 5, 30, "[5:00, 23:00)")
+	d2 := door("d2", model.PublicDoor, 15, 30, "[8:00, 16:00)")
+	d3 := door("d3", model.PublicDoor, 4, 20, "[6:00, 23:00)")
+	d4 := door("d4", model.PublicDoor, 30, 35, "[9:00, 18:00)")
+	d5 := door("d5", model.PublicDoor, 13, 20, "[6:30, 23:00)")
+	d6 := door("d6", model.PublicDoor, 21, 20, "[8:00, 16:00)")
+	d7 := door("d7", model.PrivateDoor, 42, 25, "[6:00, 23:30)")
+	d8 := door("d8", model.PublicDoor, 36, 30, "[9:00, 18:00)")
+	d9 := door("d9", model.PublicDoor, 39, 20, "[0:00, 6:00), [6:30, 23:00)")
+	d10 := door("d10", model.PublicDoor, 42, 16, "[8:00, 16:00)")
+	d11 := door("d11", model.PublicDoor, 39, 12, "[5:00, 23:00)")
+	d12 := door("d12", model.PublicDoor, 18, 5, "[5:00, 23:00)")
+	d13 := door("d13", model.PublicDoor, 21, 12, "[5:00, 17:00), [18:00, 23:00)")
+	d14 := door("d14", model.PrivateDoor, 48, 20, "[0:00, 24:00)")
+	d15 := door("d15", model.PrivateDoor, 26, 12, "[8:00, 16:00)")
+	d16 := door("d16", model.PrivateDoor, 34, 12, "[8:00, 17:00)")
+	d17 := door("d17", model.PublicDoor, 2, 10, "[0:00, 24:00)")
+	// d18 sits on the v13/v14 wall such that both point legs of the
+	// (p3, d18, p4) path are exactly 6 m: total 12 m as in Example 1.
+	d18 := door("d18", model.PublicDoor, 30, 11-2*math.Sqrt(5), "[0:00, 23:00)")
+	d19 := door("d19", model.PublicDoor, 12, 10, "[8:00, 16:00)")
+	d20 := door("d20", model.EntranceDoor, 48, 40, "[5:00, 23:00)")
+	d21 := door("d21", model.PublicDoor, 8, 17, "[8:00, 16:00)")
+
+	b.ConnectBi(d1, v3, v1)
+	b.ConnectBi(d2, v3, v2)
+	b.ConnectOneWay(d3, v3, v16) // door directionality from Figure 1
+	b.ConnectBi(d4, v4, v7)
+	b.ConnectBi(d5, v3, v5)
+	b.ConnectBi(d6, v3, v6)
+	b.ConnectBi(d7, v8, v9)
+	b.ConnectBi(d8, v7, v8)
+	b.ConnectBi(d9, v8, v10)
+	b.ConnectBi(d10, v10, v11)
+	b.ConnectBi(d11, v10, v14)
+	b.ConnectBi(d12, v12, v13)
+	b.ConnectBi(d13, v6, v13)
+	b.ConnectBi(d14, v11, v9)
+	b.ConnectBi(d15, v13, v15)
+	b.ConnectBi(d16, v15, v14)
+	b.ConnectBi(d17, v16, v12)
+	b.ConnectBi(d18, v13, v14)
+	b.ConnectBi(d19, v5, v12)
+	b.ConnectBi(d20, v17, v0)
+	b.ConnectBi(d21, v16, v5)
+
+	// v16's published distance matrix (Figure 2's partition table).
+	b.SetDistance(v16, d3, d17, 2)
+	b.SetDistance(v16, d3, d21, 4)
+	b.SetDistance(v16, d17, d21, 5)
+
+	return &PaperExample{
+		Venue: b.MustBuild(),
+		P1:    geom.Pt(15, 25, 0), // in hallway v3
+		P2:    geom.Pt(36, 25, 0), // in hallway v8
+		P3:    geom.Pt(26, 11, 0), // in v13
+		P4:    geom.Pt(34, 11, 0), // in v14
+	}
+}

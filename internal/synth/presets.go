@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"fmt"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// Hospital builds a single-floor hospital wing: a central corridor, six
+// patient wards that only admit visitors during visiting hours
+// (10:00–12:00 and 14:00–18:00, a split schedule like the paper's d13),
+// a 24 h emergency room, a pharmacy with business hours, and private
+// staff areas that visitors may never traverse.
+//
+// Layout (corridor 60 m x 8 m at y 20..28):
+//
+//	wards w1..w6 above the corridor, staff areas and ER/pharmacy below.
+func Hospital() *model.Venue {
+	b := model.NewBuilder("hospital-wing")
+	visiting := temporal.MustSchedule(
+		temporal.MustInterval(temporal.MustParse("10:00"), temporal.MustParse("12:00")),
+		temporal.MustInterval(temporal.MustParse("14:00"), temporal.MustParse("18:00")),
+	)
+	pharmacyHours := temporal.MustSchedule(
+		temporal.MustInterval(temporal.MustParse("8:00"), temporal.MustParse("20:00")))
+	lobbyHours := temporal.MustSchedule(
+		temporal.MustInterval(temporal.MustParse("5:00"), temporal.MustParse("23:00")))
+
+	corridor := b.AddPartition("corridor", model.HallwayPartition, geom.NewRect(0, 20, 60, 28, 0))
+	lobby := b.AddPartition("lobby", model.HallwayPartition, geom.NewRect(0, 0, 20, 20, 0))
+	er := b.AddPartition("emergency", model.PublicPartition, geom.NewRect(20, 0, 40, 20, 0))
+	pharmacy := b.AddPartition("pharmacy", model.PublicPartition, geom.NewRect(40, 0, 60, 20, 0))
+	staff := b.AddPartition("staff-only", model.PrivatePartition, geom.NewRect(60, 0, 80, 28, 0))
+
+	// Lobby entrance from outdoors.
+	ent := b.AddDoor("main-entrance", model.EntranceDoor, geom.Pt(0, 10, 0), lobbyHours)
+	b.ConnectBi(ent, lobby, b.Outdoors())
+	erEnt := b.AddDoor("er-entrance", model.EntranceDoor, geom.Pt(30, 0, 0), nil) // 24h
+	b.ConnectBi(erEnt, er, b.Outdoors())
+
+	lc := b.AddDoor("lobby-corridor", model.PublicDoor, geom.Pt(10, 20, 0), nil)
+	b.ConnectBi(lc, lobby, corridor)
+	le := b.AddDoor("lobby-er", model.PublicDoor, geom.Pt(20, 10, 0), nil)
+	b.ConnectBi(le, lobby, er)
+	ec := b.AddDoor("er-corridor", model.PublicDoor, geom.Pt(30, 20, 0), nil)
+	b.ConnectBi(ec, er, corridor)
+	pc := b.AddDoor("pharmacy-corridor", model.PublicDoor, geom.Pt(50, 20, 0), pharmacyHours)
+	b.ConnectBi(pc, pharmacy, corridor)
+	ep := b.AddDoor("er-pharmacy", model.PublicDoor, geom.Pt(40, 10, 0), pharmacyHours)
+	b.ConnectBi(ep, er, pharmacy)
+	sc := b.AddDoor("staff-corridor", model.PrivateDoor, geom.Pt(60, 24, 0), nil)
+	b.ConnectBi(sc, staff, corridor)
+	sp := b.AddDoor("staff-pharmacy", model.PrivateDoor, geom.Pt(60, 10, 0), nil)
+	b.ConnectBi(sp, staff, pharmacy)
+
+	for i := 0; i < 6; i++ {
+		x0 := float64(i) * 10
+		ward := b.AddPartition(fmt.Sprintf("ward-%d", i+1), model.PublicPartition,
+			geom.NewRect(x0, 28, x0+10, 40, 0))
+		d := b.AddDoor(fmt.Sprintf("ward-%d-door", i+1), model.PublicDoor,
+			geom.Pt(x0+5, 28, 0), visiting)
+		b.ConnectBi(d, ward, corridor)
+	}
+	return b.MustBuild()
+}
+
+// Office builds a single-floor office: an L-shaped hallway decomposed
+// into two cells, public meeting rooms with core hours, a kitchen, and
+// private offices reachable but never traversable. The front door uses
+// business hours; a one-way fire exit allows leaving at any time.
+func Office() *model.Venue {
+	b := model.NewBuilder("office-floor")
+	core := temporal.MustSchedule(
+		temporal.MustInterval(temporal.MustParse("7:00"), temporal.MustParse("19:00")))
+	business := temporal.MustSchedule(
+		temporal.MustInterval(temporal.MustParse("8:00"), temporal.MustParse("18:00")))
+
+	// L-shaped hallway as two rectangular cells with a virtual door.
+	hallA := b.AddPartition("hall-a", model.HallwayPartition, geom.NewRect(0, 0, 30, 6, 0))
+	hallB := b.AddPartition("hall-b", model.HallwayPartition, geom.NewRect(24, 6, 30, 30, 0))
+	vd := b.AddDoor("hall-join", model.VirtualDoor, geom.Pt(27, 6, 0), nil)
+	b.ConnectBi(vd, hallA, hallB)
+
+	front := b.AddDoor("front-door", model.EntranceDoor, geom.Pt(0, 3, 0), business)
+	b.ConnectBi(front, hallA, b.Outdoors())
+	fire := b.AddDoor("fire-exit", model.PublicDoor, geom.Pt(30, 28, 0), nil)
+	b.ConnectOneWay(fire, hallB, b.Outdoors()) // exit only
+
+	meet1 := b.AddPartition("meeting-1", model.PublicPartition, geom.NewRect(0, 6, 12, 18, 0))
+	meet2 := b.AddPartition("meeting-2", model.PublicPartition, geom.NewRect(12, 6, 24, 18, 0))
+	kitchen := b.AddPartition("kitchen", model.PublicPartition, geom.NewRect(0, 18, 12, 30, 0))
+	office1 := b.AddPartition("office-1", model.PrivatePartition, geom.NewRect(12, 18, 24, 30, 0))
+
+	m1 := b.AddDoor("meeting-1-door", model.PublicDoor, geom.Pt(6, 6, 0), core)
+	b.ConnectBi(m1, meet1, hallA)
+	m2 := b.AddDoor("meeting-2-door", model.PublicDoor, geom.Pt(18, 6, 0), core)
+	b.ConnectBi(m2, meet2, hallA)
+	m12 := b.AddDoor("meeting-passage", model.PublicDoor, geom.Pt(12, 12, 0), core)
+	b.ConnectBi(m12, meet1, meet2)
+	k1 := b.AddDoor("kitchen-door", model.PublicDoor, geom.Pt(12, 24, 0), nil)
+	b.ConnectBi(k1, kitchen, office1) // kitchen reachable via office (private!)
+	k2 := b.AddDoor("kitchen-meeting", model.PublicDoor, geom.Pt(6, 18, 0), core)
+	b.ConnectBi(k2, kitchen, meet1)
+	o1 := b.AddDoor("office-1-door", model.PrivateDoor, geom.Pt(24, 24, 0), core)
+	b.ConnectBi(o1, office1, hallB)
+
+	return b.MustBuild()
+}

@@ -1,0 +1,232 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"indoorpath/internal/dmat"
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/pqueue"
+)
+
+// QueryConfig controls query-instance generation (paper Sec. III-1,
+// "Query Instances"): pick a random start point ps, find a door whose
+// static indoor distance from ps approaches δs2t, then place pt beyond
+// it so that the ps→pt indoor distance approximates δs2t.
+type QueryConfig struct {
+	// S2T is δs2t, the target indoor distance in metres (paper default
+	// 1500; sweeps 1100–1900).
+	S2T float64
+	// Count is the number of instances per setting (paper uses 5).
+	Count int
+	// Tolerance is the accepted relative deviation from S2T (default 5%).
+	Tolerance float64
+	// Seed drives the random choices.
+	Seed int64
+}
+
+func (c QueryConfig) normalised() (QueryConfig, error) {
+	if c.S2T == 0 {
+		c.S2T = 1500
+	}
+	if c.S2T <= 0 {
+		return c, fmt.Errorf("synth: S2T must be positive")
+	}
+	if c.Count == 0 {
+		c.Count = 5
+	}
+	if c.Count < 0 {
+		return c, fmt.Errorf("synth: Count must be positive")
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.05
+	}
+	return c, nil
+}
+
+// QueryInstance is one generated (ps, pt) pair with its static indoor
+// distance.
+type QueryInstance struct {
+	Source, Target geom.Point
+	StaticDist     float64
+}
+
+// GenerateQueries produces Count query instances whose static indoor
+// distance approximates cfg.S2T. Both endpoints land in public
+// partitions (hallway cells or public shops). Deterministic per seed.
+func GenerateQueries(m *Mall, dm *dmat.Set, cfg QueryConfig) ([]QueryInstance, error) {
+	cfg, err := cfg.normalised()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := m.Venue
+	var out []QueryInstance
+	const maxAttempts = 400
+	for attempt := 0; attempt < maxAttempts && len(out) < cfg.Count; attempt++ {
+		// Random start point in a random hallway cell.
+		floor := rng.Intn(len(m.HallwayCells))
+		cells := m.HallwayCells[floor]
+		part := cells[rng.Intn(len(cells))]
+		ps := randomInteriorPoint(rng, v.Partition(part).Rect)
+
+		dist := staticDistances(v, dm, ps, part)
+		// Candidate doors with distance within reach of δs2t (sorted for
+		// deterministic selection; map iteration order is random).
+		var cands []model.DoorID
+		for d, dd := range dist {
+			if dd <= cfg.S2T-10 && dd >= cfg.S2T-150 {
+				cands = append(cands, d)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		d := cands[rng.Intn(len(cands))]
+		remain := cfg.S2T - dist[d]
+		// Place pt beyond d inside one of its enterable partitions.
+		for _, w := range v.EnterParts(d) {
+			p := v.Partition(w)
+			if p.Kind == model.PrivatePartition || p.Kind == model.OutdoorPartition ||
+				p.Kind == model.StairwellPartition {
+				continue
+			}
+			pt, ok := pointAtDistance(rng, p.Rect, v.Door(d).Pos, remain)
+			if !ok {
+				continue
+			}
+			actual := staticPointDistance(v, dm, dist, ps, part, pt, w)
+			if math.Abs(actual-cfg.S2T) <= cfg.Tolerance*cfg.S2T {
+				out = append(out, QueryInstance{Source: ps, Target: pt, StaticDist: actual})
+				break
+			}
+		}
+	}
+	if len(out) < cfg.Count {
+		return out, fmt.Errorf("synth: generated only %d of %d query instances for δs2t=%.0f",
+			len(out), cfg.Count, cfg.S2T)
+	}
+	return out, nil
+}
+
+// randomInteriorPoint samples a point strictly inside the rectangle.
+func randomInteriorPoint(rng *rand.Rand, r geom.Rect) geom.Point {
+	margin := math.Min(r.Width(), r.Height()) * 0.1
+	return geom.Pt(
+		r.MinX+margin+rng.Float64()*(r.Width()-2*margin),
+		r.MinY+margin+rng.Float64()*(r.Height()-2*margin),
+		r.Floor,
+	)
+}
+
+// pointAtDistance finds a point inside rect at (approximately) the given
+// Euclidean distance from anchor. ok is false when the rectangle cannot
+// host such a point.
+func pointAtDistance(rng *rand.Rand, r geom.Rect, anchor geom.Point, dist float64) (geom.Point, bool) {
+	if dist < 0 {
+		return geom.Point{}, false
+	}
+	for tries := 0; tries < 32; tries++ {
+		ang := rng.Float64() * 2 * math.Pi
+		p := geom.Pt(anchor.X+dist*math.Cos(ang), anchor.Y+dist*math.Sin(ang), r.Floor)
+		if r.ContainsXY(p.X, p.Y) {
+			return p, true
+		}
+	}
+	// Fall back to the point toward the rect centre at that distance.
+	c := r.Center()
+	d := anchor.DistXY(c)
+	if d == 0 {
+		return c, dist < math.Hypot(r.Width(), r.Height())/2
+	}
+	f := dist / d
+	p := geom.Pt(anchor.X+(c.X-anchor.X)*f, anchor.Y+(c.Y-anchor.Y)*f, r.Floor)
+	if r.ContainsXY(p.X, p.Y) {
+		return p, true
+	}
+	return geom.Point{}, false
+}
+
+// staticDistances runs a temporal-unaware door Dijkstra from point ps in
+// partition srcPart, honouring directionality and privacy. It returns
+// the static indoor distance from ps to every reachable door.
+func staticDistances(v *model.Venue, dm *dmat.Set, ps geom.Point, srcPart model.PartitionID) map[model.DoorID]float64 {
+	dist := map[model.DoorID]float64{}
+	prevPart := map[model.DoorID]model.PartitionID{}
+	settled := map[model.DoorID]bool{}
+	h := pqueue.New(64)
+
+	// Exact door-graph Dijkstra: a partition is relaxed from every
+	// settled door entering it (doors settle once, so this terminates).
+	expand := func(w model.PartitionID, anchor model.DoorID, base float64) {
+		for _, dj := range v.LeaveDoors(w) {
+			if settled[dj] {
+				continue
+			}
+			var leg float64
+			if anchor == model.NoDoor {
+				leg = dm.PointToDoor(w, ps, dj)
+			} else {
+				leg = dm.Dist(w, anchor, dj)
+			}
+			if math.IsInf(leg, 1) {
+				continue
+			}
+			cand := base + leg
+			if old, seen := dist[dj]; !seen || cand < old {
+				dist[dj] = cand
+				prevPart[dj] = w
+				h.Push(int32(dj), cand)
+			}
+		}
+	}
+	expand(srcPart, model.NoDoor, 0)
+	for {
+		item, ok := h.Pop()
+		if !ok {
+			break
+		}
+		d := model.DoorID(item.Key)
+		if settled[d] {
+			continue
+		}
+		settled[d] = true
+		for _, w := range v.NextPartitions(d, prevPart[d]) {
+			p := v.Partition(w)
+			if p.Kind == model.PrivatePartition || p.Kind == model.OutdoorPartition {
+				continue
+			}
+			expand(w, d, dist[d])
+		}
+	}
+	return dist
+}
+
+// staticPointDistance resolves the static indoor distance from ps to pt
+// given the door-distance map from ps.
+func staticPointDistance(v *model.Venue, dm *dmat.Set, dist map[model.DoorID]float64,
+	ps geom.Point, srcPart model.PartitionID, pt geom.Point, tgtPart model.PartitionID) float64 {
+
+	best := math.Inf(1)
+	if srcPart == tgtPart {
+		best = dm.PointToPoint(srcPart, ps, pt)
+	}
+	for _, e := range v.EnterDoors(tgtPart) {
+		dd, ok := dist[e]
+		if !ok {
+			continue
+		}
+		leg := dm.PointToDoor(tgtPart, pt, e)
+		if math.IsInf(leg, 1) {
+			continue
+		}
+		if t := dd + leg; t < best {
+			best = t
+		}
+	}
+	return best
+}

@@ -1,0 +1,409 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/dmat"
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+func TestGenerateMallPaperCounts(t *testing.T) {
+	m, err := GenerateMall(MallConfig{Floors: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Venue.Stats()
+	// Paper Sec. III-1: 141 partitions and 224 doors per floor; the
+	// 5-floor space has 705 partitions and 1120 doors (staircases and
+	// outdoors are bookkept separately).
+	if st.FloorPartitions != 705 {
+		t.Errorf("floor partitions = %d, want 705", st.FloorPartitions)
+	}
+	if st.FloorDoors != 1120 {
+		t.Errorf("floor doors = %d, want 1120", st.FloorDoors)
+	}
+	if st.StairwellParts != 16 { // 4 staircases x 4 floor gaps
+		t.Errorf("stairwells = %d, want 16", st.StairwellParts)
+	}
+	if st.StairDoors != 32 {
+		t.Errorf("stair doors = %d, want 32", st.StairDoors)
+	}
+	if st.Floors != 5 {
+		t.Errorf("floors = %d", st.Floors)
+	}
+	if st.VirtualDoors != 36*5 {
+		t.Errorf("virtual doors = %d, want 180", st.VirtualDoors)
+	}
+	if st.EntranceDoors != 4 {
+		t.Errorf("entrances = %d, want 4", st.EntranceDoors)
+	}
+	if st.PrivateParts != 10*5 {
+		t.Errorf("private shops = %d, want 50", st.PrivateParts)
+	}
+}
+
+func TestGenerateMallSingleFloorCounts(t *testing.T) {
+	m, err := GenerateMall(MallConfig{Floors: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Venue.Stats()
+	if st.FloorPartitions != 141 {
+		t.Errorf("floor partitions = %d, want 141", st.FloorPartitions)
+	}
+	if st.FloorDoors != 224 {
+		t.Errorf("floor doors = %d, want 224", st.FloorDoors)
+	}
+	if st.StairwellParts != 0 || st.StairDoors != 0 {
+		t.Error("single floor must have no stairs")
+	}
+}
+
+func TestMallDeterminism(t *testing.T) {
+	a, err := GenerateMall(MallConfig{Floors: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMall(MallConfig{Floors: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Venue.Stats() != b.Venue.Stats() {
+		t.Fatal("same seed must give identical stats")
+	}
+	for i := range a.Venue.Doors() {
+		da, db := a.Venue.Doors()[i], b.Venue.Doors()[i]
+		if da.Name != db.Name || da.ATIs.String() != db.ATIs.String() {
+			t.Fatalf("door %d differs: %s %v vs %s %v", i, da.Name, da.ATIs, db.Name, db.ATIs)
+		}
+	}
+	c, err := GenerateMall(MallConfig{Floors: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range a.Venue.Doors() {
+		if a.Venue.Doors()[i].ATIs.String() != c.Venue.Doors()[i].ATIs.String() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should differ somewhere")
+	}
+}
+
+func TestMallTopologyHealthy(t *testing.T) {
+	m, err := GenerateMall(MallConfig{Floors: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.Venue
+	// Every non-outdoor partition reachable from a hallway cell of
+	// floor 0 when all doors are treated open (static connectivity).
+	start := m.HallwayCells[0][0]
+	seen := map[model.PartitionID]bool{start: true}
+	stack := []model.PartitionID{start}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range v.DoorsOf(p) {
+			for _, n := range v.NextPartitions(d, p) {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+	}
+	for _, p := range v.Partitions() {
+		if p.Kind == model.OutdoorPartition {
+			continue
+		}
+		if !seen[p.ID] {
+			t.Fatalf("partition %s unreachable", p.Name)
+		}
+	}
+	// Snapshot of noon: venue should be almost fully open.
+	noonOpen := v.OpenDoorCount(temporal.MustParse("12:00"))
+	if noonOpen != v.DoorCount() {
+		t.Errorf("open at noon = %d of %d; generator must keep noon fully open",
+			noonOpen, v.DoorCount())
+	}
+	// At 4:00 only structural doors (virtual + stairs) remain open.
+	nightOpen := v.OpenDoorCount(temporal.MustParse("4:00"))
+	st := v.Stats()
+	if nightOpen != st.VirtualDoors+st.StairDoors {
+		t.Errorf("open at 4:00 = %d, want %d structural doors",
+			nightOpen, st.VirtualDoors+st.StairDoors)
+	}
+}
+
+func TestMallCheckpointSweep(t *testing.T) {
+	for _, tSize := range []int{4, 8, 12, 16} {
+		m, err := GenerateMall(MallConfig{Floors: 1, Seed: 4, ATI: ATIConfig{CheckpointCount: tSize, Seed: 5}})
+		if err != nil {
+			t.Fatalf("|T|=%d: %v", tSize, err)
+		}
+		if got := m.ATIs.T.Len(); got != tSize {
+			t.Errorf("|T| = %d, want %d", got, tSize)
+		}
+		if got := m.Venue.Checkpoints().Len(); got > tSize {
+			t.Errorf("venue checkpoints %d exceed |T|=%d", got, tSize)
+		}
+		// More checkpoints => more doors closed at 8:00 (paper Fig. 4
+		// trend), monotone by pool ordering.
+		open8 := m.Venue.OpenDoorCount(temporal.MustParse("8:00"))
+		open12 := m.Venue.OpenDoorCount(temporal.MustParse("12:00"))
+		if open8 > open12 {
+			t.Errorf("|T|=%d: more doors open at 8:00 (%d) than noon (%d)", tSize, open8, open12)
+		}
+	}
+	// Trend check across |T| at t=8:00.
+	var opens []int
+	for _, tSize := range []int{4, 8, 12, 16} {
+		m, err := GenerateMall(MallConfig{Floors: 1, Seed: 4, ATI: ATIConfig{CheckpointCount: tSize, Seed: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opens = append(opens, m.Venue.OpenDoorCount(temporal.MustParse("8:00")))
+	}
+	for i := 1; i < len(opens); i++ {
+		if opens[i] > opens[i-1] {
+			t.Errorf("open doors at 8:00 should not increase with |T|: %v", opens)
+		}
+	}
+}
+
+func TestGenerateATIsErrors(t *testing.T) {
+	if _, err := GenerateATIs(nil, ATIConfig{CheckpointCount: 3}); err == nil {
+		t.Error("odd checkpoint count must fail")
+	}
+	if _, err := GenerateATIs(nil, ATIConfig{MultiATIFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 must fail")
+	}
+	// Virtual and stair doors stay always open (nil schedule).
+	asg, err := GenerateATIs([]DoorClass{
+		{Kind: model.VirtualDoor, ShareKey: -1},
+		{Kind: model.StairDoor, ShareKey: -1},
+		{Kind: model.PublicDoor, ShareKey: -1},
+	}, ATIConfig{CheckpointCount: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Schedules[0] != nil || asg.Schedules[1] != nil {
+		t.Error("structural doors must have nil schedules")
+	}
+	if asg.Schedules[2] == nil {
+		t.Error("public door must be temporal")
+	}
+}
+
+func TestSharedSchedules(t *testing.T) {
+	classes := []DoorClass{
+		{Kind: model.PublicDoor, ShareKey: 7},
+		{Kind: model.PublicDoor, ShareKey: 7},
+		{Kind: model.PublicDoor, ShareKey: -1},
+	}
+	asg, err := GenerateATIs(classes, ATIConfig{CheckpointCount: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Schedules[0].String() != asg.Schedules[1].String() {
+		t.Error("shared keys must share schedules")
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	m, err := GenerateMall(MallConfig{Floors: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := dmat.Build(m.Venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s2t := range []float64{1100, 1500, 1900} {
+		qs, err := GenerateQueries(m, dm, QueryConfig{S2T: s2t, Count: 5, Seed: 13})
+		if err != nil {
+			t.Fatalf("δs2t=%v: %v", s2t, err)
+		}
+		if len(qs) != 5 {
+			t.Fatalf("δs2t=%v: got %d instances", s2t, len(qs))
+		}
+		for i, q := range qs {
+			if rel := math.Abs(q.StaticDist-s2t) / s2t; rel > 0.05 {
+				t.Errorf("δs2t=%v instance %d: static dist %v deviates %.1f%%",
+					s2t, i, q.StaticDist, rel*100)
+			}
+			if _, ok := m.Venue.Locate(q.Source); !ok {
+				t.Errorf("instance %d: source not indoor", i)
+			}
+			if _, ok := m.Venue.Locate(q.Target); !ok {
+				t.Errorf("instance %d: target not indoor", i)
+			}
+		}
+	}
+	// Determinism.
+	a, err := GenerateQueries(m, dm, QueryConfig{S2T: 1500, Count: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateQueries(m, dm, QueryConfig{S2T: 1500, Count: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("query generation must be deterministic")
+		}
+	}
+}
+
+func TestQueryConfigErrors(t *testing.T) {
+	m, err := GenerateMall(MallConfig{Floors: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := dmat.Build(m.Venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateQueries(m, dm, QueryConfig{S2T: -5}); err == nil {
+		t.Error("negative S2T must fail")
+	}
+	if _, err := GenerateQueries(m, dm, QueryConfig{Count: -1}); err == nil {
+		t.Error("negative count must fail")
+	}
+}
+
+func TestMallConfigErrors(t *testing.T) {
+	if _, err := GenerateMall(MallConfig{Floors: -1}); err == nil {
+		t.Error("negative floors must fail")
+	}
+	if _, err := GenerateMall(MallConfig{PrivateShopsPerFloor: 109}); err == nil {
+		t.Error("too many private shops must fail")
+	}
+	if _, err := GenerateMall(MallConfig{TwoDoorShopsGround: 200}); err == nil {
+		t.Error("too many two-door shops must fail")
+	}
+	if _, err := GenerateMall(MallConfig{ATI: ATIConfig{CheckpointCount: 5}}); err == nil {
+		t.Error("odd |T| must fail")
+	}
+}
+
+func TestHourPools(t *testing.T) {
+	opens, closes := HourPools()
+	if len(opens) < 8 || len(closes) < 8 {
+		t.Fatal("pools too small for |T|=16")
+	}
+	for _, o := range opens {
+		if o < temporal.MustParse("5:00") || o > temporal.MustParse("10:00") {
+			t.Errorf("open %v outside 5:00–10:00", o)
+		}
+	}
+	for _, c := range closes {
+		if c < temporal.MustParse("16:00") || c > temporal.MustParse("23:30") {
+			t.Errorf("close %v outside 16:00–23:30", c)
+		}
+	}
+}
+
+func TestCrossFloorRouting(t *testing.T) {
+	m, err := GenerateMall(MallConfig{Floors: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := itgraph.MustNew(m.Venue)
+	e := core.NewEngine(g, core.Options{Method: core.MethodAsyn})
+	// Hallway point on floor 0 to hallway point on floor 2: the path
+	// must cross at least four stair doors (two flights).
+	src := m.Venue.Partition(m.HallwayCells[0][0]).Rect.Center()
+	tgt := m.Venue.Partition(m.HallwayCells[2][0]).Rect.Center()
+	q := core.Query{Source: src, Target: tgt, At: temporal.MustParse("12:00")}
+	p, _, err := e.Route(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stairDoors := 0
+	for _, d := range p.Doors {
+		if m.Venue.Door(d).Kind == model.StairDoor {
+			stairDoors++
+		}
+	}
+	if stairDoors < 4 {
+		t.Errorf("cross-floor path uses %d stair doors, want >= 4 (%s)", stairDoors, p.Format(m.Venue))
+	}
+	if err := p.Validate(g, q); err != nil {
+		t.Error(err)
+	}
+	// Each stairway contributes its 20 m override to the length.
+	if p.Length < 2*StairwayLen {
+		t.Errorf("cross-floor length %v shorter than two stairways", p.Length)
+	}
+	// Floors sequence is monotone 0→1→2 along the partition path.
+	lastFloor := 0
+	for _, part := range p.Partitions {
+		f := m.Venue.Partition(part).Rect.Floor
+		if f < lastFloor {
+			t.Errorf("path descends from floor %d to %d", lastFloor, f)
+		}
+		if f > lastFloor {
+			lastFloor = f
+		}
+	}
+	if lastFloor != 2 {
+		t.Errorf("path tops out at floor %d", lastFloor)
+	}
+}
+
+func TestGeneratedVenuesLint(t *testing.T) {
+	m, err := GenerateMall(MallConfig{Floors: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	venues := map[string]*model.Venue{
+		"mall":     m.Venue,
+		"hospital": Hospital(),
+		"office":   Office(),
+		"paper":    PaperFigure1().Venue,
+	}
+	for name, v := range venues {
+		for _, p := range v.Lint() {
+			if p.Severity == "error" {
+				t.Errorf("%s: %s", name, p)
+			}
+			// Warnings are acceptable only where expected: the paper
+			// fixture's v17 connects solely through outdoors.
+			if p.Severity == "warn" && name != "paper" {
+				t.Errorf("%s: unexpected %s", name, p)
+			}
+		}
+	}
+}
+
+func TestPresetsBuild(t *testing.T) {
+	h := Hospital()
+	if h.PartitionCount() < 10 || h.DoorCount() < 10 {
+		t.Errorf("hospital too small: %d/%d", h.PartitionCount(), h.DoorCount())
+	}
+	if _, ok := h.PartitionByName("staff-only"); !ok {
+		t.Error("hospital staff area missing")
+	}
+	o := Office()
+	if _, ok := o.DoorByName("fire-exit"); !ok {
+		t.Error("office fire exit missing")
+	}
+	fe, _ := o.DoorByName("fire-exit")
+	if o.Door(fe).Bidirectional() {
+		t.Error("fire exit must be one-way")
+	}
+	st := h.Stats()
+	if st.MultiATIDoors == 0 {
+		t.Error("hospital wards should have split visiting hours")
+	}
+}

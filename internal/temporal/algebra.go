@@ -1,0 +1,81 @@
+package temporal
+
+// Schedule algebra: union, intersection and complement of ATI lists,
+// all in normal form. These compose what-if schedules (e.g. a lockdown
+// is the intersection of a door's hours with an allowed window) and
+// support schedule analysis in tooling.
+
+// Union returns the instants open under s or o.
+func (s Schedule) Union(o Schedule) Schedule {
+	merged := make([]Interval, 0, len(s)+len(o))
+	merged = append(merged, s...)
+	merged = append(merged, o...)
+	out, err := NewSchedule(merged...)
+	if err != nil {
+		// Inputs in normal form cannot produce invalid intervals.
+		panic("temporal: union of normal schedules failed: " + err.Error())
+	}
+	return out
+}
+
+// Intersect returns the instants open under both s and o.
+func (s Schedule) Intersect(o Schedule) Schedule {
+	var out Schedule
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		a, b := s[i], o[j]
+		lo := a.Open
+		if b.Open > lo {
+			lo = b.Open
+		}
+		hi := a.Close
+		if b.Close < hi {
+			hi = b.Close
+		}
+		if lo < hi {
+			out = append(out, Interval{Open: lo, Close: hi})
+		}
+		if a.Close < b.Close {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Invert returns the complement within the day: the instants at which
+// the schedule is closed.
+func (s Schedule) Invert() Schedule {
+	var out Schedule
+	cursor := TimeOfDay(0)
+	for _, iv := range s {
+		if iv.Open > cursor {
+			out = append(out, Interval{Open: cursor, Close: iv.Open})
+		}
+		cursor = iv.Close
+	}
+	if cursor < DaySeconds {
+		out = append(out, Interval{Open: cursor, Close: DaySeconds})
+	}
+	return out
+}
+
+// Subtract returns the instants open under s but not under o.
+func (s Schedule) Subtract(o Schedule) Schedule {
+	return s.Intersect(o.Invert())
+}
+
+// Equal reports whether two schedules cover exactly the same instants
+// (both must be in normal form, as produced by NewSchedule).
+func (s Schedule) Equal(o Schedule) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mkSched(t *testing.T, pairs ...[2]string) Schedule {
+	t.Helper()
+	var ivs []Interval
+	for _, p := range pairs {
+		ivs = append(ivs, MustInterval(MustParse(p[0]), MustParse(p[1])))
+	}
+	return MustSchedule(ivs...)
+}
+
+func TestUnion(t *testing.T) {
+	a := mkSched(t, [2]string{"8:00", "12:00"})
+	b := mkSched(t, [2]string{"10:00", "16:00"}, [2]string{"20:00", "22:00"})
+	u := a.Union(b)
+	want := mkSched(t, [2]string{"8:00", "16:00"}, [2]string{"20:00", "22:00"})
+	if !u.Equal(want) {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	if !a.Union(nil).Equal(a) {
+		t.Error("union with empty must be identity")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := mkSched(t, [2]string{"8:00", "12:00"}, [2]string{"14:00", "18:00"})
+	b := mkSched(t, [2]string{"10:00", "16:00"})
+	got := a.Intersect(b)
+	want := mkSched(t, [2]string{"10:00", "12:00"}, [2]string{"14:00", "16:00"})
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if len(a.Intersect(nil)) != 0 {
+		t.Error("intersect with empty must be empty")
+	}
+	disjoint := mkSched(t, [2]string{"0:00", "1:00"})
+	if len(a.Intersect(disjoint)) != 0 {
+		t.Error("disjoint intersect must be empty")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := mkSched(t, [2]string{"8:00", "12:00"}, [2]string{"14:00", "18:00"})
+	inv := a.Invert()
+	want := mkSched(t, [2]string{"0:00", "8:00"}, [2]string{"12:00", "14:00"}, [2]string{"18:00", "24:00"})
+	if !inv.Equal(want) {
+		t.Errorf("Invert = %v, want %v", inv, want)
+	}
+	if got := AlwaysOpen().Invert(); len(got) != 0 {
+		t.Errorf("invert of always-open = %v", got)
+	}
+	var empty Schedule
+	if !empty.Invert().Equal(AlwaysOpen()) {
+		t.Error("invert of empty must be always-open")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := mkSched(t, [2]string{"8:00", "18:00"})
+	b := mkSched(t, [2]string{"12:00", "13:00"})
+	got := a.Subtract(b)
+	want := mkSched(t, [2]string{"8:00", "12:00"}, [2]string{"13:00", "18:00"})
+	if !got.Equal(want) {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mkSched(t, [2]string{"8:00", "12:00"})
+	b := mkSched(t, [2]string{"8:00", "12:00"})
+	c := mkSched(t, [2]string{"8:00", "12:01"})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(nil) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+// randomSchedule builds a normalised schedule from random minutes.
+func randomSchedule(rng *rand.Rand) Schedule {
+	n := rng.Intn(4)
+	var ivs []Interval
+	for i := 0; i < n; i++ {
+		a := TimeOfDay(rng.Intn(1380)) * 60
+		b := a + TimeOfDay(1+rng.Intn(300))*60
+		if b > DaySeconds {
+			b = DaySeconds
+		}
+		ivs = append(ivs, Interval{Open: a, Close: b})
+	}
+	s, err := NewSchedule(ivs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestAlgebraPointwiseProperty: all operators agree with pointwise
+// boolean logic at random probe instants.
+func TestAlgebraPointwiseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomSchedule(rng), randomSchedule(rng)
+		u, x, inv, sub := a.Union(b), a.Intersect(b), a.Invert(), a.Subtract(b)
+		if !u.IsNormal() || !x.IsNormal() || !inv.IsNormal() || !sub.IsNormal() {
+			t.Fatalf("trial %d: result not normal", trial)
+		}
+		for probe := 0; probe < 60; probe++ {
+			at := TimeOfDay(rng.Float64() * 86400)
+			pa, pb := a.Contains(at), b.Contains(at)
+			if got := u.Contains(at); got != (pa || pb) {
+				t.Fatalf("trial %d: union(%v) = %v, want %v (a=%v b=%v)", trial, at, got, pa || pb, a, b)
+			}
+			if got := x.Contains(at); got != (pa && pb) {
+				t.Fatalf("trial %d: intersect(%v) = %v, want %v", trial, at, got, pa && pb)
+			}
+			if got := inv.Contains(at); got != !pa {
+				t.Fatalf("trial %d: invert(%v) = %v, want %v", trial, at, got, !pa)
+			}
+			if got := sub.Contains(at); got != (pa && !pb) {
+				t.Fatalf("trial %d: subtract(%v) = %v, want %v", trial, at, got, pa && !pb)
+			}
+		}
+		// De Morgan: ¬(a ∪ b) == ¬a ∩ ¬b.
+		if !u.Invert().Equal(a.Invert().Intersect(b.Invert())) {
+			t.Fatalf("trial %d: De Morgan violated", trial)
+		}
+		// Double inversion is identity.
+		if !a.Invert().Invert().Equal(a) {
+			t.Fatalf("trial %d: double inversion broke %v", trial, a)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package temporal
+
+import (
+	"testing"
+)
+
+// FuzzParse: Parse must never panic, and accepted inputs must survive a
+// format/parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"8:00", "23:59", "0:00", "24:00", "6:30:15", "9", "", ":", "::",
+		"25:00", "-1:00", "8:60", "08:00", " 12:00 ", "1:2:3:4", "x:y",
+		"999999999999:00", "8:-5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !got.Valid() {
+			t.Fatalf("Parse(%q) accepted out-of-range %v", s, got)
+		}
+		// Round trip through the canonical rendering.
+		again, err := Parse(got.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, got.String(), err)
+		}
+		if again != got {
+			t.Fatalf("round trip %q -> %v -> %v", s, got, again)
+		}
+	})
+}
+
+// FuzzParseSchedule: ParseSchedule must never panic; accepted schedules
+// must be normal and round-trip through String.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"[8:00, 16:00)", "〈[0:00, 6:00), [6:30, 23:00)〉", "8:00-16:00",
+		"", "〈〉", "[)", "[8:00,", "[8:00, 7:00)", "[8:00, 16:00), [12:00, 20:00)",
+		"<[1:00, 2:00)>", "junk", "[a, b)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			return
+		}
+		if !sched.IsNormal() {
+			t.Fatalf("ParseSchedule(%q) = %v not normal", s, sched)
+		}
+		again, err := ParseSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("schedule %v does not re-parse: %v", sched, err)
+		}
+		if !again.Equal(sched) {
+			t.Fatalf("round trip %q -> %v -> %v", s, sched, again)
+		}
+	})
+}
+
+func BenchmarkScheduleContains(b *testing.B) {
+	s := MustSchedule(
+		MustInterval(Clock(0, 0, 0), Clock(6, 0, 0)),
+		MustInterval(Clock(6, 30, 0), Clock(12, 0, 0)),
+		MustInterval(Clock(13, 0, 0), Clock(23, 0, 0)),
+	)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if s.Contains(TimeOfDay(i % 86400)) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkCheckpointSlotOf(b *testing.B) {
+	cs := NewCheckpointSet([]TimeOfDay{
+		Clock(5, 0, 0), Clock(6, 0, 0), Clock(7, 0, 0), Clock(8, 30, 0),
+		Clock(20, 0, 0), Clock(21, 0, 0), Clock(22, 0, 0), Clock(23, 0, 0),
+	})
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += cs.SlotOf(TimeOfDay(i % 86400))
+	}
+	_ = n
+}

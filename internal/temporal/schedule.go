@@ -1,0 +1,186 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schedule is a door's list of ATIs, kept sorted by opening time with no
+// overlapping or abutting intervals (normal form). The zero value is the
+// always-closed schedule. Use AlwaysOpen for doors without temporal
+// variation.
+type Schedule []Interval
+
+// AlwaysOpen is the ATI list <[0:00, 24:00)> of a door with no temporal
+// variation.
+func AlwaysOpen() Schedule {
+	return Schedule{{Open: 0, Close: DaySeconds}}
+}
+
+// NewSchedule normalises the given intervals: it sorts them, merges
+// overlapping or abutting ones, and validates bounds.
+func NewSchedule(ivs ...Interval) (Schedule, error) {
+	for _, iv := range ivs {
+		if _, err := NewInterval(iv.Open, iv.Close); err != nil {
+			return nil, err
+		}
+	}
+	s := make(Schedule, len(ivs))
+	copy(s, ivs)
+	sort.Slice(s, func(i, j int) bool { return s[i].Open < s[j].Open })
+	out := s[:0]
+	for _, iv := range s {
+		if n := len(out); n > 0 && iv.Open <= out[n-1].Close {
+			if iv.Close > out[n-1].Close {
+				out[n-1].Close = iv.Close
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out, nil
+}
+
+// MustSchedule is NewSchedule that panics on error.
+func MustSchedule(ivs ...Interval) Schedule {
+	s, err := NewSchedule(ivs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseSchedule reads the paper's notation for ATI lists, e.g.
+// "[0:00, 6:00), [6:30, 23:00)" (angle brackets optional).
+func ParseSchedule(s string) (Schedule, error) {
+	raw := strings.TrimSpace(s)
+	raw = strings.TrimPrefix(raw, "〈")
+	raw = strings.TrimSuffix(raw, "〉")
+	raw = strings.TrimPrefix(raw, "<")
+	raw = strings.TrimSuffix(raw, ">")
+	if strings.TrimSpace(raw) == "" {
+		return Schedule{}, nil
+	}
+	var ivs []Interval
+	for _, part := range strings.Split(raw, ")") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), ","))
+		if part == "" {
+			continue
+		}
+		iv, err := ParseInterval(part + ")")
+		if err != nil {
+			return nil, fmt.Errorf("temporal: schedule %q: %v", s, err)
+		}
+		ivs = append(ivs, iv)
+	}
+	return NewSchedule(ivs...)
+}
+
+// IsNormal reports whether s is sorted with strictly separated intervals;
+// all schedules built through NewSchedule satisfy it.
+func (s Schedule) IsNormal() bool {
+	for i, iv := range s {
+		if iv.Open >= iv.Close || !iv.Open.Valid() || !iv.Close.Valid() {
+			return false
+		}
+		if i > 0 && s[i-1].Close >= iv.Open {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the door is open at instant t (t taken modulo
+// 24 h). Binary search over the normal form.
+func (s Schedule) Contains(t TimeOfDay) bool {
+	t = t.Mod()
+	i := sort.Search(len(s), func(i int) bool { return s[i].Close > t })
+	return i < len(s) && s[i].Open <= t
+}
+
+// NextBoundary returns the earliest schedule boundary (open or close
+// instant) strictly after t within the same day, and ok=false when no
+// boundary remains before midnight.
+func (s Schedule) NextBoundary(t TimeOfDay) (TimeOfDay, bool) {
+	t = t.Mod()
+	best := DaySeconds + 1
+	for _, iv := range s {
+		if iv.Open > t && iv.Open < best {
+			best = iv.Open
+		}
+		if iv.Close > t && iv.Close < best {
+			best = iv.Close
+		}
+		if iv.Open > t {
+			break // sorted: later intervals only move boundaries right
+		}
+	}
+	if best > DaySeconds {
+		return 0, false
+	}
+	return best, true
+}
+
+// NextOpening returns the earliest instant >= t at which the door is
+// open, with ok=false when it never opens again before midnight. Used by
+// the waiting-allowed routing extension.
+func (s Schedule) NextOpening(t TimeOfDay) (TimeOfDay, bool) {
+	t = t.Mod()
+	for _, iv := range s {
+		if iv.Close <= t {
+			continue
+		}
+		if iv.Open <= t {
+			return t, true
+		}
+		return iv.Open, true
+	}
+	return 0, false
+}
+
+// TotalOpen returns the total open duration per day.
+func (s Schedule) TotalOpen() TimeOfDay {
+	var sum TimeOfDay
+	for _, iv := range s {
+		sum += iv.Duration()
+	}
+	return sum
+}
+
+// AlwaysOpenAllDay reports whether the schedule is exactly [0:00, 24:00).
+func (s Schedule) AlwaysOpenAllDay() bool {
+	return len(s) == 1 && s[0].Open == 0 && s[0].Close == DaySeconds
+}
+
+// Boundaries appends every open/close instant to dst and returns it;
+// 0:00 and 24:00 are included when present, since they are genuine
+// topology checkpoints for Graph_Update.
+func (s Schedule) Boundaries(dst []TimeOfDay) []TimeOfDay {
+	for _, iv := range s {
+		dst = append(dst, iv.Open, iv.Close)
+	}
+	return dst
+}
+
+// Clone returns a deep copy.
+func (s Schedule) Clone() Schedule {
+	if s == nil {
+		return nil
+	}
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the paper notation "〈[8:00, 16:00), [18:00, 23:00)〉".
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "〈〉"
+	}
+	parts := make([]string, len(s))
+	for i, iv := range s {
+		parts[i] = iv.String()
+	}
+	return "〈" + strings.Join(parts, ", ") + "〉"
+}
