@@ -10,6 +10,7 @@ import (
 	"indoorpath/internal/itgraph"
 	"indoorpath/internal/model"
 	"indoorpath/internal/render"
+	"indoorpath/internal/service"
 	"indoorpath/internal/synth"
 	"indoorpath/internal/temporal"
 )
@@ -195,6 +196,28 @@ func EarliestValidDeparture(e *Engine, q Query) (TimeOfDay, *Path, bool) {
 func StaticThenValidate(g *Graph, q Query) (*Path, error) {
 	return core.StaticThenValidate(g, q)
 }
+
+// Concurrent serving types (see internal/service).
+type (
+	// ServicePool is a concurrent query-serving pool: warm engines in a
+	// sync.Pool over one shared Graph, batch fan-out with identical-query
+	// deduplication, and per-(source partition, target partition,
+	// checkpoint slot) result caching.
+	ServicePool = service.Pool
+	// PoolOptions tune a ServicePool; the zero value is a usable default
+	// (ITG/S engines, GOMAXPROCS workers, 4096-entry cache).
+	PoolOptions = service.Options
+	// PoolStats are cumulative pool counters.
+	PoolStats = service.Stats
+	// BatchResult is one ServicePool.RouteBatch outcome.
+	BatchResult = service.Result
+)
+
+// NewPool builds a concurrent query-serving pool over a graph. Pool
+// methods are safe for concurrent use from any number of goroutines;
+// Pool.Route answers exactly as Engine.Route would, and Pool.RouteBatch
+// fans a batch out over PoolOptions.Workers goroutines.
+func NewPool(g *Graph, opts PoolOptions) *ServicePool { return service.New(g, opts) }
 
 // Service-query types (indoor LBS layer).
 type (

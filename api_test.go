@@ -64,6 +64,50 @@ func TestFacadeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFacadeServicePool(t *testing.T) {
+	v := buildDemoVenue(t)
+	g, err := indoorpath.NewGraph(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := indoorpath.NewPool(g, indoorpath.PoolOptions{
+		Engine:  indoorpath.Options{Method: indoorpath.MethodAsyn},
+		Workers: 4,
+	})
+	q := indoorpath.Query{
+		Source: indoorpath.Pt(2, 5, 0),
+		Target: indoorpath.Pt(25, 5, 0),
+		At:     indoorpath.MustParseTime("12:00"),
+	}
+	p, _, err := pool.Route(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Length-23) > 1e-9 {
+		t.Errorf("pool length = %v, want 23", p.Length)
+	}
+	night := q
+	night.At = indoorpath.MustParseTime("20:00")
+	batch := []indoorpath.Query{q, night, q} // duplicate triggers dedup
+	rs := pool.RouteBatch(batch)
+	if len(rs) != 3 {
+		t.Fatalf("%d results for 3 queries", len(rs))
+	}
+	if rs[0].Err != nil || math.Abs(rs[0].Path.Length-23) > 1e-9 {
+		t.Errorf("batch[0]: %+v", rs[0])
+	}
+	if !errors.Is(rs[1].Err, indoorpath.ErrNoRoute) {
+		t.Errorf("batch[1] err = %v, want ErrNoRoute", rs[1].Err)
+	}
+	if rs[2].Err != nil || math.Abs(rs[2].Path.Length-23) > 1e-9 {
+		t.Errorf("batch[2]: %+v", rs[2])
+	}
+	st := pool.Stats()
+	if st.Queries == 0 || st.Batches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
 func TestFacadeSerialisation(t *testing.T) {
 	v := buildDemoVenue(t)
 	var buf bytes.Buffer

@@ -14,6 +14,8 @@ package indoorpath_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	indoorpath "indoorpath"
@@ -290,6 +292,99 @@ func BenchmarkAblationPrivateFraction(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("private=%d", private), func(b *testing.B) {
 			runQueries(b, g, indoorpath.MethodSyn, qs)
+		})
+	}
+}
+
+// BenchmarkPoolRoute measures concurrent serving throughput: N worker
+// goroutines hammer one shared ServicePool (one shared graph, pooled
+// engines) over the synth-mall workload at many departure times. The
+// result cache is disabled so every query is a real search — the
+// queries/s metric is pure engine-pool scaling, expected to grow
+// roughly linearly in workers up to the core count.
+func BenchmarkPoolRoute(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	// Spread the OD pairs over the day so concurrent workers touch many
+	// snapshot slots, not one.
+	var qs []indoorpath.Query
+	for hour := 0; hour <= 22; hour += 2 {
+		qs = append(qs, tb.atTime(indoorpath.Clock(hour, 0, 0))...)
+	}
+	tb.graph.Snapshots().BuildAll() // amortise Graph_Update outside the timed section
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := indoorpath.NewPool(tb.graph, indoorpath.PoolOptions{
+				Engine:        indoorpath.Options{Method: indoorpath.MethodAsyn},
+				Workers:       workers,
+				CacheCapacity: -1,
+			})
+			for _, q := range qs { // warmup: engines, allocator
+				if _, _, err := pool.Route(q); err != nil && err != indoorpath.ErrNoRoute {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						n := int(next.Add(1)) - 1
+						if n >= b.N {
+							return
+						}
+						if _, _, err := pool.Route(qs[n%len(qs)]); err != nil && err != indoorpath.ErrNoRoute {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "queries/s")
+			}
+		})
+	}
+}
+
+// BenchmarkPoolRouteBatch measures the batch path: one RouteBatch call
+// fanning a mixed-time batch (with duplicates) out over the worker
+// group, with deduplication and caching enabled — the expected serving
+// configuration.
+func BenchmarkPoolRouteBatch(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	var batch []indoorpath.Query
+	for hour := 0; hour <= 22; hour += 2 {
+		batch = append(batch, tb.atTime(indoorpath.Clock(hour, 0, 0))...)
+	}
+	batch = append(batch, batch[:len(batch)/4]...) // duplicate tail: dedup work
+	tb.graph.Snapshots().BuildAll()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := indoorpath.NewPool(tb.graph, indoorpath.PoolOptions{
+				Engine:  indoorpath.Options{Method: indoorpath.MethodAsyn},
+				Workers: workers,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.InvalidateCache() // each iteration recomputes the batch
+				rs := pool.RouteBatch(batch)
+				for _, r := range rs {
+					if r.Err != nil && r.Err != indoorpath.ErrNoRoute {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*len(batch))/secs, "queries/s")
+			}
 		})
 	}
 }

@@ -6,9 +6,15 @@
 //	itspq -venue mall.json -from 100,50,0 -to 900,700,2 -at 12:00
 //	itspq -venue figure1.json -from 26,11,0 -to 34,11,0 -at 9:00 -method syn
 //	itspq -venue office.json -from 2,3,0 -to 6,24,0 -at 7:30 -method waiting
+//	itspq -venue mall.json -from 100,50,0 -to 900,700,2 -workers 8 -sweep 2h
 //
 // Methods: asyn (default, ITG/A), syn (ITG/S), static (temporal-unaware
 // baseline), waiting (earliest arrival with waiting tolerance).
+//
+// -workers N routes through the concurrent serving pool (indoorpath
+// .NewPool) with N batch workers instead of a bare engine; -sweep STEP
+// additionally fans the query out over the whole day at the given step
+// as one concurrent batch, printing one summary row per departure time.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	indoorpath "indoorpath"
 )
@@ -32,6 +39,8 @@ func main() {
 		to        = flag.String("to", "", "target point x,y,floor (required)")
 		atStr     = flag.String("at", "12:00", "query time of day (H:MM)")
 		method    = flag.String("method", "asyn", "syn | asyn | static | waiting")
+		workers   = flag.Int("workers", 0, "route through the concurrent pool with this many batch workers (0 = bare engine)")
+		sweepStr  = flag.String("sweep", "", "with -workers: batch-answer the query across the day at this step (e.g. 2h, 30m)")
 		verbose   = flag.Bool("v", false, "print search statistics")
 	)
 	flag.Parse()
@@ -77,12 +86,33 @@ func main() {
 	)
 	switch *method {
 	case "waiting":
+		if *workers > 0 {
+			log.Fatal("-workers applies to syn/asyn/static, not waiting")
+		}
+		if *sweepStr != "" {
+			log.Fatal("-sweep applies to syn/asyn/static, not waiting")
+		}
 		path, err = indoorpath.NewWaitingRouter(g).Route(q)
 	case "syn", "asyn", "static":
 		m := map[string]indoorpath.Method{
 			"syn": indoorpath.MethodSyn, "asyn": indoorpath.MethodAsyn, "static": indoorpath.MethodStatic,
 		}[*method]
-		path, stats, err = indoorpath.NewEngine(g, indoorpath.Options{Method: m}).Route(q)
+		if *workers > 0 {
+			pool := indoorpath.NewPool(g, indoorpath.PoolOptions{
+				Engine:  indoorpath.Options{Method: m},
+				Workers: *workers,
+			})
+			if *sweepStr != "" {
+				sweep(pool, q, *sweepStr, *verbose)
+				return
+			}
+			path, stats, err = pool.Route(q)
+		} else {
+			if *sweepStr != "" {
+				log.Fatal("-sweep requires -workers")
+			}
+			path, stats, err = indoorpath.NewEngine(g, indoorpath.Options{Method: m}).Route(q)
+		}
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}
@@ -107,6 +137,40 @@ func main() {
 		fmt.Printf("stats:   method=%s pops=%d settled=%d relax=%d checks=%d heapMax=%d est=%dB\n",
 			stats.Method, stats.Pops, stats.Settled, stats.Relaxations,
 			stats.Checker.Checks, stats.HeapMax, stats.BytesEstimate)
+	}
+}
+
+// sweep answers the OD pair at every step across the day as one
+// concurrent batch through the pool, printing a summary row per
+// departure time.
+func sweep(pool *indoorpath.ServicePool, q indoorpath.Query, stepStr string, verbose bool) {
+	step, err := time.ParseDuration(stepStr)
+	if err != nil || step <= 0 {
+		log.Fatalf("-sweep: bad step %q", stepStr)
+	}
+	stepSec := indoorpath.TimeOfDay(step.Seconds())
+	var batch []indoorpath.Query
+	for at := indoorpath.TimeOfDay(0); at < 24*3600; at += stepSec {
+		bq := q
+		bq.At = at
+		batch = append(batch, bq)
+	}
+	results := pool.RouteBatch(batch)
+	for i, r := range results {
+		switch {
+		case errors.Is(r.Err, indoorpath.ErrNoRoute):
+			fmt.Printf("%8v  no such routes\n", batch[i].At)
+		case r.Err != nil:
+			log.Fatal(r.Err)
+		default:
+			fmt.Printf("%8v  %8.2f m  %2d doors  arrive %v\n",
+				batch[i].At, r.Path.Length, r.Path.Hops(), r.Path.ArrivalAtTgt)
+		}
+	}
+	if verbose {
+		st := pool.Stats()
+		fmt.Printf("pool:    queries=%d deduped=%d cacheHits=%d engines=%d\n",
+			st.Queries, st.Deduped, st.CacheHits, st.EnginesCreated)
 	}
 }
 

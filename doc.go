@@ -20,6 +20,10 @@
 //   - the ITSPQ engine with the paper's synchronous (ITG/S) and
 //     asynchronous (ITG/A) temporal checks, a temporal-unaware static
 //     baseline, and an earliest-arrival router with waiting tolerance;
+//   - a concurrent query-serving layer (NewPool): warm engines in a
+//     sync.Pool over one shared graph, batch fan-out with
+//     identical-query deduplication, and per-(source partition, target
+//     partition, checkpoint slot) result caching;
 //   - a service-query layer: single-source valid distances, k-nearest
 //     open partitions, day profiles, path validity windows and what-if
 //     schedule re-planning;
@@ -49,6 +53,27 @@
 //	if err == nil {
 //		fmt.Println(path.Format(venue), path.Length)
 //	}
+//
+// # Concurrent serving
+//
+// A single Engine keeps reusable search state and is confined to one
+// goroutine; the Graph underneath it is immutable and safe for any
+// number of concurrent readers (snapshots materialise on first use
+// behind a mutex, with lock-free steady-state lookups). NewPool wraps
+// that split into a serving layer:
+//
+//	pool := indoorpath.NewPool(g, indoorpath.PoolOptions{
+//		Engine:  indoorpath.Options{Method: indoorpath.MethodAsyn},
+//		Workers: 8,
+//	})
+//	path, _, err := pool.Route(q)      // safe from any goroutine
+//	results := pool.RouteBatch(batch)  // fan-out + dedup + caching
+//
+// Pool.Route answers exactly as Engine.Route would; cached results are
+// shared pointers and must be treated as immutable. Live schedule
+// updates go through Pool.UpdateSchedules (or Pool.SetGraph), which
+// atomically swap the graph and flush the cache without draining the
+// server.
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the paper-to-code mapping.

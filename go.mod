@@ -1,0 +1,3 @@
+module indoorpath
+
+go 1.24

@@ -80,16 +80,14 @@ type SearchStats struct {
 	PathLength    float64
 }
 
-// Engine answers ITSPQ queries over one IT-Graph. It keeps reusable
-// search state between queries, so it is not safe for concurrent use;
-// create one engine per goroutine (the graph itself is shared and
-// read-only).
-type Engine struct {
-	g       *itgraph.Graph
-	v       *model.Venue
-	opts    Options
-	checker AccessChecker
-
+// searchState is the mutable working set of one ITSPQ search: the
+// frontier heap, the tentative distances, the parent chains and the
+// settled/visited marks. It is extracted from Engine so engines are
+// cheap to construct and pool (service.Pool keeps warm engines in a
+// sync.Pool); the maps are allocated on first use and cleared — not
+// reallocated — between queries, so a pooled engine reuses its
+// hash-table capacity across queries.
+type searchState struct {
 	heap     *pqueue.Heap
 	dist     map[int32]float64
 	prevDoor map[int32]int32
@@ -98,18 +96,51 @@ type Engine struct {
 	visited  map[model.PartitionID]bool
 }
 
-// NewEngine builds an engine for the graph with the given options.
-func NewEngine(g *itgraph.Graph, opts Options) *Engine {
-	e := &Engine{
-		g:        g,
-		v:        g.Venue(),
-		opts:     opts,
+func newSearchState() *searchState {
+	return &searchState{
 		heap:     pqueue.New(64),
 		dist:     map[int32]float64{},
 		prevDoor: map[int32]int32{},
 		prevPart: map[int32]model.PartitionID{},
 		settled:  map[int32]bool{},
 		visited:  map[model.PartitionID]bool{},
+	}
+}
+
+// reset clears the state for the next query, keeping allocations.
+func (st *searchState) reset() {
+	st.heap.Reset()
+	clear(st.dist)
+	clear(st.prevDoor)
+	clear(st.prevPart)
+	clear(st.settled)
+	clear(st.visited)
+}
+
+// Engine answers ITSPQ queries over one IT-Graph. It keeps reusable
+// search state (a searchState) between queries, so a single Engine is
+// NOT safe for concurrent use. The intended concurrent deployment is
+// one engine per goroutine over one shared Graph — the graph, venue,
+// distance matrices and snapshot series are all safe for concurrent
+// readers — and service.Pool packages exactly that pattern: it keeps
+// warm engines in a sync.Pool and checks one out per query. NewEngine
+// is deliberately cheap (search maps are allocated lazily on the first
+// Route), so pooling engines costs little more than pooling the maps
+// themselves.
+type Engine struct {
+	g       *itgraph.Graph
+	v       *model.Venue
+	opts    Options
+	checker AccessChecker
+	st      *searchState // lazily allocated on first Route
+}
+
+// NewEngine builds an engine for the graph with the given options.
+func NewEngine(g *itgraph.Graph, opts Options) *Engine {
+	e := &Engine{
+		g:    g,
+		v:    g.Venue(),
+		opts: opts,
 	}
 	switch opts.Method {
 	case MethodAsyn:
@@ -129,12 +160,11 @@ func (e *Engine) Graph() *itgraph.Graph { return e.g }
 func (e *Engine) MethodName() string { return e.checker.Name() }
 
 func (e *Engine) reset() {
-	e.heap.Reset()
-	clear(e.dist)
-	clear(e.prevDoor)
-	clear(e.prevPart)
-	clear(e.settled)
-	clear(e.visited)
+	if e.st == nil {
+		e.st = newSearchState()
+		return
+	}
+	e.st.reset()
 }
 
 // legDist returns the intra-partition distance between two doors of
@@ -181,15 +211,15 @@ func (e *Engine) Route(q Query) (*Path, SearchStats, error) {
 		// Algorithm 1 lines 2–5/7 literally: every door and pt start in
 		// the heap at distance ∞.
 		for d := 0; d < e.v.DoorCount(); d++ {
-			e.heap.Push(int32(d), inf)
+			e.st.heap.Push(int32(d), inf)
 		}
-		e.heap.Push(tgtH, inf)
+		e.st.heap.Push(tgtH, inf)
 	}
-	e.dist[srcH] = 0
-	e.heap.Push(srcH, 0)
+	e.st.dist[srcH] = 0
+	e.st.heap.Push(srcH, 0)
 
 	for {
-		item, ok := e.heap.Pop()
+		item, ok := e.st.heap.Pop()
 		if !ok || math.IsInf(item.Prio, 1) {
 			// Heap exhausted (lazy) or only ∞ entries remain (eager):
 			// "no such routes".
@@ -206,12 +236,12 @@ func (e *Engine) Route(q Query) (*Path, SearchStats, error) {
 			e.finishStats(&stats)
 			return p, stats, nil
 		}
-		if e.settled[h] {
+		if e.st.settled[h] {
 			continue
 		}
-		e.settled[h] = true
+		e.st.settled[h] = true
 		stats.Settled++
-		baseDist := e.dist[h]
+		baseDist := e.st.dist[h]
 
 		// Determine the partitions to expand into and the anchor door.
 		var anchor model.DoorID = model.NoDoor
@@ -220,7 +250,7 @@ func (e *Engine) Route(q Query) (*Path, SearchStats, error) {
 			nexts = []model.PartitionID{srcPart}
 		} else {
 			anchor = model.DoorID(h)
-			nexts = e.v.NextPartitions(anchor, e.prevPart[h])
+			nexts = e.v.NextPartitions(anchor, e.st.prevPart[h])
 		}
 		for _, w := range nexts {
 			// Entering the target's partition: the next hop is pt itself
@@ -232,11 +262,11 @@ func (e *Engine) Route(q Query) (*Path, SearchStats, error) {
 				} else {
 					cand = baseDist + e.g.DM().PointToDoor(w, q.Target, anchor)
 				}
-				if old, seen := e.dist[tgtH]; (!seen || cand < old) && !math.IsInf(cand, 1) {
-					e.dist[tgtH] = cand
-					e.prevDoor[tgtH] = h
-					e.prevPart[tgtH] = w
-					e.heap.Push(tgtH, cand)
+				if old, seen := e.st.dist[tgtH]; (!seen || cand < old) && !math.IsInf(cand, 1) {
+					e.st.dist[tgtH] = cand
+					e.st.prevDoor[tgtH] = h
+					e.st.prevPart[tgtH] = w
+					e.st.heap.Push(tgtH, cand)
 					stats.Relaxations++
 				}
 				if w != srcPart || anchor != model.NoDoor {
@@ -247,14 +277,14 @@ func (e *Engine) Route(q Query) (*Path, SearchStats, error) {
 					continue
 				}
 			}
-			if e.opts.SinglePartitionExpansion && e.visited[w] {
+			if e.opts.SinglePartitionExpansion && e.st.visited[w] {
 				continue
 			}
 			if w != srcPart && w != tgtPart && e.v.Partition(w).Kind.IsPrivate() {
 				continue // rule 2
 			}
-			if !e.visited[w] {
-				e.visited[w] = true
+			if !e.st.visited[w] {
+				e.st.visited[w] = true
 				stats.PartitionsVisited++
 			}
 			e.expand(q, w, anchor, h, baseDist, &stats, srcPart, tgtPart)
@@ -291,7 +321,7 @@ func (e *Engine) expand(q Query, w model.PartitionID, anchor model.DoorID, h int
 	}
 	for _, dj := range doors {
 		hj := int32(dj)
-		if e.settled[hj] {
+		if e.st.settled[hj] {
 			continue
 		}
 		// Early privacy prune (line 28): skip doors that lead only to
@@ -322,11 +352,11 @@ func (e *Engine) expand(q Query, w model.PartitionID, anchor model.DoorID, h int
 			continue
 		}
 		stats.Relaxations++
-		if old, seen := e.dist[hj]; !seen || distj < old {
-			e.dist[hj] = distj
-			e.prevDoor[hj] = h
-			e.prevPart[hj] = w
-			e.heap.Push(hj, distj)
+		if old, seen := e.st.dist[hj]; !seen || distj < old {
+			e.st.dist[hj] = distj
+			e.st.prevDoor[hj] = h
+			e.st.prevPart[hj] = w
+			e.st.heap.Push(hj, distj)
 		}
 	}
 }
@@ -338,9 +368,9 @@ func (e *Engine) reconstruct(q Query, srcH, tgtH int32, srcPart, tgtPart model.P
 
 	var doors []model.DoorID
 	var parts []model.PartitionID
-	for h := e.prevDoor[tgtH]; h != srcH; h = e.prevDoor[h] {
+	for h := e.st.prevDoor[tgtH]; h != srcH; h = e.st.prevDoor[h] {
 		doors = append(doors, model.DoorID(h))
-		parts = append(parts, e.prevPart[h])
+		parts = append(parts, e.st.prevPart[h])
 	}
 	// Reverse into forward order.
 	for i, j := 0, len(doors)-1; i < j; i, j = i+1, j-1 {
@@ -348,10 +378,10 @@ func (e *Engine) reconstruct(q Query, srcH, tgtH int32, srcPart, tgtPart model.P
 		parts[i], parts[j] = parts[j], parts[i]
 	}
 	parts = append(parts, tgtPart)
-	length := e.dist[tgtH]
+	length := e.st.dist[tgtH]
 	arrivals := make([]temporal.TimeOfDay, len(doors))
 	for i, d := range doors {
-		arrivals[i] = t0 + temporal.TimeOfDay(e.dist[int32(d)]/speed)
+		arrivals[i] = t0 + temporal.TimeOfDay(e.st.dist[int32(d)]/speed)
 	}
 	return &Path{
 		Source:       q.Source,
@@ -367,16 +397,16 @@ func (e *Engine) reconstruct(q Query, srcH, tgtH int32, srcPart, tgtPart model.P
 
 // finishStats derives the aggregate counters.
 func (e *Engine) finishStats(s *SearchStats) {
-	s.DoorsTouched = len(e.dist)
-	s.HeapMax = e.heap.MaxLen()
+	s.DoorsTouched = len(e.st.dist)
+	s.HeapMax = e.st.heap.MaxLen()
 	s.Checker = e.checker.Stats()
 	// Working-set model: three hash-map entries per touched handle
 	// (dist, prevDoor, prevPart at ~48 B each incl. bucket overhead),
 	// one heap slot per high-water entry, one byte-pair per visited
 	// partition/settled door, plus consulted snapshot bytes.
-	s.BytesEstimate = len(e.dist)*3*48 +
+	s.BytesEstimate = len(e.st.dist)*3*48 +
 		s.HeapMax*16 +
-		len(e.visited)*16 + len(e.settled)*16 +
+		len(e.st.visited)*16 + len(e.st.settled)*16 +
 		s.Checker.SnapshotBytes
 }
 

@@ -1,0 +1,129 @@
+package decompose
+
+import (
+	"math"
+	"testing"
+
+	"indoorpath/internal/geom"
+)
+
+// histogramPolygon decodes fuzz bytes into a rectilinear "histogram"
+// polygon: byte pairs become (width, height) columns over a flat base,
+// with equal-height runs merged so the boundary has no collinear
+// duplicate vertices. Every decoded polygon is simple and rectilinear,
+// so Decompose must accept it and its invariants must hold.
+func histogramPolygon(data []byte) (geom.Polygon, bool) {
+	type col struct{ w, h float64 }
+	var cols []col
+	for i := 0; i+1 < len(data) && len(cols) < 12; i += 2 {
+		w := float64(data[i]%16) + 1
+		h := float64(data[i+1]%16) + 1
+		if n := len(cols); n > 0 && cols[n-1].h == h {
+			cols[n-1].w += w // merge equal-height run
+			continue
+		}
+		cols = append(cols, col{w, h})
+	}
+	if len(cols) == 0 {
+		return geom.Polygon{}, false
+	}
+	xs := make([]float64, len(cols)+1)
+	for i, c := range cols {
+		xs[i+1] = xs[i] + c.w
+	}
+	verts := []geom.Point{geom.Pt(0, 0, 0), geom.Pt(xs[len(cols)], 0, 0)}
+	for i := len(cols) - 1; i >= 0; i-- {
+		verts = append(verts, geom.Pt(xs[i+1], cols[i].h, 0), geom.Pt(xs[i], cols[i].h, 0))
+	}
+	// The walk ends at (0, h0); NewPolygon closes back to (0, 0).
+	pg, err := geom.NewPolygon(verts...)
+	if err != nil {
+		return geom.Polygon{}, false
+	}
+	return pg, true
+}
+
+// FuzzDecompose: decomposition must never panic; on well-formed
+// rectilinear input it must succeed, conserve area, keep every cell
+// inside the bounding box, and hang every virtual door on two existing
+// cells whose shared edge contains the door position.
+func FuzzDecompose(f *testing.F) {
+	// Seeds shaped like the existing test venues: a plain rectangle, the
+	// L-shape, a T/staircase profile, and wider corridor-like profiles.
+	f.Add([]byte{9, 5})                         // rectangle
+	f.Add([]byte{4, 9, 4, 4})                   // L-shape
+	f.Add([]byte{3, 4, 3, 9, 3, 4})             // T profile
+	f.Add([]byte{2, 2, 2, 7, 2, 3, 2, 8, 2, 1}) // staircase
+	f.Add([]byte{15, 1, 1, 15})                 // long corridor + spike
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pg, ok := histogramPolygon(data)
+		if !ok {
+			return
+		}
+		d, err := Decompose(pg)
+		if err != nil {
+			t.Fatalf("Decompose rejected a simple rectilinear polygon %v: %v", pg.Verts, err)
+		}
+		if len(d.Cells) == 0 {
+			t.Fatal("no cells")
+		}
+		if math.Abs(d.TotalArea()-pg.Area()) > 1e-6 {
+			t.Fatalf("area not conserved: cells %v vs polygon %v", d.TotalArea(), pg.Area())
+		}
+		bb := pg.BoundingBox()
+		for i, c := range d.Cells {
+			if c.Area() <= 0 {
+				t.Fatalf("cell %d has non-positive area: %v", i, c)
+			}
+			if c.MinX < bb.MinX-1e-9 || c.MaxX > bb.MaxX+1e-9 ||
+				c.MinY < bb.MinY-1e-9 || c.MaxY > bb.MaxY+1e-9 {
+				t.Fatalf("cell %d %v escapes bounding box %v", i, c, bb)
+			}
+		}
+		for i, vd := range d.Doors {
+			if vd.CellA < 0 || vd.CellA >= len(d.Cells) || vd.CellB < 0 || vd.CellB >= len(d.Cells) {
+				t.Fatalf("door %d references cells (%d, %d) of %d", i, vd.CellA, vd.CellB, len(d.Cells))
+			}
+			if vd.CellA == vd.CellB {
+				t.Fatalf("door %d connects cell %d to itself", i, vd.CellA)
+			}
+			a, b := d.Cells[vd.CellA], d.Cells[vd.CellB]
+			onBoundary := func(c geom.Rect) bool {
+				return (math.Abs(vd.Pos.X-c.MinX) < 1e-9 || math.Abs(vd.Pos.X-c.MaxX) < 1e-9 ||
+					math.Abs(vd.Pos.Y-c.MinY) < 1e-9 || math.Abs(vd.Pos.Y-c.MaxY) < 1e-9) &&
+					vd.Pos.X >= c.MinX-1e-9 && vd.Pos.X <= c.MaxX+1e-9 &&
+					vd.Pos.Y >= c.MinY-1e-9 && vd.Pos.Y <= c.MaxY+1e-9
+			}
+			if !onBoundary(a) || !onBoundary(b) {
+				t.Fatalf("door %d at %v not on the shared boundary of %v and %v", i, vd.Pos, a, b)
+			}
+		}
+	})
+}
+
+// FuzzDecomposeArbitrary: wild vertex soups (possibly self-intersecting
+// or non-rectilinear) must be rejected with an error or decomposed —
+// never a panic.
+func FuzzDecomposeArbitrary(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 0, 10, 5, 5, 5, 5, 10, 0, 10}) // valid L-shape coords
+	f.Add([]byte{0, 0, 4, 4, 0, 4, 4, 0})                 // self-intersecting bowtie
+	f.Add([]byte{1, 1, 1, 1, 1, 1})                       // degenerate
+	f.Add([]byte{0, 0, 9, 3, 5, 7})                       // non-rectilinear triangle
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var verts []geom.Point
+		for i := 0; i+1 < len(data) && len(verts) < 16; i += 2 {
+			verts = append(verts, geom.Pt(float64(data[i]%32), float64(data[i+1]%32), 0))
+		}
+		pg, err := geom.NewPolygon(verts...)
+		if err != nil {
+			return
+		}
+		d, err := Decompose(pg) // must not panic
+		if err == nil && len(d.Cells) == 0 {
+			t.Fatalf("accepted polygon %v produced no cells", pg.Verts)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package itgraph
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"indoorpath/internal/model"
 	"indoorpath/internal/temporal"
@@ -65,17 +66,23 @@ func (s *Snapshot) MemoryBytes() int {
 // SnapshotSeries lazily materialises snapshots per checkpoint slot and
 // caches them, mirroring the paper's asynchronous maintenance: a
 // snapshot is (re)built only when some arrival time first crosses into
-// its slot, then reused. Safe for concurrent use.
+// its slot, then reused. It is safe for concurrent use and optimised
+// for the concurrent serving path: steady-state lookups are a single
+// atomic load with no lock, while first-use materialisation
+// double-checks under a mutex so Graph_Update still runs at most once
+// per slot. A materialised Snapshot is immutable, so the pointer may be
+// shared freely across goroutines.
 type SnapshotSeries struct {
 	g *Graph
 
-	mu     sync.Mutex
-	slots  []*Snapshot
-	builds int
+	slots []atomic.Pointer[Snapshot]
+
+	mu     sync.Mutex // serialises builds only; reads never take it
+	builds atomic.Int64
 }
 
 func newSnapshotSeries(g *Graph) *SnapshotSeries {
-	return &SnapshotSeries{g: g, slots: make([]*Snapshot, g.cps.SlotCount())}
+	return &SnapshotSeries{g: g, slots: make([]atomic.Pointer[Snapshot], g.cps.SlotCount())}
 }
 
 // At returns the snapshot for the slot containing instant t.
@@ -91,24 +98,23 @@ func (ss *SnapshotSeries) Slot(i int) *Snapshot {
 	if i >= len(ss.slots) {
 		i = len(ss.slots) - 1
 	}
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	if s := ss.slots[i]; s != nil {
+	if s := ss.slots[i].Load(); s != nil {
 		return s
 	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if s := ss.slots[i].Load(); s != nil {
+		return s // another goroutine built it while we waited
+	}
 	s := ss.build(i)
-	ss.slots[i] = s
-	ss.builds++
+	ss.slots[i].Store(s)
+	ss.builds.Add(1)
 	return s
 }
 
 // Builds returns how many Graph_Update executions have run, used by
 // tests and the experiment harness to verify snapshot reuse.
-func (ss *SnapshotSeries) Builds() int {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	return ss.builds
-}
+func (ss *SnapshotSeries) Builds() int { return int(ss.builds.Load()) }
 
 // BuildAll materialises every slot eagerly (used to amortise all
 // Graph_Update work before timed benchmark sections).
@@ -123,11 +129,9 @@ func (ss *SnapshotSeries) SlotCount() int { return len(ss.slots) }
 
 // MemoryBytes sums the footprints of currently materialised snapshots.
 func (ss *SnapshotSeries) MemoryBytes() int {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	total := 0
-	for _, s := range ss.slots {
-		if s != nil {
+	for i := range ss.slots {
+		if s := ss.slots[i].Load(); s != nil {
 			total += s.MemoryBytes()
 		}
 	}

@@ -1,0 +1,188 @@
+// Oracle-equivalence suite: concurrent RouteBatch answers must be
+// byte-for-byte identical to sequential core.Engine.Route, and
+// consistent with the exhaustive core.OracleShortest reference, for all
+// three methods (ITG/S, ITG/A, Static).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/geom"
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+var allMethods = []core.Method{core.MethodSyn, core.MethodAsyn, core.MethodStatic}
+
+// openGridVenue builds a small always-open grid: with no temporal
+// variation the label-setting search is exact, so engine == oracle for
+// every method and the three-way equivalence below is total.
+func openGridVenue(t testing.TB, rng *rand.Rand, rows, cols int) *model.Venue {
+	t.Helper()
+	b := model.NewBuilder("open-grid")
+	const cell = 10.0
+	parts := make([][]model.PartitionID, rows)
+	for r := 0; r < rows; r++ {
+		parts[r] = make([]model.PartitionID, cols)
+		for c := 0; c < cols; c++ {
+			parts[r][c] = b.AddPartition(fmt.Sprintf("p%d-%d", r, c), model.PublicPartition,
+				geom.NewRect(float64(c)*cell, float64(r)*cell, float64(c+1)*cell, float64(r+1)*cell, 0))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols && rng.Float64() < 0.9 {
+				d := b.AddDoor("", model.PublicDoor,
+					geom.Pt(float64(c+1)*cell, float64(r)*cell+rng.Float64()*cell, 0), nil)
+				b.ConnectBi(d, parts[r][c], parts[r][c+1])
+			}
+			if r+1 < rows && rng.Float64() < 0.9 {
+				d := b.AddDoor("", model.PublicDoor,
+					geom.Pt(float64(c)*cell+rng.Float64()*cell, float64(r+1)*cell, 0), nil)
+				b.ConnectBi(d, parts[r][c], parts[r+1][c])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestBatchMatchesSequentialAllMethods: for every method, concurrent
+// RouteBatch output is byte-for-byte (reflect.DeepEqual) the sequential
+// Engine.Route output on the same query set, on temporal venues.
+func TestBatchMatchesSequentialAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 6; trial++ {
+		v := gridVenue(t, rng, 3+rng.Intn(2), 3+rng.Intn(2))
+		g := itgraph.MustNew(v)
+		qs := randomQueries(rng, 40, 50, 50)
+		for _, method := range allMethods {
+			seq := core.NewEngine(g, core.Options{Method: method})
+			wantPaths := make([]*core.Path, len(qs))
+			wantErrs := make([]error, len(qs))
+			for i, q := range qs {
+				wantPaths[i], _, wantErrs[i] = seq.Route(q)
+			}
+			pool := New(g, Options{Engine: core.Options{Method: method}, Workers: 4})
+			rs := pool.RouteBatch(qs)
+			for i := range qs {
+				label := fmt.Sprintf("trial %d method %v query %d", trial, method, i)
+				sameOutcome(t, label, rs[i].Path, rs[i].Err, wantPaths[i], wantErrs[i])
+			}
+			// Replay the batch: cache-served answers must stay identical.
+			for i, r := range pool.RouteBatch(qs) {
+				label := fmt.Sprintf("trial %d method %v replay %d", trial, method, i)
+				sameOutcome(t, label, r.Path, r.Err, wantPaths[i], wantErrs[i])
+			}
+		}
+	}
+}
+
+// TestBatchMatchesOracleAllOpen: on always-open venues all three
+// methods agree with each other and with the exhaustive oracle, through
+// the concurrent batch path.
+func TestBatchMatchesOracleAllOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 5; trial++ {
+		v := openGridVenue(t, rng, 3, 4)
+		g := itgraph.MustNew(v)
+		var qs []core.Query
+		for probe := 0; probe < 12; probe++ {
+			qs = append(qs, core.Query{
+				Source: geom.Pt(rng.Float64()*40, rng.Float64()*30, 0),
+				Target: geom.Pt(rng.Float64()*40, rng.Float64()*30, 0),
+				At:     temporal.TimeOfDay(rng.Intn(86400)),
+			})
+		}
+		for _, method := range allMethods {
+			pool := New(g, Options{Engine: core.Options{Method: method}, Workers: 4})
+			rs := pool.RouteBatch(qs)
+			for i, q := range qs {
+				or := core.OracleShortest(g, q)
+				if or.Found != (rs[i].Err == nil) {
+					t.Fatalf("trial %d method %v query %d: oracle found=%v, pool err=%v",
+						trial, method, i, or.Found, rs[i].Err)
+				}
+				if rs[i].Err == nil && math.Abs(rs[i].Path.Length-or.Length) > 1e-9 {
+					t.Fatalf("trial %d method %v query %d: pool %v != oracle %v",
+						trial, method, i, rs[i].Path.Length, or.Length)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchNeverBeatsOracleTemporal: on temporal venues the concurrent
+// batch answer for the temporally exact methods is never shorter than
+// the exhaustive optimum, never finds a route the oracle cannot, and
+// every found path validates.
+func TestBatchNeverBeatsOracleTemporal(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	for trial := 0; trial < 5; trial++ {
+		v := gridVenue(t, rng, 3, 3)
+		g := itgraph.MustNew(v)
+		var qs []core.Query
+		for probe := 0; probe < 10; probe++ {
+			qs = append(qs, core.Query{
+				Source: geom.Pt(rng.Float64()*30, rng.Float64()*30, 0),
+				Target: geom.Pt(rng.Float64()*30, rng.Float64()*30, 0),
+				At:     temporal.TimeOfDay(rng.Intn(86400)),
+			})
+		}
+		for _, method := range []core.Method{core.MethodSyn, core.MethodAsyn} {
+			pool := New(g, Options{Engine: core.Options{Method: method}, Workers: 4})
+			rs := pool.RouteBatch(qs)
+			for i, q := range qs {
+				if rs[i].Err != nil {
+					if !errors.Is(rs[i].Err, core.ErrNoRoute) && !errors.Is(rs[i].Err, core.ErrNotIndoor) {
+						t.Fatal(rs[i].Err)
+					}
+					continue
+				}
+				if verr := rs[i].Path.Validate(g, q); verr != nil {
+					t.Fatalf("trial %d method %v query %d: invalid path: %v", trial, method, i, verr)
+				}
+				or := core.OracleShortest(g, q)
+				if !or.Found {
+					t.Fatalf("trial %d method %v query %d: pool found a %v m path the oracle missed",
+						trial, method, i, rs[i].Path.Length)
+				}
+				if rs[i].Path.Length < or.Length-1e-9 {
+					t.Fatalf("trial %d method %v query %d: pool %v beat oracle %v",
+						trial, method, i, rs[i].Path.Length, or.Length)
+				}
+			}
+		}
+	}
+}
+
+// TestSynAsynAgreeThroughPool: the two temporally exact methods agree
+// on found/not-found and length through the concurrent path, mirroring
+// core's sequential cross-method property.
+func TestSynAsynAgreeThroughPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	v := gridVenue(t, rng, 4, 4)
+	g := itgraph.MustNew(v)
+	qs := randomQueries(rng, 50, 40, 40)
+	syn := New(g, Options{Engine: core.Options{Method: core.MethodSyn}, Workers: 4})
+	asyn := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}, Workers: 4})
+	rsS := syn.RouteBatch(qs)
+	rsA := asyn.RouteBatch(qs)
+	for i := range qs {
+		if (rsS[i].Err == nil) != (rsA[i].Err == nil) {
+			t.Fatalf("query %d: syn err=%v asyn err=%v", i, rsS[i].Err, rsA[i].Err)
+		}
+		if rsS[i].Err == nil {
+			if !reflect.DeepEqual(rsS[i].Path.Doors, rsA[i].Path.Doors) &&
+				math.Abs(rsS[i].Path.Length-rsA[i].Path.Length) > 1e-9 {
+				t.Fatalf("query %d: syn %v vs asyn %v", i, rsS[i].Path.Length, rsA[i].Path.Length)
+			}
+		}
+	}
+}

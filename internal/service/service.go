@@ -1,0 +1,374 @@
+// Package service is the concurrent query-serving layer over the ITSPQ
+// machinery: it turns the "one engine per goroutine over one shared
+// graph" pattern into a managed Pool with engine reuse, batch fan-out
+// and per-slot result caching, so a server can answer many simultaneous
+// ITSPQ queries without per-request engine construction.
+//
+// Concurrency invariants the pool relies on (and that the rest of the
+// repository upholds):
+//
+//   - model.Venue, dmat.Set and itgraph.Graph are immutable after
+//     construction and safe for any number of concurrent readers;
+//   - itgraph.SnapshotSeries materialises snapshots on first use behind
+//     a mutex with lock-free steady-state reads, and a materialised
+//     Snapshot is immutable;
+//   - core.Engine keeps mutable search state and is confined to one
+//     goroutine at a time — the Pool enforces this by checking engines
+//     in and out of a sync.Pool around every search.
+//
+// Results returned by the pool may be served from its cache, in which
+// case the same *core.Path pointer is handed to several callers:
+// returned paths must be treated as immutable.
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// Options configure a Pool. The zero value is a usable default: ITG/S
+// engines, GOMAXPROCS batch workers and a 4096-entry result cache.
+type Options struct {
+	// Engine is the configuration every pooled engine is built with.
+	Engine core.Options
+	// Workers bounds RouteBatch fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheCapacity bounds the number of cached query outcomes.
+	// 0 means the default capacity; negative disables caching.
+	CacheCapacity int
+}
+
+// DefaultCacheCapacity is the cache size used when Options.CacheCapacity
+// is zero.
+const DefaultCacheCapacity = 4096
+
+// Result is one RouteBatch outcome. Path and Err mirror exactly what a
+// sequential core.Engine.Route would have returned for the query.
+type Result struct {
+	Path  *core.Path
+	Stats core.SearchStats
+	Err   error
+	// CacheHit reports that the outcome was served from the result
+	// cache rather than searched.
+	CacheHit bool
+	// Shared reports that the outcome was computed once for an
+	// identical query elsewhere in the same batch and shared.
+	Shared bool
+}
+
+// Stats are cumulative pool counters, safe to read concurrently.
+type Stats struct {
+	Queries        int64 // Route calls + batch entries
+	Batches        int64 // RouteBatch calls
+	CacheHits      int64 // outcomes served from the result cache
+	Deduped        int64 // batch entries shared from an identical query
+	EnginesCreated int64 // engines constructed (vs reused from the pool)
+}
+
+// poolBackend bundles one graph with the engine pool and result cache
+// built over it, so all three can be swapped atomically on a schedule
+// update: engines from an old backend can never be checked out against
+// a new graph, and results computed on an old graph can only ever land
+// in the old (now unreachable) cache — never be served after the swap.
+type poolBackend struct {
+	g       *itgraph.Graph
+	v       *model.Venue
+	engines sync.Pool
+	cache   *resultCache // nil when caching is disabled
+}
+
+// Pool serves ITSPQ queries concurrently over one shared IT-Graph. It
+// keeps warm core.Engines in a sync.Pool (engines are goroutine-
+// confined while checked out), deduplicates identical queries inside a
+// batch, and caches outcomes keyed by (source partition, target
+// partition, checkpoint slot). All methods are safe for concurrent use,
+// including SetGraph/UpdateSchedules swapping the graph under live
+// queries.
+type Pool struct {
+	backend atomic.Pointer[poolBackend]
+	opts    Options
+
+	queries        atomic.Int64
+	batches        atomic.Int64
+	cacheHits      atomic.Int64
+	deduped        atomic.Int64
+	enginesCreated atomic.Int64
+}
+
+// New builds a Pool over the graph.
+func New(g *itgraph.Graph, opts Options) *Pool {
+	p := &Pool{opts: opts}
+	p.backend.Store(p.newBackend(g))
+	return p
+}
+
+func (p *Pool) newBackend(g *itgraph.Graph) *poolBackend {
+	b := &poolBackend{g: g, v: g.Venue()}
+	b.engines.New = func() any {
+		p.enginesCreated.Add(1)
+		return core.NewEngine(g, p.opts.Engine)
+	}
+	switch {
+	case p.opts.CacheCapacity < 0:
+		// caching disabled
+	case p.opts.CacheCapacity == 0:
+		b.cache = newResultCache(DefaultCacheCapacity)
+	default:
+		b.cache = newResultCache(p.opts.CacheCapacity)
+	}
+	return b
+}
+
+// Graph returns the shared IT-Graph.
+func (p *Pool) Graph() *itgraph.Graph { return p.backend.Load().g }
+
+// SetGraph atomically replaces the pool's graph together with the warm
+// engines and the result cache built over the old one. In-flight
+// queries finish against the backend they started on and can only
+// populate that backend's now-unreachable cache, so nothing computed
+// on the old graph is ever served afterwards. This is the live
+// schedule-update hook: build a new graph (e.g. over
+// Venue.WithSchedules output) and swap it in without draining the
+// server.
+func (p *Pool) SetGraph(g *itgraph.Graph) {
+	p.backend.Store(p.newBackend(g))
+}
+
+// UpdateSchedules is the convenience form of SetGraph for door
+// schedule changes: it rebuilds the venue via WithSchedules, builds
+// the IT-Graph over it, and swaps it in (nil schedule = always open).
+func (p *Pool) UpdateSchedules(updates map[model.DoorID]temporal.Schedule) error {
+	v2, err := p.backend.Load().v.WithSchedules(updates)
+	if err != nil {
+		return err
+	}
+	g2, err := itgraph.New(v2)
+	if err != nil {
+		return err
+	}
+	p.SetGraph(g2)
+	return nil
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Queries:        p.queries.Load(),
+		Batches:        p.batches.Load(),
+		CacheHits:      p.cacheHits.Load(),
+		Deduped:        p.deduped.Load(),
+		EnginesCreated: p.enginesCreated.Load(),
+	}
+}
+
+// workers resolves the effective fan-out width.
+func (p *Pool) workers() int {
+	if p.opts.Workers > 0 {
+		return p.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Route answers one ITSPQ query, exactly as core.Engine.Route would,
+// using a pooled engine and the result cache. Safe to call from any
+// number of goroutines.
+func (p *Pool) Route(q core.Query) (*core.Path, core.SearchStats, error) {
+	r := p.route(q)
+	return r.Path, r.Stats, r.Err
+}
+
+// route is Route returning the full Result (cache-hit flag included).
+func (p *Pool) route(q core.Query) Result {
+	b := p.backend.Load()
+	key, ekey, cacheable := keysFor(b, q)
+	return p.routeKeyed(b, q, key, ekey, cacheable)
+}
+
+// routeKeyed is route with the backend pinned and the cache keys
+// already derived (RouteBatch computes them once for deduplication and
+// reuses them here).
+func (p *Pool) routeKeyed(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) Result {
+	p.queries.Add(1)
+	useCache := cacheable && b.cache != nil
+	var epoch uint64
+	if useCache {
+		if r, ok := b.cache.get(key, ekey); ok {
+			p.cacheHits.Add(1)
+			r.CacheHit = true
+			return r
+		}
+		epoch = b.cache.epoch()
+	}
+	e := b.engines.Get().(*core.Engine)
+	path, stats, err := e.Route(q)
+	b.engines.Put(e)
+	r := Result{Path: path, Stats: stats, Err: err}
+	if useCache {
+		b.cache.put(key, ekey, entryFor(b, key, r), epoch)
+	}
+	return r
+}
+
+// entryFor derives the checkpoint-slot range a cached outcome depends
+// on. A found path's answer depends exactly on the slots its walk
+// spans; a no-route outcome (or a walk wrapping past midnight) can be
+// affected by a schedule change in any slot, so it is marked spansAll
+// and dropped on every slot invalidation.
+func entryFor(b *poolBackend, key cacheKey, r Result) cacheEntry {
+	e := cacheEntry{res: r, minSlot: key.slot, maxSlot: key.slot}
+	if r.Err != nil || r.Path == nil || r.Path.ArrivalAtTgt >= temporal.DaySeconds {
+		e.spansAll = true
+		return e
+	}
+	e.maxSlot = b.g.Checkpoints().SlotOf(r.Path.ArrivalAtTgt)
+	return e
+}
+
+// keysFor derives the cache keys of a query. cacheable is false when an
+// endpoint lies in no partition (the engine will return ErrNotIndoor
+// with a query-specific message; such outcomes are not cached).
+func keysFor(b *poolBackend, q core.Query) (cacheKey, entryKey, bool) {
+	srcPart, ok := b.v.Locate(q.Source)
+	if !ok {
+		return cacheKey{}, entryKey{}, false
+	}
+	tgtPart, ok := b.v.Locate(q.Target)
+	if !ok {
+		return cacheKey{}, entryKey{}, false
+	}
+	at := q.At.Mod()
+	speed := q.Speed
+	if speed <= 0 {
+		speed = core.WalkingSpeedMPS
+	}
+	key := cacheKey{src: srcPart, tgt: tgtPart, slot: b.g.Checkpoints().SlotOf(at)}
+	ekey := entryKey{src: q.Source, tgt: q.Target, at: at, speed: speed}
+	return key, ekey, true
+}
+
+// RouteBatch answers a batch of queries with worker fan-out. Identical
+// queries (same source, target, normalised time and speed) are searched
+// once and shared across the batch; distinct queries run concurrently
+// on up to Options.Workers goroutines, each checking a warm engine out
+// of the shared pool per query. Results are positionally
+// aligned with qs, and each Path/Err pair is byte-for-byte what a
+// sequential core.Engine.Route would have produced.
+func (p *Pool) RouteBatch(qs []core.Query) []Result {
+	p.batches.Add(1)
+	out := make([]Result, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+
+	// Shared-query deduplication: collapse identical (ps, pt, t, v)
+	// requests onto one canonical search each. The derived keys are
+	// kept and fed to routeKeyed so point location runs once per entry.
+	type group struct {
+		canon int
+		dups  []int
+	}
+	b := p.backend.Load() // one consistent graph view for the whole batch
+	keys := make([]cacheKey, len(qs))
+	ekeys := make([]entryKey, len(qs))
+	cacheable := make([]bool, len(qs))
+	groups := make([]group, 0, len(qs))
+	index := make(map[entryKey]int, len(qs)) // entryKey -> groups index
+	var uncacheable []int                    // queries outside every partition
+	for i, q := range qs {
+		keys[i], ekeys[i], cacheable[i] = keysFor(b, q)
+		if !cacheable[i] {
+			uncacheable = append(uncacheable, i)
+			continue
+		}
+		if gi, seen := index[ekeys[i]]; seen {
+			groups[gi].dups = append(groups[gi].dups, i)
+			continue
+		}
+		index[ekeys[i]] = len(groups)
+		groups = append(groups, group{canon: i})
+	}
+
+	// Fan the canonical searches out over the worker group.
+	work := make([]int, 0, len(groups)+len(uncacheable))
+	for _, g := range groups {
+		work = append(work, g.canon)
+	}
+	work = append(work, uncacheable...)
+
+	w := p.workers()
+	if w > len(work) {
+		w = len(work)
+	}
+	if w <= 1 {
+		for _, i := range work {
+			out[i] = p.routeKeyed(b, qs[i], keys[i], ekeys[i], cacheable[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for range w {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(work) {
+						return
+					}
+					i := work[n]
+					out[i] = p.routeKeyed(b, qs[i], keys[i], ekeys[i], cacheable[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Propagate canonical outcomes to their duplicates.
+	for _, g := range groups {
+		for _, i := range g.dups {
+			p.queries.Add(1)
+			p.deduped.Add(1)
+			r := out[g.canon]
+			r.Shared = true
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// InvalidateSlot drops every cached outcome whose answer can depend on
+// checkpoint slot i. A cached path depends on every slot between its
+// departure and arrival, not just the departure slot, and no-route
+// outcomes have no slot bound at all, so this drops entries whose walk
+// spans slot i plus all no-route entries. Note that applying a
+// schedule change requires swapping the graph (SetGraph /
+// UpdateSchedules, which replace the whole cache); InvalidateSlot is
+// the finer-grained knob for cache-only concerns such as bounding
+// staleness per slot.
+func (p *Pool) InvalidateSlot(i int) {
+	if c := p.backend.Load().cache; c != nil {
+		c.invalidateSlot(i)
+	}
+}
+
+// InvalidateCache drops every cached outcome.
+func (p *Pool) InvalidateCache() {
+	if c := p.backend.Load().cache; c != nil {
+		c.invalidateAll()
+	}
+}
+
+// CacheLen returns the number of cached outcomes (0 when disabled).
+func (p *Pool) CacheLen() int {
+	c := p.backend.Load().cache
+	if c == nil {
+		return 0
+	}
+	return c.len()
+}

@@ -61,6 +61,93 @@ func FuzzParseSchedule(f *testing.F) {
 	})
 }
 
+// scheduleFromBytes decodes fuzz bytes into a normalised schedule:
+// byte pairs become (open, duration) interval candidates on a coarse
+// 10-minute lattice, then NewSchedule normalises the soup.
+func scheduleFromBytes(data []byte) Schedule {
+	const tick = 600 // 10 minutes
+	var ivs []Interval
+	for i := 0; i+1 < len(data) && len(ivs) < 8; i += 2 {
+		open := TimeOfDay(int(data[i]) % 144 * tick)
+		length := TimeOfDay((int(data[i+1])%12 + 1) * tick)
+		close := open + length
+		if close > DaySeconds {
+			close = DaySeconds
+		}
+		if open >= close {
+			continue
+		}
+		ivs = append(ivs, Interval{Open: open, Close: close})
+	}
+	s, err := NewSchedule(ivs...)
+	if err != nil {
+		return Schedule{}
+	}
+	return s
+}
+
+// FuzzScheduleAlgebra: the schedule algebra (Union, Intersect, Invert,
+// Subtract) must keep results in normal form and agree pointwise with
+// boolean logic over Contains, for arbitrary interval soups. These are
+// the operations behind what-if re-planning (WithSchedules) and
+// checkpoint derivation, so the pointwise law is load-bearing.
+func FuzzScheduleAlgebra(f *testing.F) {
+	// Seeds mirroring the repository's venue schedules: the paper's shop
+	// hours, the hospital's split visiting hours, an always-open ER door
+	// and a near-midnight sliver.
+	f.Add([]byte{48, 8, 108, 6}, []byte{54, 4})
+	f.Add([]byte{0, 11, 39, 11, 78, 11, 117, 11}, []byte{0, 11, 120, 11})
+	f.Add([]byte{0, 12}, []byte{143, 1})
+	f.Add([]byte{}, []byte{10, 2})
+
+	f.Fuzz(func(t *testing.T, aRaw, bRaw []byte) {
+		a, b := scheduleFromBytes(aRaw), scheduleFromBytes(bRaw)
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		diff := a.Subtract(b)
+		invA := a.Invert()
+		for name, s := range map[string]Schedule{
+			"union": union, "intersect": inter, "subtract": diff, "invert": invA,
+		} {
+			if !s.IsNormal() {
+				t.Fatalf("%s(%v, %v) = %v not normal", name, a, b, s)
+			}
+		}
+		// Pointwise agreement at every boundary of either operand (the
+		// only instants where openness can flip) and just around them.
+		var probes []TimeOfDay
+		for _, s := range []Schedule{a, b} {
+			for _, iv := range s {
+				probes = append(probes, iv.Open, iv.Close, iv.Open-1, iv.Close+1)
+			}
+		}
+		probes = append(probes, 0, DaySeconds-1, 43200)
+		for _, p := range probes {
+			p = p.Mod()
+			inA, inB := a.Contains(p), b.Contains(p)
+			if got := union.Contains(p); got != (inA || inB) {
+				t.Fatalf("union.Contains(%v) = %v, want %v (a=%v b=%v)", p, got, inA || inB, a, b)
+			}
+			if got := inter.Contains(p); got != (inA && inB) {
+				t.Fatalf("intersect.Contains(%v) = %v, want %v (a=%v b=%v)", p, got, inA && inB, a, b)
+			}
+			if got := diff.Contains(p); got != (inA && !inB) {
+				t.Fatalf("subtract.Contains(%v) = %v, want %v (a=%v b=%v)", p, got, inA && !inB, a, b)
+			}
+			if got := invA.Contains(p); got != !inA {
+				t.Fatalf("invert.Contains(%v) = %v, want %v (a=%v)", p, got, !inA, a)
+			}
+		}
+		// Involution and De Morgan spot-checks at the structural level.
+		if !invA.Invert().Equal(a) {
+			t.Fatalf("double inversion of %v = %v", a, invA.Invert())
+		}
+		if !a.Subtract(b).Equal(a.Intersect(b.Invert())) {
+			t.Fatalf("a\\b != a∩¬b for a=%v b=%v", a, b)
+		}
+	})
+}
+
 func BenchmarkScheduleContains(b *testing.B) {
 	s := MustSchedule(
 		MustInterval(Clock(0, 0, 0), Clock(6, 0, 0)),
