@@ -10,6 +10,7 @@ import (
 	"indoorpath/internal/itgraph"
 	"indoorpath/internal/model"
 	"indoorpath/internal/render"
+	"indoorpath/internal/server"
 	"indoorpath/internal/service"
 	"indoorpath/internal/synth"
 	"indoorpath/internal/temporal"
@@ -218,6 +219,33 @@ type (
 // Pool.Route answers exactly as Engine.Route would, and Pool.RouteBatch
 // fans a batch out over PoolOptions.Workers goroutines.
 func NewPool(g *Graph, opts PoolOptions) *ServicePool { return service.New(g, opts) }
+
+// HTTP serving types (see internal/server and cmd/itspqd).
+type (
+	// Server is the HTTP/JSON front-end over a VenueRegistry: route,
+	// batch, day-profile, live schedule-update, listing, health and
+	// stats endpoints. It implements http.Handler.
+	Server = server.Server
+	// ServerOptions tune a Server (request timeout, batch and body
+	// limits); the zero value is a usable default.
+	ServerOptions = server.Options
+	// VenueRegistry maps venue IDs to per-venue serving pools (one
+	// ServicePool per engine method, all over one shared graph).
+	VenueRegistry = server.Registry
+	// ServedVenue is one registry entry: per-method pools plus the
+	// atomic live schedule-update hook.
+	ServedVenue = server.Venue
+)
+
+// NewVenueRegistry builds an empty venue registry; venues added later
+// (Add, AddGraph, LoadDir, AddPresets) each get one serving pool per
+// engine method configured from opts.
+func NewVenueRegistry(opts PoolOptions) *VenueRegistry { return server.NewRegistry(opts) }
+
+// NewServer builds the HTTP/JSON query server over a registry. The
+// result is an http.Handler; cmd/itspqd wires it into an http.Server
+// with graceful shutdown.
+func NewServer(reg *VenueRegistry, opts ServerOptions) *Server { return server.New(reg, opts) }
 
 // Service-query types (indoor LBS layer).
 type (

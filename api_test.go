@@ -3,7 +3,11 @@ package indoorpath_test
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	indoorpath "indoorpath"
@@ -231,5 +235,49 @@ func TestFacadeWaitingRouter(t *testing.T) {
 	}
 	if math.Abs(sp.Length-23) > 1e-9 {
 		t.Errorf("static length = %v", sp.Length)
+	}
+}
+
+// TestFacadeServer exercises the HTTP serving surface end to end
+// through the public API: registry, server, route, schedule update.
+func TestFacadeServer(t *testing.T) {
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{})
+	if err := reg.Add("demo", buildDemoVenue(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{}))
+	defer ts.Close()
+
+	send := func(method, path, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(raw)
+	}
+
+	routeBody := `{"from":{"x":2,"y":5,"floor":0},"to":{"x":25,"y":5,"floor":0},"at":"12:00"}`
+	status, raw := send(http.MethodPost, "/v1/venues/demo/route", routeBody)
+	if status != http.StatusOK || !strings.Contains(raw, `"found":true`) {
+		t.Fatalf("route: %d %s", status, raw)
+	}
+	// Close the shop door; the same query must now answer no-route.
+	status, raw = send(http.MethodPut, "/v1/venues/demo/schedules", `{"updates":{"door":[]}}`)
+	if status != http.StatusOK || !strings.Contains(raw, `"epoch":1`) {
+		t.Fatalf("schedules: %d %s", status, raw)
+	}
+	status, raw = send(http.MethodPost, "/v1/venues/demo/route", routeBody)
+	if status != http.StatusOK || !strings.Contains(raw, `"found":false`) {
+		t.Fatalf("route after close: %d %s", status, raw)
 	}
 }

@@ -13,7 +13,11 @@
 package indoorpath_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -384,6 +388,148 @@ func BenchmarkPoolRouteBatch(b *testing.B) {
 			b.StopTimer()
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(b.N*len(batch))/secs, "queries/s")
+			}
+		})
+	}
+}
+
+// serverBenchSetup boots the HTTP serving stack (registry + server +
+// httptest listener) over the synth-mall testbed with caching disabled,
+// so every request is a real search and the delta against
+// BenchmarkPoolRoute is pure HTTP/JSON overhead.
+func serverBenchSetup(b *testing.B, tb *testbed, workers int) (*httptest.Server, [][]byte) {
+	b.Helper()
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
+		Workers:       workers,
+		CacheCapacity: -1,
+	})
+	if err := reg.AddGraph("mall", tb.graph, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{}))
+	b.Cleanup(ts.Close)
+
+	var qs []indoorpath.Query
+	for hour := 0; hour <= 22; hour += 2 {
+		qs = append(qs, tb.atTime(indoorpath.Clock(hour, 0, 0))...)
+	}
+	bodies := make([][]byte, len(qs))
+	for i, q := range qs {
+		body, err := json.Marshal(map[string]any{
+			"from": map[string]any{"x": q.Source.X, "y": q.Source.Y, "floor": q.Source.Floor},
+			"to":   map[string]any{"x": q.Target.X, "y": q.Target.Y, "floor": q.Target.Floor},
+			"at":   q.At.String(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	return ts, bodies
+}
+
+// BenchmarkServerRoute measures end-to-end HTTP serving throughput: N
+// client goroutines POST /v1/venues/{id}/route against the daemon
+// stack. Compare queries/s against BenchmarkPoolRoute to read off the
+// HTTP/JSON overhead per query.
+func BenchmarkServerRoute(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	tb.graph.Snapshots().BuildAll()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ts, bodies := serverBenchSetup(b, tb, workers)
+			url := ts.URL + "/v1/venues/mall/route"
+			client := ts.Client()
+			post := func(body []byte) error {
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					return err
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					return fmt.Errorf("status %d", resp.StatusCode)
+				}
+				return nil
+			}
+			for _, body := range bodies { // warmup: engines, conns
+				if err := post(body); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						n := int(next.Add(1)) - 1
+						if n >= b.N {
+							return
+						}
+						if err := post(bodies[n%len(bodies)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "queries/s")
+			}
+		})
+	}
+}
+
+// BenchmarkServerRouteBatch measures the batch endpoint: one POST
+// /route:batch per iteration carrying the whole mixed-time batch (with
+// a duplicate tail), fanned out server-side over the pool's workers.
+func BenchmarkServerRouteBatch(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	tb.graph.Snapshots().BuildAll()
+	var qs []indoorpath.Query
+	for hour := 0; hour <= 22; hour += 2 {
+		qs = append(qs, tb.atTime(indoorpath.Clock(hour, 0, 0))...)
+	}
+	qs = append(qs, qs[:len(qs)/4]...) // duplicate tail: dedup work
+	queries := make([]map[string]any, len(qs))
+	for i, q := range qs {
+		queries[i] = map[string]any{
+			"from": map[string]any{"x": q.Source.X, "y": q.Source.Y, "floor": q.Source.Floor},
+			"to":   map[string]any{"x": q.Target.X, "y": q.Target.Y, "floor": q.Target.Floor},
+			"at":   q.At.String(),
+		}
+	}
+	body, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ts, _ := serverBenchSetup(b, tb, workers)
+			url := ts.URL + "/v1/venues/mall/route:batch"
+			client := ts.Client()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*len(qs))/secs, "queries/s")
 			}
 		})
 	}

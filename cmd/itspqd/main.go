@@ -1,0 +1,135 @@
+// Command itspqd is the ITSPQ query daemon: an HTTP/JSON server
+// answering indoor shortest-path queries over one or more venues, with
+// live door-schedule updates.
+//
+// Usage:
+//
+//	itspqd -preset hospital,office                 # built-in venues
+//	itspqd -venues ./venues                        # every *.json in a dir
+//	itspqd -addr :9000 -preset mall -workers 8     # tuned
+//
+// Endpoints (see the package documentation of indoorpath for request
+// and response bodies):
+//
+//	GET  /healthz
+//	GET  /statsz
+//	GET  /v1/venues
+//	POST /v1/venues/{id}/route
+//	POST /v1/venues/{id}/route:batch
+//	GET  /v1/venues/{id}/profile?from=x,y,floor&to=x,y,floor
+//	PUT  /v1/venues/{id}/schedules
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests get ShutdownGrace to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	indoorpath "indoorpath"
+)
+
+// ShutdownGrace bounds how long in-flight requests may run after a
+// termination signal.
+const ShutdownGrace = 10 * time.Second
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("itspqd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		venues  = fs.String("venues", "", "directory of venue JSON files (id = file name)")
+		presets = fs.String("preset", "", "comma-separated built-in venues: mall, hospital, office, figure1")
+		workers = fs.Int("workers", 0, "batch fan-out goroutines per venue pool (0 = GOMAXPROCS)")
+		cache   = fs.Int("cache", 0, "result-cache capacity per pool (0 = default, negative = disabled)")
+		timeout = fs.Duration("timeout", 0, "per-request timeout (0 = server default, negative = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "itspqd: "+format+"\n", a...)
+		return 1
+	}
+	if *venues == "" && *presets == "" {
+		fmt.Fprintln(stderr, "itspqd: need -venues and/or -preset")
+		fs.Usage()
+		return 2
+	}
+
+	reg, err := newRegistry(*venues, *presets, *workers, *cache)
+	if err != nil {
+		return fail("%v", err)
+	}
+	srv := indoorpath.NewServer(reg, indoorpath.ServerOptions{RequestTimeout: *timeout})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("%v", err)
+	}
+	fmt.Fprintf(stdout, "itspqd: serving %s on http://%s\n",
+		strings.Join(reg.IDs(), ", "), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, ln, srv, stdout, stderr)
+}
+
+// newRegistry loads the requested venues into a fresh registry.
+func newRegistry(venuesDir, presets string, workers, cache int) (*indoorpath.VenueRegistry, error) {
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
+		Workers:       workers,
+		CacheCapacity: cache,
+	})
+	if presets != "" {
+		if err := reg.AddPresets(presets); err != nil {
+			return nil, err
+		}
+	}
+	if venuesDir != "" {
+		if _, err := reg.LoadDir(venuesDir); err != nil {
+			return nil, err
+		}
+	}
+	if reg.Len() == 0 {
+		return nil, errors.New("no venues loaded")
+	}
+	return reg, nil
+}
+
+// serve runs the HTTP server until ctx is cancelled, then drains
+// in-flight requests for up to ShutdownGrace.
+func serve(ctx context.Context, ln net.Listener, h http.Handler, stdout, stderr io.Writer) int {
+	hs := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "itspqd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "itspqd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "itspqd: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	indoorpath "indoorpath"
+)
+
+func TestNewRegistry(t *testing.T) {
+	// Presets load under their own IDs.
+	reg, err := newRegistry("", "hospital,office", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.IDs(); len(got) != 2 || got[0] != "hospital" || got[1] != "office" {
+		t.Fatalf("IDs = %v", got)
+	}
+
+	// A venue directory loads alongside presets.
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "wing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := indoorpath.NewBuilder("wing")
+	hall := b.AddPartition("hall", indoorpath.HallwayPartition, indoorpath.NewRect(0, 0, 10, 10, 0))
+	room := b.AddPartition("room", indoorpath.PublicPartition, indoorpath.NewRect(10, 0, 20, 10, 0))
+	b.ConnectBi(b.AddDoor("d", indoorpath.PublicDoor, indoorpath.Pt(10, 5, 0), nil), hall, room)
+	if err := indoorpath.SaveVenue(f, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg, err = newRegistry(dir, "figure1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.IDs(); len(got) != 2 || got[0] != "figure1" || got[1] != "wing" {
+		t.Fatalf("IDs = %v", got)
+	}
+
+	// Errors propagate.
+	if _, err := newRegistry("", "narnia", 0, 0); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+	if _, err := newRegistry(t.TempDir(), "", 0, 0); err == nil {
+		t.Fatal("empty venue dir should fail")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit = %d", code)
+	}
+	errb.Reset()
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no venues: exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "-venues and/or -preset") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	if code := run([]string{"-preset", "narnia"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown preset: exit = %d", code)
+	}
+}
+
+// TestServeGracefulShutdown boots the daemon's serve loop on an
+// ephemeral port, exercises the API over real HTTP, then cancels the
+// context and expects a clean exit.
+func TestServeGracefulShutdown(t *testing.T) {
+	reg, err := newRegistry("", "hospital", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := indoorpath.NewServer(reg, indoorpath.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- serve(ctx, ln, srv, &out, &errb) }()
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Venues int    `json:"venues"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Venues != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	resp, err = http.Post(base+"/v1/venues/hospital/route", "application/json",
+		strings.NewReader(`{"from":{"x":30,"y":10,"floor":0},"to":{"x":5,"y":34,"floor":0},"at":"11:00"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr struct {
+		Found bool `json:"found"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rr.Found {
+		t.Fatal("route not found over the daemon")
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serve exit = %d, stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}

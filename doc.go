@@ -24,6 +24,9 @@
 //     sync.Pool over one shared graph, batch fan-out with
 //     identical-query deduplication, and per-(source partition, target
 //     partition, checkpoint slot) result caching;
+//   - an HTTP/JSON query daemon (NewServer + cmd/itspqd): a multi-venue
+//     registry of serving pools behind route/batch/profile endpoints,
+//     with live door-schedule updates over the wire;
 //   - a service-query layer: single-source valid distances, k-nearest
 //     open partitions, day profiles, path validity windows and what-if
 //     schedule re-planning;
@@ -74,6 +77,53 @@
 // updates go through Pool.UpdateSchedules (or Pool.SetGraph), which
 // atomically swap the graph and flush the cache without draining the
 // server.
+//
+// # HTTP serving
+//
+// NewServer wraps a VenueRegistry — venue IDs mapped to per-venue,
+// per-method serving pools — into an http.Handler; cmd/itspqd is the
+// ready-made daemon (graceful shutdown, -venues dir and -preset
+// loading, -workers/-cache/-timeout tuning):
+//
+//	itspqd -addr :8080 -preset hospital,office -venues ./venues
+//
+// Endpoints:
+//
+//	GET  /healthz                       liveness + venue count
+//	GET  /statsz                        per-venue, per-method pool counters
+//	GET  /v1/venues                     venue listing
+//	POST /v1/venues/{id}/route          one ITSPQ query
+//	POST /v1/venues/{id}/route:batch    batch fan-out (dedup + cache sharing)
+//	GET  /v1/venues/{id}/profile        day profile between two points
+//	PUT  /v1/venues/{id}/schedules      live door-schedule update
+//
+// Route a query (times travel both as exact seconds and as "H:MM"
+// strings; method is syn | asyn | static | waiting, default asyn):
+//
+//	curl -X POST localhost:8080/v1/venues/hospital/route \
+//	  -d '{"from":{"x":30,"y":10,"floor":0},"to":{"x":5,"y":34,"floor":0},"at":"11:00"}'
+//	{"found":true,"path":{"format":"(ps, lobby-er, lobby-corridor, ward-1-door, pt)",
+//	 "length_m":39.57,"hops":3,"depart":"11:00","arrive":"11:00:28",...},"stats":{...}}
+//
+// Batches send {"method":"asyn","queries":[...]} to /route:batch and
+// come back positionally aligned, with "shared" and "cache_hit" flags
+// marking deduplicated and cached entries. "No such routes" is a
+// regular answer: HTTP 200 with {"found":false}. Validation failures
+// return a structured envelope {"error":{"code":"bad_request",
+// "message":"..."}} (codes: bad_request, not_found, not_indoor,
+// timeout, too_large, internal).
+//
+// Live schedule updates map door names to ATI lists (null = always
+// open, [] = always closed) and apply as one atomic swap per pool —
+// concurrent routes keep flowing and each response reflects either the
+// old or the new schedule set in full, never a mix:
+//
+//	curl -X PUT localhost:8080/v1/venues/hospital/schedules \
+//	  -d '{"updates":{"ward-1-door":["10:00-18:00"]}}'
+//	{"venue":"hospital","doors_updated":1,"epoch":1}
+//
+// cmd/itspq doubles as a smoke client: itspq -server http://host:8080
+// -venue hospital -from ... prints byte-identically to local mode.
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the paper-to-code mapping.

@@ -1,0 +1,79 @@
+// Server example: boot the HTTP query daemon stack in-process over the
+// hospital preset, answer routes over real HTTP, push a live schedule
+// update, and watch the answer change — the serving loop of cmd/itspqd
+// in ~80 lines.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	indoorpath "indoorpath"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Registry: venue ID -> per-venue serving pools. cmd/itspqd builds
+	// the same thing from -venues / -preset flags.
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{})
+	if err := reg.AddPresets("hospital"); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{}))
+	defer ts.Close()
+	fmt.Printf("serving %v at %s\n\n", reg.IDs(), ts.URL)
+
+	// ER -> ward-1 during visiting hours: routable.
+	route := `{"from":{"x":30,"y":10,"floor":0},"to":{"x":5,"y":34,"floor":0},"at":"11:00"}`
+	show("route at 11:00", call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", route))
+
+	// In the visiting-hours gap: no such routes.
+	gap := strings.Replace(route, "11:00", "13:00", 1)
+	show("route at 13:00", call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", gap))
+
+	// Live update: extend ward-1 visiting hours across the afternoon
+	// gap. One atomic swap per pool — no stale answers, no draining.
+	update := `{"updates":{"ward-1-door":["10:00-18:00"]}}`
+	show("PUT schedules", call(ts.URL, http.MethodPut, "/v1/venues/hospital/schedules", update))
+
+	// The same 13:00 query now routes.
+	show("route at 13:00 after update", call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", gap))
+
+	// Serving counters, per venue and method.
+	show("statsz", call(ts.URL, http.MethodGet, "/statsz", ""))
+}
+
+func call(base, method, path, body string) string {
+	req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+func show(label, body string) {
+	const max = 240
+	if len(body) > max {
+		body = body[:max] + "…"
+	}
+	fmt.Printf("%s:\n  %s\n\n", label, body)
+}

@@ -22,16 +22,17 @@ type AccessChecker interface {
 	Stats() CheckerStats
 }
 
-// CheckerStats counts checker work for the experiment harness.
+// CheckerStats counts checker work for the experiment harness
+// (JSON-tagged for the server wire, like SearchStats).
 type CheckerStats struct {
-	Checks         int // TV_Check invocations
-	Passed         int
-	ATIProbes      int // schedule binary searches (Syn)
-	SnapshotProbes int // O(1) bitset probes (Asyn)
-	SlotSwitches   int // times the arrival crossed into another slot
-	SnapshotBuilds int // Graph_Update executions triggered by this query
-	SnapshotBytes  int // bytes of snapshots consulted by this query
-	PrunedLists    int // expansions served from reduced leave-door lists
+	Checks         int `json:"checks"` // TV_Check invocations
+	Passed         int `json:"passed"`
+	ATIProbes      int `json:"ati_probes"`      // schedule binary searches (Syn)
+	SnapshotProbes int `json:"snapshot_probes"` // O(1) bitset probes (Asyn)
+	SlotSwitches   int `json:"slot_switches"`   // times the arrival crossed into another slot
+	SnapshotBuilds int `json:"snapshot_builds"` // Graph_Update executions triggered by this query
+	SnapshotBytes  int `json:"snapshot_bytes"`  // bytes of snapshots consulted by this query
+	PrunedLists    int `json:"pruned_lists"`    // expansions served from reduced leave-door lists
 }
 
 // leavePruner is the optional fast path of the asynchronous method: an

@@ -60,24 +60,25 @@ type Options struct {
 	SinglePartitionExpansion bool
 }
 
-// SearchStats describes one query execution for the experiment harness.
+// SearchStats describes one query execution for the experiment harness
+// and the server's route responses (JSON-tagged for the wire).
 type SearchStats struct {
-	Method            string
-	Pops              int // heap extractions
-	Settled           int // doors finalised
-	Relaxations       int // candidate door updates attempted
-	DoorsTouched      int // distinct doors assigned a finite distance
-	PartitionsVisited int
-	HeapMax           int
-	Checker           CheckerStats
+	Method            string       `json:"method"`
+	Pops              int          `json:"pops"`          // heap extractions
+	Settled           int          `json:"settled"`       // doors finalised
+	Relaxations       int          `json:"relaxations"`   // candidate door updates attempted
+	DoorsTouched      int          `json:"doors_touched"` // distinct doors assigned a finite distance
+	PartitionsVisited int          `json:"partitions_visited"`
+	HeapMax           int          `json:"heap_max"`
+	Checker           CheckerStats `json:"checker"`
 	// BytesEstimate models the search working set: distance/parent map
 	// entries, heap slots, the visited sets, and (for ITG/A) the
 	// snapshots consulted. It is the deterministic memory metric behind
 	// Fig. 7; the harness also reports live heap allocations.
-	BytesEstimate int
-	Found         bool
-	PathHops      int
-	PathLength    float64
+	BytesEstimate int     `json:"bytes_estimate"`
+	Found         bool    `json:"found"`
+	PathHops      int     `json:"path_hops"`
+	PathLength    float64 `json:"path_length"`
 }
 
 // searchState is the mutable working set of one ITSPQ search: the

@@ -1,0 +1,423 @@
+// Package server is the HTTP/JSON front-end of the ITSPQ machinery: a
+// Registry of venues (one service.Pool per engine method each) behind
+// a small REST-ish API, turning the concurrent serving layer into a
+// network daemon (cmd/itspqd).
+//
+// Endpoints:
+//
+//	GET  /healthz                       liveness + venue count
+//	GET  /statsz                        per-venue, per-method pool counters
+//	GET  /v1/venues                     venue listing
+//	POST /v1/venues/{id}/route          one ITSPQ query
+//	POST /v1/venues/{id}/route:batch    batch fan-out via Pool.RouteBatch
+//	GET  /v1/venues/{id}/profile        day profile between two points
+//	PUT  /v1/venues/{id}/schedules      live door-schedule update
+//
+// Concurrency: every handler is safe for arbitrary concurrency. Routes
+// go through the per-(venue, method) service.Pool, so they inherit its
+// guarantees — answers byte-identical to a sequential core.Engine, and
+// schedule updates that swap graph+engines+cache atomically per pool
+// (a response reflects either the pre- or the post-update schedules in
+// full, and post-update requests can never be served pre-update cache
+// entries). Schedule updates are serialised per venue; the registry
+// row itself is never replaced by an update.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/model"
+)
+
+// Options tune a Server. The zero value is usable.
+type Options struct {
+	// RequestTimeout bounds route, batch and profile requests; when it
+	// expires the handler answers 504 (the underlying search still runs
+	// to completion on its goroutine — searches are not cancellable —
+	// but its result is discarded). 0 means DefaultRequestTimeout;
+	// negative disables the timeout. Schedule updates are never timed
+	// out: once accepted they are applied.
+	RequestTimeout time.Duration
+	// MaxBatch caps the number of queries in one batch request.
+	// 0 means DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes caps request body sizes. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultRequestTimeout = 15 * time.Second
+	DefaultMaxBatch       = 4096
+	DefaultMaxBodyBytes   = 8 << 20
+)
+
+// Server answers the HTTP API over a Registry. It implements
+// http.Handler; wire it into an http.Server (or httptest) directly.
+type Server struct {
+	reg  *Registry
+	opts Options
+	mux  *http.ServeMux
+}
+
+// New builds a Server over a registry.
+func New(reg *Registry, opts Options) *Server {
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
+	s.mux.HandleFunc("POST /v1/venues/{id}/route", s.venueHandler(s.handleRoute))
+	s.mux.HandleFunc("POST /v1/venues/{id}/route:batch", s.venueHandler(s.handleRouteBatch))
+	s.mux.HandleFunc("GET /v1/venues/{id}/profile", s.venueHandler(s.handleProfile))
+	s.mux.HandleFunc("PUT /v1/venues/{id}/schedules", s.venueHandler(s.handleSchedules))
+	return s
+}
+
+// Registry returns the served registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// venueHandler resolves the {id} path segment to a registered venue.
+func (s *Server) venueHandler(h func(http.ResponseWriter, *http.Request, *Venue)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		ve, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, &ErrorDoc{
+				Code: "not_found", Message: fmt.Sprintf("unknown venue %q", id),
+			})
+			return
+		}
+		h(w, r, ve)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Venues: s.reg.Len()})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{Venues: make(map[string]VenueStatsDoc)}
+	for _, ve := range s.reg.Venues() {
+		resp.Venues[ve.ID()] = ve.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleVenues(w http.ResponseWriter, _ *http.Request) {
+	resp := VenuesResponse{Venues: []VenueInfo{}}
+	for _, ve := range s.reg.Venues() {
+		resp.Venues = append(resp.Venues, ve.Info())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, ve *Venue) {
+	var req RouteRequest
+	if errDoc := s.decodeBody(w, r, &req); errDoc != nil {
+		writeError(w, statusOf(errDoc), errDoc)
+		return
+	}
+	q, errDoc := req.query()
+	if errDoc != nil {
+		writeError(w, http.StatusBadRequest, errDoc)
+		return
+	}
+	m, waiting, errDoc := parseMethod(req.Method, true)
+	if errDoc != nil {
+		writeError(w, http.StatusBadRequest, errDoc)
+		return
+	}
+	resp, ok := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() RouteResponse {
+		if waiting {
+			return routeWaiting(ve, q)
+		}
+		return routePooled(ve, m, q)
+	})
+	if !ok {
+		writeError(w, http.StatusGatewayTimeout, &ErrorDoc{Code: "timeout", Message: "route timed out"})
+		return
+	}
+	if resp.Error != nil {
+		writeError(w, statusOf(resp.Error), resp.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Venue) {
+	var req BatchRequest
+	if errDoc := s.decodeBody(w, r, &req); errDoc != nil {
+		writeError(w, statusOf(errDoc), errDoc)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, badRequest("empty \"queries\""))
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, &ErrorDoc{
+			Code:    "too_large",
+			Message: fmt.Sprintf("batch of %d queries exceeds the %d-query limit", len(req.Queries), s.opts.MaxBatch),
+		})
+		return
+	}
+	m, _, errDoc := parseMethod(req.Method, false)
+	if errDoc != nil {
+		writeError(w, http.StatusBadRequest, errDoc)
+		return
+	}
+	qs := make([]core.Query, len(req.Queries))
+	for i := range req.Queries {
+		if req.Queries[i].Method != "" {
+			writeError(w, http.StatusBadRequest,
+				badRequest("queries[%d]: per-query methods are not allowed in a batch (set the batch-level \"method\")", i))
+			return
+		}
+		q, errDoc := req.Queries[i].query()
+		if errDoc != nil {
+			errDoc.Message = fmt.Sprintf("queries[%d]: %s", i, errDoc.Message)
+			writeError(w, http.StatusBadRequest, errDoc)
+			return
+		}
+		qs[i] = q
+	}
+	resp, ok := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() BatchResponse {
+		pool := ve.Pool(m)
+		results := pool.RouteBatch(qs)
+		out := BatchResponse{Results: make([]RouteResponse, len(results))}
+		mv := ve.Model()
+		for i, res := range results {
+			out.Results[i] = responseOf(mv, res.Path, res.Err, &res.Stats)
+			out.Results[i].CacheHit = res.CacheHit
+			out.Results[i].Shared = res.Shared
+		}
+		return out
+	})
+	if !ok {
+		writeError(w, http.StatusGatewayTimeout, &ErrorDoc{Code: "timeout", Message: "batch timed out"})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, ve *Venue) {
+	fromStr := r.URL.Query().Get("from")
+	toStr := r.URL.Query().Get("to")
+	if fromStr == "" || toStr == "" {
+		writeError(w, http.StatusBadRequest, badRequest("missing \"from\" / \"to\" query parameters (x,y,floor)"))
+		return
+	}
+	src, err := ParsePoint(fromStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, badRequest("bad \"from\": %v", err))
+		return
+	}
+	tgt, err := ParsePoint(toStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, badRequest("bad \"to\": %v", err))
+		return
+	}
+	m, _, errDoc := parseMethod(r.URL.Query().Get("method"), false)
+	if errDoc != nil {
+		writeError(w, http.StatusBadRequest, errDoc)
+		return
+	}
+	type profileOut struct {
+		entries []core.ProfileEntry
+		err     error
+	}
+	out, ok := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() profileOut {
+		// Engines are cheap to build (lazily allocated search state);
+		// the profile walks every checkpoint slot on one fresh,
+		// goroutine-confined engine over the current graph.
+		e := core.NewEngine(ve.Graph(), core.Options{Method: m})
+		entries, err := core.DayProfile(e, src, tgt)
+		return profileOut{entries, err}
+	})
+	if !ok {
+		writeError(w, http.StatusGatewayTimeout, &ErrorDoc{Code: "timeout", Message: "profile timed out"})
+		return
+	}
+	if out.err != nil {
+		errDoc := errorDocOf(out.err)
+		writeError(w, statusOf(errDoc), errDoc)
+		return
+	}
+	resp := ProfileResponse{
+		Venue:   ve.ID(),
+		From:    PointDoc{X: src.X, Y: src.Y, Floor: src.Floor},
+		To:      PointDoc{X: tgt.X, Y: tgt.Y, Floor: tgt.Floor},
+		Entries: make([]ProfileEntryDoc, 0, len(out.entries)),
+	}
+	for _, e := range out.entries {
+		resp.Entries = append(resp.Entries, ProfileEntryDoc{
+			StartSec:  float64(e.Start),
+			Start:     e.Start.String(),
+			EndSec:    float64(e.End),
+			End:       e.End.String(),
+			Reachable: e.Reachable,
+			LengthM:   e.Length,
+			Hops:      e.Hops,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request, ve *Venue) {
+	var req SchedulesRequest
+	if errDoc := s.decodeBody(w, r, &req); errDoc != nil {
+		writeError(w, statusOf(errDoc), errDoc)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, badRequest("empty \"updates\""))
+		return
+	}
+	parsed, errDoc := parseUpdates(ve.Model(), req.Updates)
+	if errDoc != nil {
+		writeError(w, http.StatusBadRequest, errDoc)
+		return
+	}
+	// Deliberately not subject to the request timeout: once validated,
+	// the update is applied — a timed-out-but-applied swap would leave
+	// the client unable to tell which schedules are live.
+	epoch, err := ve.UpdateSchedules(parsed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, &ErrorDoc{Code: "internal", Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SchedulesResponse{
+		Venue:        ve.ID(),
+		DoorsUpdated: len(parsed),
+		Epoch:        epoch,
+	})
+}
+
+// routePooled answers one query on the venue's method pool. Cache hits
+// carry the stats of the search that produced the cached outcome, so a
+// client sees exactly what Pool.Route reports.
+func routePooled(ve *Venue, m core.Method, q core.Query) RouteResponse {
+	res := ve.Pool(m).RouteResult(q)
+	resp := responseOf(ve.Model(), res.Path, res.Err, &res.Stats)
+	resp.CacheHit = res.CacheHit
+	return resp
+}
+
+// routeWaiting answers one query with the earliest-arrival waiting
+// router (per-request: the router is goroutine-confined).
+func routeWaiting(ve *Venue, q core.Query) RouteResponse {
+	path, err := core.NewWaitingRouter(ve.Graph()).Route(q)
+	return responseOf(ve.Model(), path, err, nil)
+}
+
+// responseOf maps an engine outcome to the wire. ErrNoRoute is the
+// regular negative answer (Found=false, no error); ErrNotIndoor and
+// anything else become embedded error docs.
+func responseOf(mv *model.Venue, path *core.Path, err error, stats *core.SearchStats) RouteResponse {
+	switch {
+	case errors.Is(err, core.ErrNoRoute):
+		return RouteResponse{Found: false, Stats: stats}
+	case err != nil:
+		return RouteResponse{Error: errorDocOf(err)}
+	default:
+		return RouteResponse{Found: true, Path: pathDoc(mv, path), Stats: stats}
+	}
+}
+
+// errorDocOf classifies an engine error.
+func errorDocOf(err error) *ErrorDoc {
+	if errors.Is(err, core.ErrNotIndoor) {
+		return &ErrorDoc{Code: "not_indoor", Message: err.Error()}
+	}
+	return &ErrorDoc{Code: "internal", Message: err.Error()}
+}
+
+// runWithTimeout runs fn on its own goroutine and waits for the result
+// or the deadline, whichever comes first. fn always runs to completion
+// (searches are not cancellable); on timeout its result is discarded.
+func runWithTimeout[T any](ctx context.Context, d time.Duration, fn func() T) (T, bool) {
+	if d < 0 {
+		return fn(), true
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	ch := make(chan T, 1)
+	go func() { ch <- fn() }()
+	select {
+	case v := <-ch:
+		return v, true
+	case <-ctx.Done():
+		var zero T
+		return zero, false
+	}
+}
+
+// decodeBody reads and strictly decodes a JSON request body.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) *ErrorDoc {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &ErrorDoc{Code: "too_large", Message: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	_, _ = io.Copy(io.Discard, r.Body)
+	return nil
+}
+
+// statusOf maps an error code to its HTTP status.
+func statusOf(e *ErrorDoc) int {
+	switch e.Code {
+	case "bad_request":
+		return http.StatusBadRequest
+	case "not_found":
+		return http.StatusNotFound
+	case "not_indoor":
+		return http.StatusUnprocessableEntity
+	case "timeout":
+		return http.StatusGatewayTimeout
+	case "too_large":
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e *ErrorDoc) {
+	writeJSON(w, status, struct {
+		Error *ErrorDoc `json:"error"`
+	}{e})
+}

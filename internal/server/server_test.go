@@ -1,0 +1,645 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/service"
+	"indoorpath/internal/synth"
+	"indoorpath/internal/temporal"
+)
+
+// Hospital probe points (see synth.Hospital): the ER centre and the
+// centre of ward-1, whose door follows visiting hours 10:00–12:00 and
+// 14:00–18:00.
+var (
+	erCentre   = PointDoc{X: 30, Y: 10, Floor: 0}
+	wardCentre = PointDoc{X: 5, Y: 34, Floor: 0}
+)
+
+func newTestServer(t testing.TB, opts Options) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry(service.Options{})
+	if err := reg.AddPresets("hospital,office"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(reg, opts))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	return doJSON(t, http.MethodPost, url, body)
+}
+
+func doJSON(t testing.TB, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func getJSON(t testing.TB, url string, out any) *http.Response {
+	t.Helper()
+	resp, raw := doJSON(t, http.MethodGet, url, nil)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, raw)
+		}
+	}
+	return resp
+}
+
+func decodeInto(t testing.TB, raw []byte, out any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+}
+
+// errCode extracts the error envelope code of a non-2xx body.
+func errCode(t testing.TB, raw []byte) string {
+	t.Helper()
+	var envelope struct {
+		Error *ErrorDoc `json:"error"`
+	}
+	decodeInto(t, raw, &envelope)
+	if envelope.Error == nil {
+		t.Fatalf("no error envelope in %s", raw)
+	}
+	return envelope.Error.Code
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	var h HealthResponse
+	resp := getJSON(t, ts.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if h.Status != "ok" || h.Venues != 2 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestVenuesList(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	var v VenuesResponse
+	getJSON(t, ts.URL+"/v1/venues", &v)
+	if len(v.Venues) != 2 {
+		t.Fatalf("venues = %+v", v)
+	}
+	if v.Venues[0].ID != "hospital" || v.Venues[1].ID != "office" {
+		t.Fatalf("ids not sorted: %+v", v.Venues)
+	}
+	h := v.Venues[0]
+	if h.Name != "hospital-wing" || h.Doors == 0 || h.Partitions == 0 || h.Checkpoints == 0 {
+		t.Fatalf("hospital info = %+v", h)
+	}
+	if h.Source != "preset:hospital" || h.Epoch != 0 {
+		t.Fatalf("hospital info = %+v", h)
+	}
+}
+
+// TestRouteMatchesEngine proves the serving stack answers exactly as a
+// sequential core.Engine for every pooled method across the day.
+func TestRouteMatchesEngine(t *testing.T) {
+	ts, reg := newTestServer(t, Options{})
+	ve, _ := reg.Get("hospital")
+	for _, method := range []string{"syn", "asyn", "static"} {
+		m, _, errDoc := parseMethod(method, false)
+		if errDoc != nil {
+			t.Fatal(errDoc)
+		}
+		e := core.NewEngine(ve.Graph(), core.Options{Method: m})
+		for hour := 0; hour < 24; hour += 3 {
+			at := temporal.Clock(hour, 0, 0)
+			q := core.Query{Source: erCentre.point(), Target: wardCentre.point(), At: at}
+			want, _, wantErr := e.Route(q)
+
+			resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route", RouteRequest{
+				From: &erCentre, To: &wardCentre, At: at.String(), Method: method,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s t=%d: status %d: %s", method, hour, resp.StatusCode, raw)
+			}
+			var rr RouteResponse
+			decodeInto(t, raw, &rr)
+			if errors.Is(wantErr, core.ErrNoRoute) {
+				if rr.Found {
+					t.Fatalf("%s t=%d: found a path where the engine found none", method, hour)
+				}
+				continue
+			}
+			if wantErr != nil {
+				t.Fatal(wantErr)
+			}
+			if !rr.Found || rr.Path == nil {
+				t.Fatalf("%s t=%d: found=false, engine found %v", method, hour, want)
+			}
+			assertPathEqual(t, ve, want, rr.Path)
+			if rr.Stats == nil || rr.Stats.Method == "" {
+				t.Fatalf("%s t=%d: missing stats", method, hour)
+			}
+		}
+	}
+}
+
+// assertPathEqual compares a wire path to an engine path field by
+// field (float64 survives a JSON round trip exactly).
+func assertPathEqual(t testing.TB, ve *Venue, want *core.Path, got *PathDoc) {
+	t.Helper()
+	mv := ve.Model()
+	if got.LengthM != want.Length || got.Hops != want.Hops() {
+		t.Fatalf("length/hops = %v/%d, want %v/%d", got.LengthM, got.Hops, want.Length, want.Hops())
+	}
+	if got.ArriveSec != float64(want.ArrivalAtTgt) || got.DepartSec != float64(want.DepartedAt) {
+		t.Fatalf("times = %v→%v, want %v→%v", got.DepartSec, got.ArriveSec, want.DepartedAt, want.ArrivalAtTgt)
+	}
+	if got.Format != want.Format(mv) {
+		t.Fatalf("format = %q, want %q", got.Format, want.Format(mv))
+	}
+	if len(got.Doors) != len(want.Doors) {
+		t.Fatalf("doors = %d, want %d", len(got.Doors), len(want.Doors))
+	}
+	for i, d := range want.Doors {
+		if got.Doors[i].Door != mv.Door(d).Name || got.Doors[i].ArriveSec != float64(want.Arrivals[i]) {
+			t.Fatalf("door[%d] = %+v, want %s at %v", i, got.Doors[i], mv.Door(d).Name, want.Arrivals[i])
+		}
+	}
+}
+
+func TestRouteNoRoute(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	// 13:00 falls in the visiting-hours gap: the ward is unreachable.
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route", RouteRequest{
+		From: &erCentre, To: &wardCentre, At: "13:00",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var rr RouteResponse
+	decodeInto(t, raw, &rr)
+	if rr.Found || rr.Path != nil || rr.Error != nil {
+		t.Fatalf("response = %s", raw)
+	}
+}
+
+func TestRouteWaiting(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route", RouteRequest{
+		From: &erCentre, To: &wardCentre, At: "13:00", Method: "waiting",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var rr RouteResponse
+	decodeInto(t, raw, &rr)
+	if !rr.Found || rr.Path == nil {
+		t.Fatalf("response = %s", raw)
+	}
+	if rr.Path.WaitSec <= 0 {
+		t.Fatalf("waiting route at 13:00 should wait for visiting hours, got wait %v", rr.Path.WaitSec)
+	}
+	if rr.Stats != nil {
+		t.Fatalf("waiting has no engine stats, got %+v", rr.Stats)
+	}
+}
+
+func TestRouteCacheHitFlag(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	req := RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"}
+	_, raw1 := postJSON(t, ts.URL+"/v1/venues/hospital/route", req)
+	_, raw2 := postJSON(t, ts.URL+"/v1/venues/hospital/route", req)
+	var r1, r2 RouteResponse
+	decodeInto(t, raw1, &r1)
+	decodeInto(t, raw2, &r2)
+	if r1.CacheHit {
+		t.Fatal("first request cannot be a cache hit")
+	}
+	if !r2.CacheHit {
+		t.Fatal("identical second request should be a cache hit")
+	}
+	if r1.Path.LengthM != r2.Path.LengthM || r1.Path.Format != r2.Path.Format {
+		t.Fatalf("cache hit changed the answer: %s vs %s", raw1, raw2)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	url := ts.URL + "/v1/venues/hospital/route"
+	cases := []struct {
+		name       string
+		body       any
+		raw        string // used instead of body when non-empty
+		wantStatus int
+		wantCode   string
+	}{
+		{name: "missing from", body: RouteRequest{To: &wardCentre, At: "11:00"}, wantStatus: 400, wantCode: "bad_request"},
+		{name: "missing to", body: RouteRequest{From: &erCentre, At: "11:00"}, wantStatus: 400, wantCode: "bad_request"},
+		{name: "missing at", body: RouteRequest{From: &erCentre, To: &wardCentre}, wantStatus: 400, wantCode: "bad_request"},
+		{name: "bad at", body: RouteRequest{From: &erCentre, To: &wardCentre, At: "25:99"}, wantStatus: 400, wantCode: "bad_request"},
+		{name: "bad method", body: RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00", Method: "dijkstra"}, wantStatus: 400, wantCode: "bad_request"},
+		{name: "negative speed", body: RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00", Speed: -1}, wantStatus: 400, wantCode: "bad_request"},
+		{name: "unknown field", raw: `{"fromm": {"x":1,"y":1,"floor":0}}`, wantStatus: 400, wantCode: "bad_request"},
+		{name: "malformed json", raw: `{"from": `, wantStatus: 400, wantCode: "bad_request"},
+		{name: "not indoor", body: RouteRequest{From: &PointDoc{X: -500, Y: -500}, To: &wardCentre, At: "11:00"}, wantStatus: 422, wantCode: "not_indoor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var raw []byte
+			if tc.raw != "" {
+				r, err := http.Post(url, "application/json", strings.NewReader(tc.raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Body.Close()
+				raw, _ = io.ReadAll(r.Body)
+				resp = r
+			} else {
+				resp, raw = postJSON(t, url, tc.body)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d: %s", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if code := errCode(t, raw); code != tc.wantCode {
+				t.Fatalf("code = %q, want %q", code, tc.wantCode)
+			}
+		})
+	}
+}
+
+func TestUnknownVenue(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/atlantis/route", RouteRequest{
+		From: &erCentre, To: &wardCentre, At: "11:00",
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	if code := errCode(t, raw); code != "not_found" {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestRouteBatch(t *testing.T) {
+	ts, reg := newTestServer(t, Options{})
+	ve, _ := reg.Get("hospital")
+	e := core.NewEngine(ve.Graph(), core.Options{Method: core.MethodAsyn})
+
+	var req BatchRequest
+	for hour := 8; hour <= 16; hour += 2 {
+		req.Queries = append(req.Queries, RouteRequest{
+			From: &erCentre, To: &wardCentre, At: temporal.Clock(hour, 0, 0).String(),
+		})
+	}
+	req.Queries = append(req.Queries, req.Queries[0]) // duplicate: dedup work
+
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route:batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var br BatchResponse
+	decodeInto(t, raw, &br)
+	if len(br.Results) != len(req.Queries) {
+		t.Fatalf("results = %d, want %d", len(br.Results), len(req.Queries))
+	}
+	for i, rr := range br.Results {
+		at, _ := temporal.Parse(req.Queries[i].At)
+		want, _, wantErr := e.Route(core.Query{Source: erCentre.point(), Target: wardCentre.point(), At: at})
+		if errors.Is(wantErr, core.ErrNoRoute) {
+			if rr.Found {
+				t.Fatalf("results[%d]: found where engine found none", i)
+			}
+			continue
+		}
+		if wantErr != nil {
+			t.Fatal(wantErr)
+		}
+		if !rr.Found {
+			t.Fatalf("results[%d]: not found, engine found %v", i, want)
+		}
+		assertPathEqual(t, ve, want, rr.Path)
+	}
+	last := br.Results[len(br.Results)-1]
+	if !last.Shared && !last.CacheHit {
+		t.Fatalf("duplicate entry neither shared nor cached: %s", raw)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{MaxBatch: 3})
+	url := ts.URL + "/v1/venues/hospital/route:batch"
+	q := RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"}
+
+	cases := []struct {
+		name       string
+		req        BatchRequest
+		wantStatus int
+		wantIn     string
+	}{
+		{name: "empty", req: BatchRequest{}, wantStatus: 400, wantIn: "empty"},
+		{name: "waiting method", req: BatchRequest{Method: "waiting", Queries: []RouteRequest{q}}, wantStatus: 400, wantIn: "only available for single route requests"},
+		{name: "per-query method", req: BatchRequest{Queries: []RouteRequest{{From: &erCentre, To: &wardCentre, At: "11:00", Method: "syn"}}}, wantStatus: 400, wantIn: "per-query methods"},
+		{name: "bad entry", req: BatchRequest{Queries: []RouteRequest{q, {From: &erCentre, To: &wardCentre, At: "nope"}}}, wantStatus: 400, wantIn: "queries[1]"},
+		{name: "too large", req: BatchRequest{Queries: []RouteRequest{q, q, q, q}}, wantStatus: 413, wantIn: "3-query limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postJSON(t, url, tc.req)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d: %s", resp.StatusCode, tc.wantStatus, raw)
+			}
+			var envelope struct {
+				Error *ErrorDoc `json:"error"`
+			}
+			decodeInto(t, raw, &envelope)
+			if !strings.Contains(envelope.Error.Message, tc.wantIn) {
+				t.Fatalf("message %q does not mention %q", envelope.Error.Message, tc.wantIn)
+			}
+		})
+	}
+}
+
+func TestProfile(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	var pr ProfileResponse
+	resp := getJSON(t, fmt.Sprintf("%s/v1/venues/hospital/profile?from=%g,%g,%d&to=%g,%g,%d",
+		ts.URL, erCentre.X, erCentre.Y, erCentre.Floor, wardCentre.X, wardCentre.Y, wardCentre.Floor), &pr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(pr.Entries) == 0 {
+		t.Fatal("no profile entries")
+	}
+	if pr.Entries[0].StartSec != 0 || pr.Entries[len(pr.Entries)-1].EndSec != float64(temporal.DaySeconds) {
+		t.Fatalf("profile does not cover the day: %+v", pr.Entries)
+	}
+	// Visiting hours must toggle ward reachability across the day.
+	var reachable, unreachable bool
+	for _, e := range pr.Entries {
+		if e.Reachable {
+			reachable = true
+			if e.LengthM <= 0 {
+				t.Fatalf("reachable slot with zero length: %+v", e)
+			}
+		} else {
+			unreachable = true
+		}
+	}
+	if !reachable || !unreachable {
+		t.Fatalf("profile should mix reachable and unreachable slots: %+v", pr.Entries)
+	}
+
+	// Validation.
+	if resp := getJSON(t, ts.URL+"/v1/venues/hospital/profile?from=1,2", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from: status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/venues/hospital/profile", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing params: status = %d", resp.StatusCode)
+	}
+}
+
+// TestSchedulesLiveUpdate drives the live-update path end to end:
+// route (cache fill), close the ward door, verify the same request now
+// reports no route (no stale cache), reopen, verify it routes again.
+func TestSchedulesLiveUpdate(t *testing.T) {
+	ts, reg := newTestServer(t, Options{})
+	url := ts.URL + "/v1/venues/hospital"
+	req := RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"}
+
+	route := func() RouteResponse {
+		t.Helper()
+		resp, raw := postJSON(t, url+"/route", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("route status = %d: %s", resp.StatusCode, raw)
+		}
+		var rr RouteResponse
+		decodeInto(t, raw, &rr)
+		return rr
+	}
+
+	if rr := route(); !rr.Found {
+		t.Fatal("11:00 should route during visiting hours")
+	}
+	route() // second hit populates/serves cache
+
+	// Close ward-1's door all day (empty ATI list = always closed).
+	resp, raw := doJSON(t, http.MethodPut, url+"/schedules", SchedulesRequest{
+		Updates: map[string][]string{"ward-1-door": {}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedules status = %d: %s", resp.StatusCode, raw)
+	}
+	var sr SchedulesResponse
+	decodeInto(t, raw, &sr)
+	if sr.DoorsUpdated != 1 || sr.Epoch != 1 {
+		t.Fatalf("schedules response = %+v", sr)
+	}
+	if rr := route(); rr.Found {
+		t.Fatal("route found after closing the ward door (stale cache?)")
+	}
+
+	// Reopen around the clock (null = always open).
+	resp, raw = doJSON(t, http.MethodPut, url+"/schedules", SchedulesRequest{
+		Updates: map[string][]string{"ward-1-door": nil},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedules status = %d: %s", resp.StatusCode, raw)
+	}
+	decodeInto(t, raw, &sr)
+	if sr.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", sr.Epoch)
+	}
+	if rr := route(); !rr.Found {
+		t.Fatal("route not found after reopening the ward door")
+	}
+
+	// The venue listing reflects the update generation.
+	ve, _ := reg.Get("hospital")
+	if ve.Epoch() != 2 {
+		t.Fatalf("venue epoch = %d, want 2", ve.Epoch())
+	}
+}
+
+func TestSchedulesValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	url := ts.URL + "/v1/venues/hospital/schedules"
+	cases := []struct {
+		name   string
+		req    SchedulesRequest
+		wantIn string
+	}{
+		{name: "empty", req: SchedulesRequest{}, wantIn: "empty"},
+		{name: "unknown door", req: SchedulesRequest{Updates: map[string][]string{"no-such-door": nil}}, wantIn: "unknown door"},
+		{name: "bad ati", req: SchedulesRequest{Updates: map[string][]string{"ward-1-door": {"25:00-26:00"}}}, wantIn: "bad ATI"},
+		{name: "inverted ati", req: SchedulesRequest{Updates: map[string][]string{"ward-1-door": {"16:00-08:00"}}}, wantIn: "ward-1-door"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := doJSON(t, http.MethodPut, url, tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+			}
+			var envelope struct {
+				Error *ErrorDoc `json:"error"`
+			}
+			decodeInto(t, raw, &envelope)
+			if !strings.Contains(envelope.Error.Message, tc.wantIn) {
+				t.Fatalf("message %q does not mention %q", envelope.Error.Message, tc.wantIn)
+			}
+		})
+	}
+}
+
+func TestStatsz(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	req := RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"}
+	postJSON(t, ts.URL+"/v1/venues/hospital/route", req)
+	postJSON(t, ts.URL+"/v1/venues/hospital/route", req) // cache hit
+
+	var sr StatsResponse
+	getJSON(t, ts.URL+"/statsz", &sr)
+	h, ok := sr.Venues["hospital"]
+	if !ok {
+		t.Fatalf("statsz missing hospital: %+v", sr)
+	}
+	asyn := h.Methods["asyn"]
+	if asyn.Queries != 2 || asyn.CacheHits != 1 || asyn.CacheMisses() != 1 {
+		t.Fatalf("asyn stats = %+v", asyn)
+	}
+	if syn := h.Methods["syn"]; syn.Queries != 0 {
+		t.Fatalf("syn pool should be untouched: %+v", syn)
+	}
+	if _, ok := sr.Venues["office"]; !ok {
+		t.Fatal("statsz missing office")
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, Options{RequestTimeout: time.Nanosecond})
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route", RouteRequest{
+		From: &erCentre, To: &wardCentre, At: "11:00",
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	if code := errCode(t, raw); code != "timeout" {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestRunWithTimeout(t *testing.T) {
+	block := make(chan struct{})
+	_, ok := runWithTimeout(t.Context(), 10*time.Millisecond, func() int {
+		<-block
+		return 1
+	})
+	if ok {
+		t.Fatal("blocking fn should time out")
+	}
+	close(block)
+
+	v, ok := runWithTimeout(t.Context(), -1, func() int { return 7 })
+	if !ok || v != 7 {
+		t.Fatalf("disabled timeout: %v %v", v, ok)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	reg := NewRegistry(service.Options{})
+	v := synth.Hospital()
+	if err := reg.Add("a/b", v); err == nil {
+		t.Fatal("slash in id should be rejected")
+	}
+	if err := reg.Add("", v); err == nil {
+		t.Fatal("empty id should be rejected")
+	}
+	if err := reg.Add("h", v); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("h", v); err == nil {
+		t.Fatal("duplicate id should be rejected")
+	}
+	if err := reg.AddPresets("nonsense"); err == nil {
+		t.Fatal("unknown preset should be rejected")
+	}
+	if _, err := reg.LoadDir(t.TempDir()); err == nil {
+		t.Fatal("empty venue dir should be rejected")
+	}
+	if got := reg.IDs(); len(got) != 1 || got[0] != "h" {
+		t.Fatalf("IDs = %v", got)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	saveVenue := func(name string, v *model.Venue) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := itgraph.Save(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saveVenue("wing.json", synth.Hospital())
+	saveVenue("floor.json", synth.Office())
+
+	reg := NewRegistry(service.Options{})
+	n, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d venues, want 2", n)
+	}
+	ve, ok := reg.Get("wing")
+	if !ok {
+		t.Fatalf("IDs = %v", reg.IDs())
+	}
+	if !strings.HasPrefix(ve.Source(), "file:") {
+		t.Fatalf("source = %q", ve.Source())
+	}
+	// A loaded venue routes.
+	p, _, err := ve.Pool(core.MethodAsyn).Route(core.Query{
+		Source: erCentre.point(), Target: wardCentre.point(), At: temporal.Clock(11, 0, 0),
+	})
+	if err != nil || p == nil {
+		t.Fatalf("route over loaded venue: %v", err)
+	}
+}

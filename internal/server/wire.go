@@ -1,0 +1,333 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/service"
+	"indoorpath/internal/temporal"
+)
+
+// This file defines the JSON wire format of the query daemon. Times
+// travel in two forms side by side: numeric seconds since midnight
+// (exact, fractional — what clients doing arithmetic want) and the
+// paper's "H:MM" rendering (what humans reading curl output want).
+
+// PointDoc is a location on a floor.
+type PointDoc struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int     `json:"floor"`
+}
+
+func (p PointDoc) point() geom.Point { return geom.Pt(p.X, p.Y, p.Floor) }
+
+// RouteRequest is the body of POST /v1/venues/{id}/route. From, To and
+// At are required; Method defaults to "asyn"; Speed 0 means the
+// paper's 5 km/h walking speed.
+type RouteRequest struct {
+	From *PointDoc `json:"from"`
+	To   *PointDoc `json:"to"`
+	// At is the departure time of day, "H:MM" or "H:MM:SS".
+	At string `json:"at"`
+	// Method is syn | asyn | static | waiting. Empty means asyn.
+	// Inside a batch the method is fixed batch-wide and per-query
+	// methods are rejected.
+	Method string `json:"method,omitempty"`
+	// Speed is the walking speed in m/s; 0 means 5 km/h.
+	Speed float64 `json:"speed,omitempty"`
+}
+
+// query validates the request and converts it to a core query. The
+// returned *ErrorDoc is nil on success.
+func (rq *RouteRequest) query() (core.Query, *ErrorDoc) {
+	if rq.From == nil {
+		return core.Query{}, badRequest("missing \"from\" point")
+	}
+	if rq.To == nil {
+		return core.Query{}, badRequest("missing \"to\" point")
+	}
+	if rq.At == "" {
+		return core.Query{}, badRequest("missing \"at\" time of day")
+	}
+	at, err := temporal.Parse(rq.At)
+	if err != nil {
+		return core.Query{}, badRequest("bad \"at\": %v", err)
+	}
+	if rq.Speed < 0 || math.IsNaN(rq.Speed) || math.IsInf(rq.Speed, 0) {
+		return core.Query{}, badRequest("bad \"speed\" %v: must be a finite non-negative m/s value", rq.Speed)
+	}
+	return core.Query{Source: rq.From.point(), Target: rq.To.point(), At: at, Speed: rq.Speed}, nil
+}
+
+// BatchRequest is the body of POST /v1/venues/{id}/route:batch. The
+// whole batch runs through one pool, so the method is batch-wide
+// (waiting has no batch form).
+type BatchRequest struct {
+	Method  string         `json:"method,omitempty"`
+	Queries []RouteRequest `json:"queries"`
+}
+
+// DoorStep is one door crossing of a returned path.
+type DoorStep struct {
+	Door      string  `json:"door"`
+	ArriveSec float64 `json:"arrive_sec"`
+	Arrive    string  `json:"arrive"`
+}
+
+// PathDoc is a found path on the wire.
+type PathDoc struct {
+	// Format is the paper's path notation, e.g. "(ps, d18, pt)".
+	Format     string     `json:"format"`
+	LengthM    float64    `json:"length_m"`
+	Hops       int        `json:"hops"`
+	DepartSec  float64    `json:"depart_sec"`
+	Depart     string     `json:"depart"`
+	ArriveSec  float64    `json:"arrive_sec"`
+	Arrive     string     `json:"arrive"`
+	WaitSec    float64    `json:"wait_sec,omitempty"`
+	Doors      []DoorStep `json:"doors"`
+	Partitions []string   `json:"partitions"`
+}
+
+// RouteResponse is one route outcome. Found=false with no error is the
+// paper's regular "no such routes" answer (HTTP 200); per-query errors
+// (e.g. an endpoint outside every partition) ride in Error.
+type RouteResponse struct {
+	Found bool     `json:"found"`
+	Path  *PathDoc `json:"path,omitempty"`
+	// Stats are the search statistics of the engine run that produced
+	// the outcome (for cache hits: the original search); absent for
+	// the waiting method, which has no comparable counters.
+	Stats *core.SearchStats `json:"stats,omitempty"`
+	// CacheHit marks outcomes served from the pool's result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Shared marks batch entries answered by an identical query's
+	// search elsewhere in the same batch.
+	Shared bool      `json:"shared,omitempty"`
+	Error  *ErrorDoc `json:"error,omitempty"`
+}
+
+// BatchResponse aligns positionally with BatchRequest.Queries.
+type BatchResponse struct {
+	Results []RouteResponse `json:"results"`
+}
+
+// pathDoc converts a found path, resolving door and partition names
+// against the venue.
+func pathDoc(v *model.Venue, p *core.Path) *PathDoc {
+	doc := &PathDoc{
+		Format:    p.Format(v),
+		LengthM:   p.Length,
+		Hops:      p.Hops(),
+		DepartSec: float64(p.DepartedAt),
+		Depart:    p.DepartedAt.String(),
+		ArriveSec: float64(p.ArrivalAtTgt),
+		Arrive:    p.ArrivalAtTgt.String(),
+		WaitSec:   float64(p.TotalWait),
+	}
+	for i, d := range p.Doors {
+		doc.Doors = append(doc.Doors, DoorStep{
+			Door:      v.Door(d).Name,
+			ArriveSec: float64(p.Arrivals[i]),
+			Arrive:    p.Arrivals[i].String(),
+		})
+	}
+	for _, part := range p.Partitions {
+		doc.Partitions = append(doc.Partitions, v.Partition(part).Name)
+	}
+	return doc
+}
+
+// ProfileEntryDoc is one checkpoint slot of a day profile.
+type ProfileEntryDoc struct {
+	StartSec  float64 `json:"start_sec"`
+	Start     string  `json:"start"`
+	EndSec    float64 `json:"end_sec"`
+	End       string  `json:"end"`
+	Reachable bool    `json:"reachable"`
+	LengthM   float64 `json:"length_m,omitempty"`
+	Hops      int     `json:"hops,omitempty"`
+}
+
+// ProfileResponse is the body of GET /v1/venues/{id}/profile.
+type ProfileResponse struct {
+	Venue   string            `json:"venue"`
+	From    PointDoc          `json:"from"`
+	To      PointDoc          `json:"to"`
+	Entries []ProfileEntryDoc `json:"entries"`
+}
+
+// SchedulesRequest is the body of PUT /v1/venues/{id}/schedules.
+// Updates maps door names to ATI lists ("8:00-16:00" or the paper's
+// "[8:00, 16:00)"); null means always open, an empty list means always
+// closed. The whole map is applied as one atomic graph swap.
+type SchedulesRequest struct {
+	Updates map[string][]string `json:"updates"`
+}
+
+// SchedulesResponse confirms an applied schedule update. Epoch is the
+// venue's update generation after the swap; any request answered at
+// this epoch or later reflects the new schedules.
+type SchedulesResponse struct {
+	Venue        string `json:"venue"`
+	DoorsUpdated int    `json:"doors_updated"`
+	Epoch        int64  `json:"epoch"`
+}
+
+// VenueInfo is one row of GET /v1/venues.
+type VenueInfo struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Source      string `json:"source"`
+	Partitions  int    `json:"partitions"`
+	Doors       int    `json:"doors"`
+	Floors      int    `json:"floors"`
+	Checkpoints int    `json:"checkpoints"`
+	Epoch       int64  `json:"epoch"`
+}
+
+// VenuesResponse is the body of GET /v1/venues, sorted by ID.
+type VenuesResponse struct {
+	Venues []VenueInfo `json:"venues"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Venues int    `json:"venues"`
+}
+
+// VenueStatsDoc holds one venue's serving counters, one service.Stats
+// per method pool.
+type VenueStatsDoc struct {
+	Epoch   int64                    `json:"epoch"`
+	Methods map[string]service.Stats `json:"methods"`
+}
+
+// StatsResponse is the body of GET /statsz.
+type StatsResponse struct {
+	Venues map[string]VenueStatsDoc `json:"venues"`
+}
+
+// ErrorDoc is the structured error envelope every non-2xx response
+// carries (and batch entries embed).
+type ErrorDoc struct {
+	// Code is one of bad_request, not_found, not_indoor, timeout,
+	// too_large, internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *ErrorDoc) Error() string { return e.Message }
+
+func badRequest(format string, args ...any) *ErrorDoc {
+	return &ErrorDoc{Code: "bad_request", Message: fmt.Sprintf(format, args...)}
+}
+
+// Method names on the wire.
+const (
+	methodSyn     = "syn"
+	methodAsyn    = "asyn"
+	methodStatic  = "static"
+	methodWaiting = "waiting"
+)
+
+// parseMethod resolves a wire method name; empty means asyn. waiting
+// is valid only where allowWaiting (it has no pooled engine).
+func parseMethod(s string, allowWaiting bool) (core.Method, bool, *ErrorDoc) {
+	switch s {
+	case methodSyn:
+		return core.MethodSyn, false, nil
+	case methodAsyn, "":
+		return core.MethodAsyn, false, nil
+	case methodStatic:
+		return core.MethodStatic, false, nil
+	case methodWaiting:
+		if !allowWaiting {
+			return 0, false, badRequest("method %q has no pooled engine and is only available for single route requests", s)
+		}
+		return 0, true, nil
+	default:
+		return 0, false, badRequest("unknown method %q (want syn, asyn, static or waiting)", s)
+	}
+}
+
+// methodName renders a pooled method's wire name.
+func methodName(m core.Method) string {
+	switch m {
+	case core.MethodSyn:
+		return methodSyn
+	case core.MethodAsyn:
+		return methodAsyn
+	case core.MethodStatic:
+		return methodStatic
+	}
+	return m.String()
+}
+
+// ParsePoint reads "x,y,floor" (the cmd/itspq flag syntax), used by the
+// profile endpoint's query parameters.
+func ParsePoint(s string) (geom.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return geom.Point{}, fmt.Errorf("want x,y,floor, got %q", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	floor, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(x, y, floor), nil
+}
+
+// parseUpdates resolves a wire schedule-update map (door names to ATI
+// lists) against the venue model.
+func parseUpdates(mv *model.Venue, updates map[string][]string) (map[model.DoorID]temporal.Schedule, *ErrorDoc) {
+	out := make(map[model.DoorID]temporal.Schedule, len(updates))
+	for door, atis := range updates {
+		id, ok := mv.DoorByName(door)
+		if !ok {
+			return nil, badRequest("unknown door %q", door)
+		}
+		sched, errDoc := parseSchedule(door, atis)
+		if errDoc != nil {
+			return nil, errDoc
+		}
+		out[id] = sched
+	}
+	return out, nil
+}
+
+// parseSchedule converts one wire ATI list to a schedule: nil = always
+// open (the WithSchedules convention), empty = always closed.
+func parseSchedule(door string, atis []string) (temporal.Schedule, *ErrorDoc) {
+	if atis == nil {
+		return nil, nil
+	}
+	ivs := make([]temporal.Interval, 0, len(atis))
+	for _, s := range atis {
+		iv, err := temporal.ParseInterval(s)
+		if err != nil {
+			return nil, badRequest("door %q: bad ATI %q: %v", door, s, err)
+		}
+		ivs = append(ivs, iv)
+	}
+	sched, err := temporal.NewSchedule(ivs...)
+	if err != nil {
+		return nil, badRequest("door %q: %v", door, err)
+	}
+	return sched, nil
+}

@@ -22,6 +22,7 @@
 package service
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,13 +63,31 @@ type Result struct {
 	Shared bool
 }
 
-// Stats are cumulative pool counters, safe to read concurrently.
+// Stats are cumulative pool counters, safe to read concurrently. The
+// struct is JSON-serialisable as-is, so servers can expose it on a
+// stats endpoint without translation.
 type Stats struct {
-	Queries        int64 // Route calls + batch entries
-	Batches        int64 // RouteBatch calls
-	CacheHits      int64 // outcomes served from the result cache
-	Deduped        int64 // batch entries shared from an identical query
-	EnginesCreated int64 // engines constructed (vs reused from the pool)
+	Queries        int64 `json:"queries"`         // Route calls + batch entries
+	Batches        int64 `json:"batches"`         // RouteBatch calls
+	CacheHits      int64 `json:"cache_hits"`      // outcomes served from the result cache
+	Deduped        int64 `json:"deduped"`         // batch entries shared from an identical query
+	EnginesCreated int64 `json:"engines_created"` // engines constructed (vs reused from the pool)
+	// Epoch is the backend generation: the number of SetGraph /
+	// UpdateSchedules swaps since the pool was built. A response
+	// computed at epoch N can never be served once epoch N+1 begins
+	// (the swap replaces the cache wholesale).
+	Epoch int64 `json:"epoch"`
+}
+
+// CacheMisses returns the number of queries that went to an engine:
+// every query that was neither a cache hit nor shared from an
+// identical batch entry.
+func (s Stats) CacheMisses() int64 { return s.Queries - s.CacheHits - s.Deduped }
+
+// String renders a one-line summary of the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("queries=%d batches=%d cacheHits=%d cacheMisses=%d deduped=%d engines=%d epoch=%d",
+		s.Queries, s.Batches, s.CacheHits, s.CacheMisses(), s.Deduped, s.EnginesCreated, s.Epoch)
 }
 
 // poolBackend bundles one graph with the engine pool and result cache
@@ -99,6 +118,7 @@ type Pool struct {
 	cacheHits      atomic.Int64
 	deduped        atomic.Int64
 	enginesCreated atomic.Int64
+	swapEpoch      atomic.Int64
 }
 
 // New builds a Pool over the graph.
@@ -138,6 +158,7 @@ func (p *Pool) Graph() *itgraph.Graph { return p.backend.Load().g }
 // server.
 func (p *Pool) SetGraph(g *itgraph.Graph) {
 	p.backend.Store(p.newBackend(g))
+	p.swapEpoch.Add(1)
 }
 
 // UpdateSchedules is the convenience form of SetGraph for door
@@ -156,14 +177,21 @@ func (p *Pool) UpdateSchedules(updates map[model.DoorID]temporal.Schedule) error
 	return nil
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters. The counters
+// are independent atomics, not one consistent snapshot; CacheHits and
+// Deduped are read before Queries so that CacheMisses() can never go
+// transiently negative (every route increments queries before its
+// hit/dedup counter, so queries read last dominates).
 func (p *Pool) Stats() Stats {
+	hits := p.cacheHits.Load()
+	deduped := p.deduped.Load()
 	return Stats{
-		Queries:        p.queries.Load(),
 		Batches:        p.batches.Load(),
-		CacheHits:      p.cacheHits.Load(),
-		Deduped:        p.deduped.Load(),
+		CacheHits:      hits,
+		Deduped:        deduped,
 		EnginesCreated: p.enginesCreated.Load(),
+		Epoch:          p.swapEpoch.Load(),
+		Queries:        p.queries.Load(),
 	}
 }
 
@@ -181,6 +209,12 @@ func (p *Pool) workers() int {
 func (p *Pool) Route(q core.Query) (*core.Path, core.SearchStats, error) {
 	r := p.route(q)
 	return r.Path, r.Stats, r.Err
+}
+
+// RouteResult is Route returning the full Result, including the
+// CacheHit flag — the form servers want for per-response provenance.
+func (p *Pool) RouteResult(q core.Query) Result {
+	return p.route(q)
 }
 
 // route is Route returning the full Result (cache-hit flag included).

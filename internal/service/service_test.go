@@ -1,10 +1,12 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"indoorpath/internal/core"
@@ -370,5 +372,48 @@ func TestPoolStatsCounters(t *testing.T) {
 	}
 	if st.EnginesCreated == 0 {
 		t.Fatal("EnginesCreated = 0")
+	}
+}
+
+func TestStatsSerialisation(t *testing.T) {
+	st := Stats{Queries: 10, Batches: 1, CacheHits: 3, Deduped: 2, EnginesCreated: 4, Epoch: 5}
+	if got := st.CacheMisses(); got != 5 {
+		t.Fatalf("CacheMisses = %d, want 5", got)
+	}
+	want := "queries=10 batches=1 cacheHits=3 cacheMisses=5 deduped=2 engines=4 epoch=5"
+	if st.String() != want {
+		t.Fatalf("String = %q, want %q", st, want)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Fatalf("round trip: %+v != %+v", back, st)
+	}
+	for _, field := range []string{"queries", "batches", "cache_hits", "deduped", "engines_created", "epoch"} {
+		if !strings.Contains(string(raw), `"`+field+`"`) {
+			t.Fatalf("JSON missing %q: %s", field, raw)
+		}
+	}
+}
+
+func TestStatsEpochCountsSwaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := itgraph.MustNew(gridVenue(t, rng, 2, 2))
+	pool := New(g, Options{})
+	if e := pool.Stats().Epoch; e != 0 {
+		t.Fatalf("initial epoch = %d", e)
+	}
+	pool.SetGraph(g)
+	if err := pool.UpdateSchedules(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e := pool.Stats().Epoch; e != 2 {
+		t.Fatalf("epoch after two swaps = %d, want 2", e)
 	}
 }
