@@ -206,12 +206,30 @@ type (
 	// checkpoint slot) result caching.
 	ServicePool = service.Pool
 	// PoolOptions tune a ServicePool; the zero value is a usable default
-	// (ITG/S engines, GOMAXPROCS workers, 4096-entry cache).
+	// (ITG/S engines, GOMAXPROCS workers, 4096-entry cache). Set
+	// WindowCache to additionally enable the validity-window temporal
+	// result cache (internal/tcache): answers are stored with the
+	// departure interval over which they provably stay the engine's
+	// answer, so nearby departure times of the same OD pair are served
+	// without a search.
 	PoolOptions = service.Options
 	// PoolStats are cumulative pool counters.
 	PoolStats = service.Stats
 	// BatchResult is one ServicePool.RouteBatch outcome.
 	BatchResult = service.Result
+	// CacheHitKind is a result's cache provenance: HitMiss (engine
+	// search), HitExact (exact-identity cache) or HitWindow
+	// (validity-window cache, arrivals recomputed for the query's own
+	// departure).
+	CacheHitKind = service.Hit
+)
+
+// Cache provenance values reported in BatchResult.Hit (and as "hit" on
+// the HTTP wire).
+const (
+	HitMiss   = service.HitMiss
+	HitExact  = service.HitExact
+	HitWindow = service.HitWindow
 )
 
 // NewPool builds a concurrent query-serving pool over a graph. Pool

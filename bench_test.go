@@ -393,6 +393,60 @@ func BenchmarkPoolRouteBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolRouteSweep measures the validity-window cache on its
+// motivating workload: a fine departure-time sweep of fixed OD pairs
+// (the time-sweep / rush-hour shape where thousands of queries differ
+// only in departure). The exact cache gets zero reuse here — every
+// departure is a distinct key — while the window cache serves every
+// same-slot repeat from one search. Compare the windowHits/op and
+// searches/op metrics across the two sub-benchmarks: window must show
+// hits > 0 and strictly fewer engine searches (the invariant is also
+// test-enforced in internal/service TestWindowPoolSweepBeatsExact).
+func BenchmarkPoolRouteSweep(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	tb.graph.Snapshots().BuildAll()
+	// One day sweep per OD pair at 5-minute steps.
+	var batch []indoorpath.Query
+	for _, q := range tb.queries {
+		for min := 0; min < 24*60; min += 5 {
+			q.At = indoorpath.TimeOfDay(min * 60)
+			batch = append(batch, q)
+		}
+	}
+	for _, mode := range []struct {
+		name   string
+		window bool
+	}{{"exact", false}, {"window", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			pool := indoorpath.NewPool(tb.graph, indoorpath.PoolOptions{
+				Engine:      indoorpath.Options{Method: indoorpath.MethodAsyn},
+				Workers:     4,
+				WindowCache: mode.window,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.InvalidateCache() // each iteration recomputes the sweep
+				for _, r := range pool.RouteBatch(batch) {
+					if r.Err != nil && r.Err != indoorpath.ErrNoRoute {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := pool.Stats()
+			b.ReportMetric(float64(st.WindowHits)/float64(b.N), "windowHits/op")
+			b.ReportMetric(float64(st.CacheMisses())/float64(b.N), "searches/op")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*len(batch))/secs, "queries/s")
+			}
+			if mode.window && st.WindowHits == 0 {
+				b.Fatalf("window sweep served no window hits: %v", st)
+			}
+		})
+	}
+}
+
 // serverBenchSetup boots the HTTP serving stack (registry + server +
 // httptest listener) over the synth-mall testbed with caching disabled,
 // so every request is a real search and the delta against

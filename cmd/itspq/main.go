@@ -15,7 +15,13 @@
 // -workers N routes through the concurrent serving pool (indoorpath
 // .NewPool) with N batch workers instead of a bare engine; -sweep STEP
 // additionally fans the query out over the whole day at the given step
-// as one concurrent batch, printing one summary row per departure time.
+// as one concurrent batch, printing one summary row per departure time
+// plus a cache summary line (queries, exact hits, window hits, engine
+// searches). -window enables the validity-window result cache on the
+// pool, so sweep departures inside an already-computed answer's
+// validity window are served without a search:
+//
+//	itspq -venue mall.json -from 100,50,0 -to 900,700,2 -workers 1 -sweep 15m -window
 //
 // -server URL sends the query to a running itspqd instead of loading
 // the venue locally; -venue then names the venue ID on the server. The
@@ -58,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		method    = fs.String("method", "asyn", "syn | asyn | static | waiting")
 		workers   = fs.Int("workers", 0, "route through the concurrent pool with this many batch workers (0 = bare engine)")
 		sweepStr  = fs.String("sweep", "", "with -workers or -server: batch-answer the query across the day at this step (e.g. 2h, 30m)")
+		window    = fs.Bool("window", false, "with -workers: enable the validity-window result cache (cross-time cache hits)")
 		serverURL = fs.String("server", "", "itspqd base URL; query the daemon instead of loading the venue locally")
 		verbose   = fs.Bool("v", false, "print search statistics")
 	)
@@ -92,6 +99,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *serverURL != "" {
+		if *window {
+			return fail("-window applies to local -workers mode (enable it on the daemon with itspqd -window-cache)")
+		}
 		c := &client{base: strings.TrimSuffix(*serverURL, "/"), venue: *venueFile}
 		if *sweepStr != "" {
 			return c.sweep(src, tgt, *method, *sweepStr, *verbose, stdout, stderr)
@@ -128,6 +138,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *sweepStr != "" {
 			return fail("-sweep applies to syn/asyn/static, not waiting")
 		}
+		if *window {
+			return fail("-window applies to syn/asyn/static, not waiting")
+		}
 		path, err = indoorpath.NewWaitingRouter(g).Route(q)
 	default:
 		m := map[string]indoorpath.Method{
@@ -135,8 +148,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}[*method]
 		if *workers > 0 {
 			pool := indoorpath.NewPool(g, indoorpath.PoolOptions{
-				Engine:  indoorpath.Options{Method: m},
-				Workers: *workers,
+				Engine:      indoorpath.Options{Method: m},
+				Workers:     *workers,
+				WindowCache: *window,
 			})
 			if *sweepStr != "" {
 				return sweep(pool, q, *sweepStr, *verbose, stdout, stderr)
@@ -145,6 +159,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			if *sweepStr != "" {
 				return fail("-sweep requires -workers (or -server)")
+			}
+			if *window {
+				return fail("-window requires -workers (or itspqd -window-cache for -server)")
 			}
 			path, stats, err = indoorpath.NewEngine(g, indoorpath.Options{Method: m}).Route(q)
 		}
@@ -216,7 +233,8 @@ func printPath(w io.Writer, p pathLines) {
 
 // sweep answers the OD pair at every step across the day as one
 // concurrent batch through the pool, printing a summary row per
-// departure time.
+// departure time and a cache summary line (how many answers came from
+// the exact cache, the validity-window cache, or an engine search).
 func sweep(pool *indoorpath.ServicePool, q indoorpath.Query, stepStr string, verbose bool, stdout, stderr io.Writer) int {
 	batch, errCode := sweepBatch(q, stepStr, stderr)
 	if errCode != 0 {
@@ -234,10 +252,18 @@ func sweep(pool *indoorpath.ServicePool, q indoorpath.Query, stepStr string, ver
 			printSweepRow(stdout, batch[i].At, r.Path.Length, r.Path.Hops(), r.Path.ArrivalAtTgt)
 		}
 	}
+	st := pool.Stats()
+	printSweepCache(stdout, st.Queries, st.CacheHits, st.WindowHits, st.CacheMisses())
 	if verbose {
-		fmt.Fprintf(stdout, "pool:    %s\n", pool.Stats())
+		fmt.Fprintf(stdout, "pool:    %s\n", st)
 	}
 	return 0
+}
+
+// printSweepCache renders the sweep cache summary, shared by local and
+// server modes so the two are byte-identical.
+func printSweepCache(w io.Writer, queries, exact, window, searches int64) {
+	fmt.Fprintf(w, "cache:   queries=%d exact=%d window=%d searches=%d\n", queries, exact, window, searches)
 }
 
 // sweepBatch expands the query across the day at the given step.
@@ -388,6 +414,8 @@ func (c *client) sweep(src, tgt indoorpath.Point, method, stepStr string, verbos
 			printSweepRow(stdout, batch[i].At, r.Path.LengthM, r.Path.Hops, indoorpath.TimeOfDay(r.Path.ArriveSec))
 		}
 	}
+	printSweepCache(stdout, int64(resp.Cache.Queries), int64(resp.Cache.ExactHits),
+		int64(resp.Cache.WindowHits), int64(resp.Cache.Searches))
 	if verbose {
 		var stats server.StatsResponse
 		if err := c.get("/statsz", &stats); err != nil {

@@ -142,16 +142,57 @@ func TestRunSweep(t *testing.T) {
 		t.Fatalf("exit = %d\n%s", code, out)
 	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 5 { // 4 rows + pool stats
-		t.Fatalf("want 4 sweep rows + stats, got:\n%s", out)
+	if len(lines) != 6 { // 4 rows + cache summary + pool stats
+		t.Fatalf("want 4 sweep rows + cache + stats, got:\n%s", out)
 	}
 	for _, want := range []string{"0:00  no such routes", "12:00", "18:00  no such routes"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("sweep missing %q:\n%s", want, out)
 		}
 	}
-	if !strings.HasPrefix(lines[4], "pool:    queries=4") {
-		t.Fatalf("stats line = %q", lines[4])
+	if lines[4] != "cache:   queries=4 exact=0 window=0 searches=4" {
+		t.Fatalf("cache line = %q", lines[4])
+	}
+	if !strings.HasPrefix(lines[5], "pool:    queries=4") {
+		t.Fatalf("stats line = %q", lines[5])
+	}
+}
+
+// TestRunSweepWindow: with -window and one worker the sweep is served
+// in departure order, so every same-slot repeat after the first found
+// answer is a window hit — demonstrated end to end by the summary line.
+func TestRunSweepWindow(t *testing.T) {
+	venue := demoVenueFile(t)
+	code, out, _ := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0",
+		"-workers", "1", "-sweep", "2h", "-window")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	// Departures 8:00..14:00 cross the gate ([8:00,16:00)): 8:00 is the
+	// one search, 10:00/12:00/14:00 ride its validity window.
+	if !strings.Contains(out, "cache:   queries=12 exact=0 window=3 searches=9") {
+		t.Fatalf("window sweep summary missing:\n%s", out)
+	}
+	// The found rows are byte-identical to a windowless sweep.
+	codeB, outB, _ := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0",
+		"-workers", "1", "-sweep", "2h")
+	if codeB != 0 {
+		t.Fatalf("exit = %d", codeB)
+	}
+	rows := func(s string) string {
+		var kept []string
+		for _, ln := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(ln, "cache:") {
+				kept = append(kept, ln)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if rows(out) != rows(outB) {
+		t.Fatalf("window sweep rows differ from exact sweep:\n--- window\n%s--- exact\n%s", out, outB)
+	}
+	if !strings.Contains(outB, "cache:   queries=12 exact=0 window=0 searches=12") {
+		t.Fatalf("exact sweep summary missing:\n%s", outB)
 	}
 }
 
@@ -180,6 +221,10 @@ func TestRunErrorPaths(t *testing.T) {
 		{name: "bad sweep step", args: []string{"-venue", venue, "-from", "2,5,0", "-to", "25,5,0", "-workers", "2", "-sweep", "zero"},
 			wantCode: 1, wantErr: "bad step"},
 		{name: "workers with waiting", args: []string{"-venue", venue, "-from", "2,5,0", "-to", "25,5,0", "-method", "waiting", "-workers", "2"},
+			wantCode: 1, wantErr: "not waiting"},
+		{name: "window without workers", args: []string{"-venue", venue, "-from", "2,5,0", "-to", "25,5,0", "-window"},
+			wantCode: 1, wantErr: "-window requires -workers"},
+		{name: "window with waiting", args: []string{"-venue", venue, "-from", "2,5,0", "-to", "25,5,0", "-method", "waiting", "-window"},
 			wantCode: 1, wantErr: "not waiting"},
 	}
 	for _, tc := range cases {
@@ -278,6 +323,13 @@ func TestRunServerModeErrors(t *testing.T) {
 	code, _, errb = runCLI(t, "-server", "http://127.0.0.1:1", "-venue", "demo",
 		"-from", "2,5,0", "-to", "25,5,0", "-at", "12:00")
 	if code != 1 || errb == "" {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
+	}
+	// -window is a local pool knob; with -server it points at the
+	// daemon's flag instead.
+	code, _, errb = runCLI(t, "-server", ts.URL, "-venue", "demo",
+		"-from", "2,5,0", "-to", "25,5,0", "-window")
+	if code != 1 || !strings.Contains(errb, "itspqd -window-cache") {
 		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
 	}
 }

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		presets = fs.String("preset", "", "comma-separated built-in venues: mall, hospital, office, figure1")
 		workers = fs.Int("workers", 0, "batch fan-out goroutines per venue pool (0 = GOMAXPROCS)")
 		cache   = fs.Int("cache", 0, "result-cache capacity per pool (0 = default, negative = disabled)")
+		window  = fs.Bool("window-cache", false, "enable the validity-window temporal result cache (cross-time cache hits)")
 		timeout = fs.Duration("timeout", 0, "per-request timeout (0 = server default, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	reg, err := newRegistry(*venues, *presets, *workers, *cache)
+	reg, err := newRegistry(*venues, *presets, *workers, *cache, *window)
 	if err != nil {
 		return fail("%v", err)
 	}
@@ -91,10 +92,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // newRegistry loads the requested venues into a fresh registry.
-func newRegistry(venuesDir, presets string, workers, cache int) (*indoorpath.VenueRegistry, error) {
+func newRegistry(venuesDir, presets string, workers, cache int, window bool) (*indoorpath.VenueRegistry, error) {
 	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
 		Workers:       workers,
 		CacheCapacity: cache,
+		WindowCache:   window,
 	})
 	if presets != "" {
 		if err := reg.AddPresets(presets); err != nil {

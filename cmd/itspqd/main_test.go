@@ -17,7 +17,7 @@ import (
 
 func TestNewRegistry(t *testing.T) {
 	// Presets load under their own IDs.
-	reg, err := newRegistry("", "hospital,office", 2, 0)
+	reg, err := newRegistry("", "hospital,office", 2, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestNewRegistry(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	reg, err = newRegistry(dir, "figure1", 0, 0)
+	reg, err = newRegistry(dir, "figure1", 0, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +49,26 @@ func TestNewRegistry(t *testing.T) {
 		t.Fatalf("IDs = %v", got)
 	}
 
+	// window=true reaches the pools: a shifted repeat of the same OD
+	// pair is served from the validity-window cache.
+	wing, _ := reg.Get("wing")
+	pool := wing.Pool(indoorpath.MethodAsyn)
+	for _, at := range []indoorpath.TimeOfDay{indoorpath.Clock(12, 0, 0), indoorpath.Clock(13, 0, 0)} {
+		if _, _, err := pool.Route(indoorpath.Query{
+			Source: indoorpath.Pt(5, 5, 0), Target: indoorpath.Pt(15, 5, 0), At: at,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := pool.Stats(); st.WindowHits != 1 {
+		t.Fatalf("window cache not enabled through newRegistry: %v", st)
+	}
+
 	// Errors propagate.
-	if _, err := newRegistry("", "narnia", 0, 0); err == nil {
+	if _, err := newRegistry("", "narnia", 0, 0, false); err == nil {
 		t.Fatal("unknown preset should fail")
 	}
-	if _, err := newRegistry(t.TempDir(), "", 0, 0); err == nil {
+	if _, err := newRegistry(t.TempDir(), "", 0, 0, false); err == nil {
 		t.Fatal("empty venue dir should fail")
 	}
 }
@@ -79,7 +94,7 @@ func TestRunFlagErrors(t *testing.T) {
 // ephemeral port, exercises the API over real HTTP, then cancels the
 // context and expects a clean exit.
 func TestServeGracefulShutdown(t *testing.T) {
-	reg, err := newRegistry("", "hospital", 0, 0)
+	reg, err := newRegistry("", "hospital", 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,8 +22,10 @@
 //     baseline, and an earliest-arrival router with waiting tolerance;
 //   - a concurrent query-serving layer (NewPool): warm engines in a
 //     sync.Pool over one shared graph, batch fan-out with
-//     identical-query deduplication, and per-(source partition, target
-//     partition, checkpoint slot) result caching;
+//     identical-query deduplication, per-(source partition, target
+//     partition, checkpoint slot) exact result caching, and an
+//     opt-in validity-window temporal result cache for cross-time
+//     cache hits (internal/tcache);
 //   - an HTTP/JSON query daemon (NewServer + cmd/itspqd): a multi-venue
 //     registry of serving pools behind route/batch/profile endpoints,
 //     with live door-schedule updates over the wire;
@@ -78,6 +80,35 @@
 // atomically swap the graph and flush the cache without draining the
 // server.
 //
+// # Validity-window caching
+//
+// The exact cache hits only on identical queries, so a time-sweep or
+// rush-hour workload — one OD pair asked at many nearby departures —
+// gets near-zero reuse. PoolOptions.WindowCache enables the temporal
+// result cache (internal/tcache): each found no-waiting answer is
+// stored with the departure interval over which a fresh search
+// provably returns the same doors, partitions and length
+// (AnswerWindow: the path's ValidityWindow intersected with the
+// constant-topology clamp that keeps the departure and the whole walk
+// inside one checkpoint slot), and any later departure inside a stored
+// window is served without a search:
+//
+//	pool := indoorpath.NewPool(g, indoorpath.PoolOptions{
+//		Engine:      indoorpath.Options{Method: indoorpath.MethodAsyn},
+//		WindowCache: true,
+//	})
+//
+// Invariants: windows cover no-waiting found paths only; a served
+// answer recomputes every arrival for the query's own departure from
+// the stored cumulative distances (bit-identical to engine
+// arithmetic — the original instants are never reused); a schedule
+// swap drops the whole store with the backend; InvalidateSlot drops
+// windows overlapping the slot's time range. Results carry provenance
+// (BatchResult.Hit: "exact" | "window" | "miss"), PoolStats counts
+// WindowHits, and BenchmarkPoolRouteSweep measures the effect (the
+// exact cache runs one search per sweep departure; the window cache
+// runs roughly one per checkpoint slot).
+//
 // # HTTP serving
 //
 // NewServer wraps a VenueRegistry — venue IDs mapped to per-venue,
@@ -91,6 +122,7 @@
 //
 //	GET  /healthz                       liveness + venue count
 //	GET  /statsz                        per-venue, per-method pool counters
+//	GET  /metricsz                      the same counters, Prometheus text format
 //	GET  /v1/venues                     venue listing
 //	POST /v1/venues/{id}/route          one ITSPQ query
 //	POST /v1/venues/{id}/route:batch    batch fan-out (dedup + cache sharing)
@@ -107,8 +139,11 @@
 //
 // Batches send {"method":"asyn","queries":[...]} to /route:batch and
 // come back positionally aligned, with "shared" and "cache_hit" flags
-// marking deduplicated and cached entries. "No such routes" is a
-// regular answer: HTTP 200 with {"found":false}. Validation failures
+// and a "hit" provenance ("exact" | "window" | "miss") marking how
+// each entry was served, plus a batch-level "cache" summary (queries,
+// exact_hits, window_hits, searches). The daemon flag -window-cache
+// enables the validity-window cache on every pool. "No such routes" is
+// a regular answer: HTTP 200 with {"found":false}. Validation failures
 // return a structured envelope {"error":{"code":"bad_request",
 // "message":"..."}} (codes: bad_request, not_found, not_indoor,
 // timeout, too_large, internal).

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// This file implements GET /metricsz: the pool counters of /statsz in
+// Prometheus text exposition format (version 0.0.4), hand-rolled so the
+// daemon stays dependency-free. Output is deterministic — venues sorted
+// by ID (Registry.Venues), methods in pooledMethods order — so scrapes
+// and tests see stable series ordering.
+
+// metricsContentType is the Prometheus text exposition content type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// metricDef is one exported series family over the per-(venue, method)
+// pool stats.
+type metricDef struct {
+	name  string
+	kind  string // counter | gauge
+	help  string
+	value func(VenueStatsDoc, string) int64
+}
+
+var poolMetrics = []metricDef{
+	{"indoorpath_pool_queries_total", "counter",
+		"Route calls and batch entries served, per venue and engine method.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Queries }},
+	{"indoorpath_pool_batches_total", "counter",
+		"RouteBatch calls served.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Batches }},
+	{"indoorpath_pool_exact_hits_total", "counter",
+		"Outcomes served from the exact-identity result cache.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].CacheHits }},
+	{"indoorpath_pool_window_hits_total", "counter",
+		"Outcomes served from the validity-window temporal result cache.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].WindowHits }},
+	{"indoorpath_pool_deduped_total", "counter",
+		"Batch entries shared from an identical query in the same batch.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Deduped }},
+	{"indoorpath_pool_engine_searches_total", "counter",
+		"Queries answered by running an engine search (cache misses).",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].EngineSearches }},
+	{"indoorpath_pool_engines_created_total", "counter",
+		"Engines constructed rather than reused from the pool.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].EnginesCreated }},
+	{"indoorpath_pool_epoch", "gauge",
+		"Backend generation: graph swaps applied to the pool since start.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Epoch }},
+}
+
+// handleMetricsz renders every pool counter plus per-venue and process
+// gauges in Prometheus text format.
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	venues := s.reg.Venues()
+	var sb strings.Builder
+
+	fmt.Fprintf(&sb, "# HELP indoorpath_venues Venues registered in the serving registry.\n")
+	fmt.Fprintf(&sb, "# TYPE indoorpath_venues gauge\n")
+	fmt.Fprintf(&sb, "indoorpath_venues %d\n", len(venues))
+
+	fmt.Fprintf(&sb, "# HELP indoorpath_venue_epoch Schedule updates applied to the venue.\n")
+	fmt.Fprintf(&sb, "# TYPE indoorpath_venue_epoch gauge\n")
+	stats := make([]VenueStatsDoc, len(venues))
+	for i, ve := range venues {
+		stats[i] = ve.Stats()
+		fmt.Fprintf(&sb, "indoorpath_venue_epoch{venue=%q} %d\n", ve.ID(), ve.Epoch())
+	}
+
+	for _, md := range poolMetrics {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", md.name, md.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", md.name, md.kind)
+		for i, ve := range venues {
+			for _, m := range pooledMethods {
+				fmt.Fprintf(&sb, "%s{venue=%q,method=%q} %d\n",
+					md.name, ve.ID(), methodName(m), md.value(stats[i], methodName(m)))
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", metricsContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(sb.String()))
+}

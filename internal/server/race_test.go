@@ -205,8 +205,25 @@ func twoDoorVenue(t testing.TB) (*model.Venue, float64, float64) {
 // nearLen or farLen; a no-route response would mean a request observed
 // a half-applied update (or a stale post-swap cache entry).
 func TestRaceScheduleSwapAtomicity(t *testing.T) {
+	// Run the same contract over both cache backends: the validity-
+	// window cache must obey the identical swap semantics (a PUT drops
+	// the whole window store with the backend).
+	for _, opts := range []struct {
+		name string
+		pool service.Options
+	}{
+		{"exact-cache", service.Options{}},
+		{"window-cache", service.Options{WindowCache: true}},
+	} {
+		t.Run(opts.name, func(t *testing.T) {
+			raceScheduleSwapAtomicity(t, opts.pool)
+		})
+	}
+}
+
+func raceScheduleSwapAtomicity(t *testing.T, poolOpts service.Options) {
 	v, nearLen, farLen := twoDoorVenue(t)
-	reg := NewRegistry(service.Options{})
+	reg := NewRegistry(poolOpts)
 	if err := reg.Add("two-door", v); err != nil {
 		t.Fatal(err)
 	}
@@ -251,12 +268,19 @@ func TestRaceScheduleSwapAtomicity(t *testing.T) {
 		}
 	}()
 
+	// Departure times vary per request: with the window cache enabled,
+	// cross-time hits serve most of them (the doors have no checkpoints,
+	// so one search covers nearly the whole day), and every served
+	// answer must still reflect a fully-applied schedule set.
+	ats := []string{"12:00", "9:30", "15:45", "3:10", "21:05"}
 	var routers sync.WaitGroup
 	for w := 0; w < 6; w++ {
 		routers.Add(1)
 		go func() {
 			defer routers.Done()
 			for i := 0; i < 120; i++ {
+				req := req
+				req.At = ats[i%len(ats)]
 				var rr RouteResponse
 				status, err := post(client, http.MethodPost, url+"/route", req, &rr)
 				if err != nil || status != http.StatusOK {
@@ -340,7 +364,7 @@ func TestRaceStatszConsistent(t *testing.T) {
 				return
 			}
 			lastQueries = st.Queries
-			if st.CacheHits+st.CacheMisses()+st.Deduped != st.Queries {
+			if st.CacheHits+st.WindowHits+st.CacheMisses()+st.Deduped != st.Queries {
 				errc <- fmt.Errorf("statsz does not partition: %+v", st)
 				return
 			}
@@ -381,8 +405,9 @@ func TestRaceStatszConsistent(t *testing.T) {
 	if st.Queries != sent.Load() {
 		t.Fatalf("statsz queries = %d, want %d", st.Queries, sent.Load())
 	}
-	if st.CacheHits+st.CacheMisses() != st.Queries {
-		t.Fatalf("hits %d + misses %d != queries %d", st.CacheHits, st.CacheMisses(), st.Queries)
+	if st.CacheHits+st.WindowHits+st.CacheMisses() != st.Queries {
+		t.Fatalf("hits %d + windowHits %d + misses %d != queries %d",
+			st.CacheHits, st.WindowHits, st.CacheMisses(), st.Queries)
 	}
 	if st.CacheHits == 0 {
 		t.Fatal("traffic with only 24 distinct queries should produce cache hits")

@@ -7,6 +7,7 @@
 //
 //	GET  /healthz                       liveness + venue count
 //	GET  /statsz                        per-venue, per-method pool counters
+//	GET  /metricsz                      the same counters in Prometheus text format
 //	GET  /v1/venues                     venue listing
 //	POST /v1/venues/{id}/route          one ITSPQ query
 //	POST /v1/venues/{id}/route:batch    batch fan-out via Pool.RouteBatch
@@ -34,6 +35,7 @@ import (
 
 	"indoorpath/internal/core"
 	"indoorpath/internal/model"
+	"indoorpath/internal/service"
 )
 
 // Options tune a Server. The zero value is usable.
@@ -81,6 +83,7 @@ func New(reg *Registry, opts Options) *Server {
 	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
 	s.mux.HandleFunc("POST /v1/venues/{id}/route", s.venueHandler(s.handleRoute))
 	s.mux.HandleFunc("POST /v1/venues/{id}/route:batch", s.venueHandler(s.handleRouteBatch))
@@ -206,11 +209,24 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Ve
 		pool := ve.Pool(m)
 		results := pool.RouteBatch(qs)
 		out := BatchResponse{Results: make([]RouteResponse, len(results))}
+		out.Cache.Queries = len(results)
 		mv := ve.Model()
 		for i, res := range results {
 			out.Results[i] = responseOf(mv, res.Path, res.Err, &res.Stats)
 			out.Results[i].CacheHit = res.CacheHit
+			out.Results[i].Hit = string(res.Hit)
 			out.Results[i].Shared = res.Shared
+			if res.Shared {
+				continue // deduplicated: the canonical entry is counted
+			}
+			switch res.Hit {
+			case service.HitExact:
+				out.Cache.ExactHits++
+			case service.HitWindow:
+				out.Cache.WindowHits++
+			default:
+				out.Cache.Searches++
+			}
 		}
 		return out
 	})
@@ -321,6 +337,7 @@ func routePooled(ve *Venue, m core.Method, q core.Query) RouteResponse {
 	res := ve.Pool(m).RouteResult(q)
 	resp := responseOf(ve.Model(), res.Path, res.Err, &res.Stats)
 	resp.CacheHit = res.CacheHit
+	resp.Hit = string(res.Hit)
 	return resp
 }
 

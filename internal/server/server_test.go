@@ -643,3 +643,165 @@ func TestLoadDir(t *testing.T) {
 		t.Fatalf("route over loaded venue: %v", err)
 	}
 }
+
+// newWindowTestServer boots the hospital/office registry with the
+// validity-window cache enabled on every pool.
+func newWindowTestServer(t testing.TB, opts Options) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry(service.Options{WindowCache: true})
+	if err := reg.AddPresets("hospital,office"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(reg, opts))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+// TestRouteHitProvenance walks one query family through all three
+// provenance values on a window-enabled server: engine search, then a
+// cross-time window hit (byte-identical to a fresh engine run at the
+// shifted departure), then an exact hit on the identical repeat.
+func TestRouteHitProvenance(t *testing.T) {
+	ts, reg := newWindowTestServer(t, Options{})
+	url := ts.URL + "/v1/venues/hospital/route"
+
+	_, raw1 := postJSON(t, url, RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"})
+	var r1 RouteResponse
+	decodeInto(t, raw1, &r1)
+	if r1.Hit != "miss" || r1.CacheHit {
+		t.Fatalf("first request: hit=%q cache_hit=%v, want miss: %s", r1.Hit, r1.CacheHit, raw1)
+	}
+
+	// 11:20 sits in the same visiting-hours slot: a window hit.
+	_, raw2 := postJSON(t, url, RouteRequest{From: &erCentre, To: &wardCentre, At: "11:20"})
+	var r2 RouteResponse
+	decodeInto(t, raw2, &r2)
+	if r2.Hit != "window" || !r2.CacheHit {
+		t.Fatalf("shifted request: hit=%q cache_hit=%v, want window: %s", r2.Hit, r2.CacheHit, raw2)
+	}
+	ve, _ := reg.Get("hospital")
+	want, _, err := core.NewEngine(ve.Graph(), core.Options{Method: core.MethodAsyn}).Route(core.Query{
+		Source: erCentre.point(), Target: wardCentre.point(), At: temporal.Clock(11, 20, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPathEqual(t, ve, want, r2.Path)
+	if r2.Path.ArriveSec != float64(want.ArrivalAtTgt) || r2.Path.DepartSec != float64(want.DepartedAt) {
+		t.Fatalf("window answer times %v/%v differ from engine %v/%v",
+			r2.Path.DepartSec, r2.Path.ArriveSec, want.DepartedAt, want.ArrivalAtTgt)
+	}
+
+	// The engine-computed original repeats as an exact hit; the shifted
+	// departure keeps serving from the window store (no promotion).
+	_, raw3 := postJSON(t, url, RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"})
+	var r3 RouteResponse
+	decodeInto(t, raw3, &r3)
+	if r3.Hit != "exact" || !r3.CacheHit {
+		t.Fatalf("repeat request: hit=%q, want exact: %s", r3.Hit, raw3)
+	}
+	_, raw4 := postJSON(t, url, RouteRequest{From: &erCentre, To: &wardCentre, At: "11:20"})
+	var r4 RouteResponse
+	decodeInto(t, raw4, &r4)
+	if r4.Hit != "window" {
+		t.Fatalf("repeated shifted request: hit=%q, want window: %s", r4.Hit, raw4)
+	}
+
+	// /statsz reflects the provenance split.
+	var sr StatsResponse
+	getJSON(t, ts.URL+"/statsz", &sr)
+	asyn := sr.Venues["hospital"].Methods["asyn"]
+	if asyn.Queries != 4 || asyn.CacheHits != 1 || asyn.WindowHits != 2 || asyn.CacheMisses() != 1 {
+		t.Fatalf("asyn stats = %+v", asyn)
+	}
+}
+
+// TestBatchCacheSummary: a departure sweep through the batch endpoint
+// reports the cache summary the CLI prints, and the counts partition
+// the batch.
+func TestBatchCacheSummary(t *testing.T) {
+	ts, _ := newWindowTestServer(t, Options{})
+	var req BatchRequest
+	for min := 0; min < 110; min += 10 { // 10:00..11:50, inside one slot
+		req.Queries = append(req.Queries, RouteRequest{
+			From: &erCentre, To: &wardCentre, At: temporal.Clock(10, min, 0).String(),
+		})
+	}
+	req.Queries = append(req.Queries, req.Queries[0]) // duplicate → deduped
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route:batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var br BatchResponse
+	decodeInto(t, raw, &br)
+	c := br.Cache
+	if c.Queries != len(req.Queries) {
+		t.Fatalf("cache.queries = %d, want %d", c.Queries, len(req.Queries))
+	}
+	deduped := c.Queries - c.ExactHits - c.WindowHits - c.Searches
+	if deduped < 1 {
+		t.Fatalf("summary does not account for the duplicate: %+v", c)
+	}
+	if c.WindowHits == 0 {
+		t.Fatalf("one-slot sweep produced no window hits: %+v", c)
+	}
+	if c.Searches >= len(req.Queries)-1 {
+		t.Fatalf("sweep did not reuse searches: %+v", c)
+	}
+	// Per-result provenance agrees with the summary.
+	var exact, window, searches int
+	for _, rr := range br.Results {
+		if rr.Shared {
+			continue
+		}
+		switch rr.Hit {
+		case "exact":
+			exact++
+		case "window":
+			window++
+		default:
+			searches++
+		}
+	}
+	if exact != c.ExactHits || window != c.WindowHits || searches != c.Searches {
+		t.Fatalf("summary %+v does not match per-result provenance %d/%d/%d", c, exact, window, searches)
+	}
+}
+
+// TestMetricsz checks the Prometheus text endpoint: content type, HELP/
+// TYPE headers, per-(venue, method) series, and counter movement.
+func TestMetricsz(t *testing.T) {
+	ts, _ := newWindowTestServer(t, Options{})
+	postJSON(t, ts.URL+"/v1/venues/hospital/route", RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"})
+	postJSON(t, ts.URL+"/v1/venues/hospital/route", RouteRequest{From: &erCentre, To: &wardCentre, At: "11:30"})
+
+	resp, raw := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE indoorpath_pool_queries_total counter",
+		"# TYPE indoorpath_pool_window_hits_total counter",
+		"# TYPE indoorpath_pool_epoch gauge",
+		"# HELP indoorpath_pool_engine_searches_total",
+		"indoorpath_venues 2",
+		`indoorpath_venue_epoch{venue="hospital"} 0`,
+		`indoorpath_pool_queries_total{venue="hospital",method="asyn"} 2`,
+		`indoorpath_pool_window_hits_total{venue="hospital",method="asyn"} 1`,
+		`indoorpath_pool_engine_searches_total{venue="hospital",method="asyn"} 1`,
+		`indoorpath_pool_queries_total{venue="office",method="syn"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metricsz missing %q:\n%s", want, body)
+		}
+	}
+	// Two scrapes are deterministic byte-for-byte when idle.
+	_, raw2 := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
+	if string(raw2) != body {
+		t.Fatal("idle metricsz scrapes differ")
+	}
+}

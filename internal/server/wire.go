@@ -105,17 +105,37 @@ type RouteResponse struct {
 	// the outcome (for cache hits: the original search); absent for
 	// the waiting method, which has no comparable counters.
 	Stats *core.SearchStats `json:"stats,omitempty"`
-	// CacheHit marks outcomes served from the pool's result cache.
+	// CacheHit marks outcomes served from a pool result cache (exact
+	// or validity-window).
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Hit is the outcome's cache provenance: "miss" (engine search),
+	// "exact" (exact-identity cache) or "window" (validity-window
+	// cache, arrivals recomputed for this departure). Absent for the
+	// waiting method, which has no pool.
+	Hit string `json:"hit,omitempty"`
 	// Shared marks batch entries answered by an identical query's
 	// search elsewhere in the same batch.
 	Shared bool      `json:"shared,omitempty"`
 	Error  *ErrorDoc `json:"error,omitempty"`
 }
 
+// BatchCacheDoc summarises cache provenance across one batch — the
+// fields cmd/itspq prints as its sweep summary line. Shared
+// (deduplicated) entries count toward Queries but none of the other
+// three, so Queries - ExactHits - WindowHits - Searches is the number
+// of deduplicated entries.
+type BatchCacheDoc struct {
+	Queries    int `json:"queries"`
+	ExactHits  int `json:"exact_hits"`
+	WindowHits int `json:"window_hits"`
+	Searches   int `json:"searches"`
+}
+
 // BatchResponse aligns positionally with BatchRequest.Queries.
 type BatchResponse struct {
 	Results []RouteResponse `json:"results"`
+	// Cache summarises how the batch was served.
+	Cache BatchCacheDoc `json:"cache"`
 }
 
 // pathDoc converts a found path, resolving door and partition names

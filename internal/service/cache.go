@@ -89,9 +89,11 @@ func (c *resultCache) get(key cacheKey, ekey entryKey) (Result, bool) {
 }
 
 func (c *resultCache) put(key cacheKey, ekey entryKey, e cacheEntry, epoch uint64) {
-	// Never republish transient flags from the computing caller.
+	// Never republish transient flags from the computing caller: a
+	// later get re-labels the outcome as its own (exact) hit.
 	e.res.CacheHit = false
 	e.res.Shared = false
+	e.res.Hit = HitMiss
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if epoch != c.epochN {

@@ -10,7 +10,9 @@
 package service
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -212,6 +214,138 @@ func TestRaceScheduleSwapDuringRoutes(t *testing.T) {
 	routers.Wait()
 	close(done)
 	wg.Wait()
+}
+
+// TestRaceWindowPoolSweepByteIdentical is the window cache's oracle
+// bar under concurrency: goroutines sweep departure times through one
+// window-cache pool while another goroutine swaps schedules between
+// two sets; every response must be byte-identical to a sequential
+// core.Engine answer over the pre-swap or the post-swap graph (swap
+// atomicity per response), with no third outcome.
+func TestRaceWindowPoolSweepByteIdentical(t *testing.T) {
+	// Two-door venue: schedule set A opens only the near door (short
+	// path), set B only the far one (long path) — at every minute of the
+	// day the two graphs give different, precomputable answers.
+	b := model.NewBuilder("window-swap-race")
+	hall := b.AddPartition("hall", model.PublicPartition, geom.NewRect(0, 0, 20, 10, 0))
+	room := b.AddPartition("room", model.PublicPartition, geom.NewRect(0, 10, 20, 20, 0))
+	near := b.AddDoor("near", model.PublicDoor, geom.Pt(2, 10, 0), nil)
+	far := b.AddDoor("far", model.PublicDoor, geom.Pt(18, 10, 0), nil)
+	b.ConnectBi(near, hall, room)
+	b.ConnectBi(far, hall, room)
+	v := b.MustBuild()
+	nearID, _ := v.DoorByName("near")
+	farID, _ := v.DoorByName("far")
+
+	closed := temporal.Schedule{} // empty = always closed
+	setA := map[model.DoorID]temporal.Schedule{nearID: nil, farID: closed}
+	setB := map[model.DoorID]temporal.Schedule{nearID: closed, farID: nil}
+	vA, err := v.WithSchedules(setA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vB, err := v.WithSchedules(setB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA, gB := itgraph.MustNew(vA), itgraph.MustNew(vB)
+
+	// Sequential oracle answers for every sweep departure on both graphs.
+	const stepSec = 60
+	q0 := core.Query{Source: geom.Pt(2, 5, 0), Target: geom.Pt(2, 15, 0)}
+	eA := core.NewEngine(gA, core.Options{Method: core.MethodAsyn})
+	eB := core.NewEngine(gB, core.Options{Method: core.MethodAsyn})
+	var wantA, wantB []*core.Path
+	for at := temporal.TimeOfDay(0); at < temporal.DaySeconds; at += stepSec {
+		q := q0
+		q.At = at
+		pa, _, err := eA.Route(q)
+		if err != nil {
+			t.Fatalf("oracle A at %v: %v", at, err)
+		}
+		pb, _, err := eB.Route(q)
+		if err != nil {
+			t.Fatalf("oracle B at %v: %v", at, err)
+		}
+		wantA, wantB = append(wantA, pa), append(wantB, pb)
+	}
+
+	pool := New(gA, Options{Engine: core.Options{Method: core.MethodAsyn}, WindowCache: true})
+	done := make(chan struct{})
+	errc := make(chan error, 8)
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			g := gA
+			if i%2 == 0 {
+				g = gB
+			}
+			pool.SetGraph(g)
+		}
+	}()
+
+	var routers sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		routers.Add(1)
+		seed := int64(300 + w)
+		go func() {
+			defer routers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				k := rng.Intn(len(wantA))
+				q := q0
+				q.At = temporal.TimeOfDay(k * stepSec)
+				r := pool.route(q)
+				if r.Err != nil {
+					select {
+					case errc <- r.Err:
+					default:
+					}
+					return
+				}
+				if !reflect.DeepEqual(r.Path, wantA[k]) && !reflect.DeepEqual(r.Path, wantB[k]) {
+					select {
+					case errc <- fmt.Errorf("departure %v (hit=%q): path %+v matches neither schedule set's sequential answer", q.At, r.Hit, r.Path):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	routers.Wait()
+	close(done)
+	swapper.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.WindowHits == 0 {
+		t.Logf("note: no window hits under this interleaving (%v)", st)
+	}
+
+	// Sequential epilogue: with the swaps quiesced on set A, the sweep
+	// must serve window hits and stay byte-identical.
+	pool.SetGraph(gA)
+	before := pool.Stats().WindowHits
+	for k := range wantA {
+		q := q0
+		q.At = temporal.TimeOfDay(k * stepSec)
+		r := pool.route(q)
+		if r.Err != nil || !reflect.DeepEqual(r.Path, wantA[k]) {
+			t.Fatalf("epilogue departure %v (hit=%q): %v / path mismatch", q.At, r.Hit, r.Err)
+		}
+	}
+	if st := pool.Stats(); st.WindowHits <= before {
+		t.Fatalf("epilogue sweep served no window hits: %v", st)
+	}
 }
 
 func TestRaceCacheInvalidationDuringRoutes(t *testing.T) {

@@ -30,6 +30,7 @@ import (
 	"indoorpath/internal/core"
 	"indoorpath/internal/itgraph"
 	"indoorpath/internal/model"
+	"indoorpath/internal/tcache"
 	"indoorpath/internal/temporal"
 )
 
@@ -43,11 +44,43 @@ type Options struct {
 	// CacheCapacity bounds the number of cached query outcomes.
 	// 0 means the default capacity; negative disables caching.
 	CacheCapacity int
+	// WindowCache additionally enables the validity-window temporal
+	// result cache (internal/tcache): found no-waiting paths are stored
+	// with the departure interval over which the engine's answer is
+	// provably unchanged (core.Engine.AnswerWindow), and a later query on the
+	// same endpoints and speed departing anywhere inside a stored
+	// window is answered without an engine search — doors, partitions
+	// and length from the stored answer, arrival times recomputed for
+	// the query's own departure. The exact cache (when enabled) is
+	// consulted first; window answers obey the same swap semantics (a
+	// SetGraph/UpdateSchedules swap drops the whole store) and
+	// InvalidateSlot drops windows overlapping the slot's time range.
+	// Off by default: the exact cache remains the default backend.
+	WindowCache bool
+	// WindowCapacity bounds the number of stored validity windows:
+	// 0 means tcache.DefaultCapacity, and negative disables the window
+	// store even when WindowCache is set (mirroring CacheCapacity).
+	WindowCapacity int
 }
 
 // DefaultCacheCapacity is the cache size used when Options.CacheCapacity
 // is zero.
 const DefaultCacheCapacity = 4096
+
+// Hit is the provenance of one outcome: how the pool produced it.
+type Hit string
+
+// Hit values.
+const (
+	// HitMiss: the outcome came from an engine search.
+	HitMiss Hit = "miss"
+	// HitExact: served from the exact-identity result cache.
+	HitExact Hit = "exact"
+	// HitWindow: served from the validity-window cache — the stored
+	// answer's doors and partitions with arrivals recomputed for this
+	// query's departure.
+	HitWindow Hit = "window"
+)
 
 // Result is one RouteBatch outcome. Path and Err mirror exactly what a
 // sequential core.Engine.Route would have returned for the query.
@@ -55,9 +88,12 @@ type Result struct {
 	Path  *core.Path
 	Stats core.SearchStats
 	Err   error
-	// CacheHit reports that the outcome was served from the result
-	// cache rather than searched.
+	// CacheHit reports that the outcome was served from a result cache
+	// (exact or window) rather than searched.
 	CacheHit bool
+	// Hit is the outcome's provenance: HitMiss, HitExact or HitWindow.
+	// For Shared entries it is the canonical query's provenance.
+	Hit Hit
 	// Shared reports that the outcome was computed once for an
 	// identical query elsewhere in the same batch and shared.
 	Shared bool
@@ -69,9 +105,15 @@ type Result struct {
 type Stats struct {
 	Queries        int64 `json:"queries"`         // Route calls + batch entries
 	Batches        int64 `json:"batches"`         // RouteBatch calls
-	CacheHits      int64 `json:"cache_hits"`      // outcomes served from the result cache
+	CacheHits      int64 `json:"cache_hits"`      // outcomes served from the exact result cache
+	WindowHits     int64 `json:"window_hits"`     // outcomes served from the validity-window cache
 	Deduped        int64 `json:"deduped"`         // batch entries shared from an identical query
 	EnginesCreated int64 `json:"engines_created"` // engines constructed (vs reused from the pool)
+	// EngineSearches counts actual engine runs. It is its own monotone
+	// counter (the Prometheus series behind /metricsz must never
+	// decrease); CacheMisses() is the derived view over one Stats
+	// snapshot, which can transiently differ by in-flight queries.
+	EngineSearches int64 `json:"engine_searches"`
 	// Epoch is the backend generation: the number of SetGraph /
 	// UpdateSchedules swaps since the pool was built. A response
 	// computed at epoch N can never be served once epoch N+1 begins
@@ -80,14 +122,14 @@ type Stats struct {
 }
 
 // CacheMisses returns the number of queries that went to an engine:
-// every query that was neither a cache hit nor shared from an
-// identical batch entry.
-func (s Stats) CacheMisses() int64 { return s.Queries - s.CacheHits - s.Deduped }
+// every query that was not an exact hit, a window hit, or shared from
+// an identical batch entry.
+func (s Stats) CacheMisses() int64 { return s.Queries - s.CacheHits - s.WindowHits - s.Deduped }
 
 // String renders a one-line summary of the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("queries=%d batches=%d cacheHits=%d cacheMisses=%d deduped=%d engines=%d epoch=%d",
-		s.Queries, s.Batches, s.CacheHits, s.CacheMisses(), s.Deduped, s.EnginesCreated, s.Epoch)
+	return fmt.Sprintf("queries=%d batches=%d cacheHits=%d windowHits=%d cacheMisses=%d deduped=%d engines=%d epoch=%d",
+		s.Queries, s.Batches, s.CacheHits, s.WindowHits, s.CacheMisses(), s.Deduped, s.EnginesCreated, s.Epoch)
 }
 
 // poolBackend bundles one graph with the engine pool and result cache
@@ -99,7 +141,8 @@ type poolBackend struct {
 	g       *itgraph.Graph
 	v       *model.Venue
 	engines sync.Pool
-	cache   *resultCache // nil when caching is disabled
+	cache   *resultCache  // nil when caching is disabled
+	windows *tcache.Store // nil unless Options.WindowCache
 }
 
 // Pool serves ITSPQ queries concurrently over one shared IT-Graph. It
@@ -116,8 +159,10 @@ type Pool struct {
 	queries        atomic.Int64
 	batches        atomic.Int64
 	cacheHits      atomic.Int64
+	windowHits     atomic.Int64
 	deduped        atomic.Int64
 	enginesCreated atomic.Int64
+	engineSearches atomic.Int64
 	swapEpoch      atomic.Int64
 }
 
@@ -141,6 +186,9 @@ func (p *Pool) newBackend(g *itgraph.Graph) *poolBackend {
 		b.cache = newResultCache(DefaultCacheCapacity)
 	default:
 		b.cache = newResultCache(p.opts.CacheCapacity)
+	}
+	if p.opts.WindowCache && p.opts.WindowCapacity >= 0 {
+		b.windows = tcache.NewStore(p.opts.WindowCapacity)
 	}
 	return b
 }
@@ -184,12 +232,15 @@ func (p *Pool) UpdateSchedules(updates map[model.DoorID]temporal.Schedule) error
 // hit/dedup counter, so queries read last dominates).
 func (p *Pool) Stats() Stats {
 	hits := p.cacheHits.Load()
+	windowHits := p.windowHits.Load()
 	deduped := p.deduped.Load()
 	return Stats{
 		Batches:        p.batches.Load(),
 		CacheHits:      hits,
+		WindowHits:     windowHits,
 		Deduped:        deduped,
 		EnginesCreated: p.enginesCreated.Load(),
+		EngineSearches: p.engineSearches.Load(),
 		Epoch:          p.swapEpoch.Load(),
 		Queries:        p.queries.Load(),
 	}
@@ -226,27 +277,111 @@ func (p *Pool) route(q core.Query) Result {
 
 // routeKeyed is route with the backend pinned and the cache keys
 // already derived (RouteBatch computes them once for deduplication and
-// reuses them here).
+// reuses them here). Lookup order: exact cache, then validity-window
+// cache, then an engine search whose outcome feeds both.
 func (p *Pool) routeKeyed(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) Result {
 	p.queries.Add(1)
 	useCache := cacheable && b.cache != nil
-	var epoch uint64
+	useWindows := cacheable && b.windows != nil
+	var epoch, wepoch uint64
 	if useCache {
 		if r, ok := b.cache.get(key, ekey); ok {
 			p.cacheHits.Add(1)
 			r.CacheHit = true
+			r.Hit = HitExact
 			return r
 		}
 		epoch = b.cache.epoch()
 	}
+	if useWindows {
+		wepoch = b.windows.Epoch()
+		if ent, ok := b.windows.Lookup(windowKey(key), windowPointKey(ekey), ekey.at); ok {
+			// Deliberately not promoted into the exact cache: a sweep
+			// workload would flood it with one-shot per-departure
+			// entries (evicting genuinely hot exact entries), and the
+			// window lookup repeats serve from is already O(log n).
+			r := materializeWindow(ent, q, ekey)
+			p.windowHits.Add(1)
+			r.CacheHit = true
+			r.Hit = HitWindow
+			return r
+		}
+	}
+	p.engineSearches.Add(1)
 	e := b.engines.Get().(*core.Engine)
 	path, stats, err := e.Route(q)
+	var went *tcache.Entry
+	if useWindows && err == nil && path != nil {
+		went = windowEntryFor(e, q, path, stats)
+	}
 	b.engines.Put(e)
-	r := Result{Path: path, Stats: stats, Err: err}
+	r := Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
 	if useCache {
 		b.cache.put(key, ekey, entryFor(b, key, r), epoch)
 	}
+	if went != nil {
+		b.windows.Insert(windowKey(key), windowPointKey(ekey), went, wepoch)
+	}
 	return r
+}
+
+// windowKey and windowPointKey project the exact-cache keys onto the
+// window store's addressing.
+func windowKey(key cacheKey) tcache.Key {
+	return tcache.Key{Src: key.src, Tgt: key.tgt}
+}
+
+func windowPointKey(ekey entryKey) tcache.PointKey {
+	return tcache.PointKey{Src: ekey.src, Tgt: ekey.tgt, Speed: ekey.speed}
+}
+
+// windowEntryFor derives the validity-window entry for a found path,
+// or nil when the answer is not window-cacheable (its walk crosses a
+// checkpoint, its arrival wraps midnight, …). Called with the engine
+// still checked out: both the window derivation and PathDistances
+// replay the engine's own leg arithmetic, so the window and the
+// rebased arrivals are faithful to the search that produced the path.
+func windowEntryFor(e *core.Engine, q core.Query, path *core.Path, stats core.SearchStats) *tcache.Entry {
+	dists := e.PathDistances(path, q)
+	w, err := e.AnswerWindowDists(path, q, dists)
+	if err != nil {
+		return nil
+	}
+	return &tcache.Entry{
+		Window:     w,
+		Doors:      path.Doors,
+		Partitions: path.Partitions,
+		Length:     path.Length,
+		Dists:      dists,
+		Stats:      stats,
+	}
+}
+
+// materializeWindow builds the answer for a departure covered by a
+// stored window: the entry's door and partition sequences (shared —
+// paths are immutable) with every arrival recomputed for this query's
+// departure, exactly as the engine's reconstruct would have
+// (departure + cumulative distance / speed, the same float64 ops in
+// the same order). The original Path.Arrival instants are never
+// reused. Stats are the producing search's, mirroring exact hits.
+func materializeWindow(ent *tcache.Entry, q core.Query, ekey entryKey) Result {
+	arrivals := make([]temporal.TimeOfDay, len(ent.Doors))
+	for i, d := range ent.Dists {
+		arrivals[i] = ekey.at + temporal.TimeOfDay(d/ekey.speed)
+	}
+	return Result{
+		Path: &core.Path{
+			Source:       q.Source,
+			Target:       q.Target,
+			Doors:        ent.Doors,
+			Partitions:   ent.Partitions,
+			Length:       ent.Length,
+			Arrivals:     arrivals,
+			ArrivalAtTgt: ekey.at + temporal.TimeOfDay(ent.Length/ekey.speed),
+			DepartedAt:   ekey.at,
+		},
+		Stats: ent.Stats,
+	}
 }
 
 // entryFor derives the checkpoint-slot range a cached outcome depends
@@ -386,23 +521,48 @@ func (p *Pool) RouteBatch(qs []core.Query) []Result {
 // the finer-grained knob for cache-only concerns such as bounding
 // staleness per slot.
 func (p *Pool) InvalidateSlot(i int) {
-	if c := p.backend.Load().cache; c != nil {
+	b := p.backend.Load()
+	if c := b.cache; c != nil {
 		c.invalidateSlot(i)
 	}
-}
-
-// InvalidateCache drops every cached outcome.
-func (p *Pool) InvalidateCache() {
-	if c := p.backend.Load().cache; c != nil {
-		c.invalidateAll()
+	if w := b.windows; w != nil {
+		// A stored window's departures — and, by the answer-window
+		// clamp, its whole walks — lie inside one checkpoint slot, so
+		// dropping windows overlapping the slot's time range voids
+		// exactly the answers that depend on it. Full-day windows
+		// (static answers) overlap every slot and always drop.
+		cps := b.g.Checkpoints()
+		w.InvalidateRange(temporal.Interval{Open: cps.SlotStart(i), Close: cps.SlotEnd(i)})
 	}
 }
 
-// CacheLen returns the number of cached outcomes (0 when disabled).
+// InvalidateCache drops every cached outcome, windows included.
+func (p *Pool) InvalidateCache() {
+	b := p.backend.Load()
+	if c := b.cache; c != nil {
+		c.invalidateAll()
+	}
+	if w := b.windows; w != nil {
+		w.InvalidateAll()
+	}
+}
+
+// CacheLen returns the number of cached exact outcomes (0 when
+// disabled).
 func (p *Pool) CacheLen() int {
 	c := p.backend.Load().cache
 	if c == nil {
 		return 0
 	}
 	return c.len()
+}
+
+// WindowLen returns the number of stored validity windows (0 when the
+// window cache is disabled).
+func (p *Pool) WindowLen() int {
+	w := p.backend.Load().windows
+	if w == nil {
+		return 0
+	}
+	return w.Len()
 }

@@ -1,0 +1,286 @@
+// Package tcache is the validity-window temporal result cache of the
+// serving layer: it stores computed indoor paths keyed by the interval
+// of departure times over which the engine's answer is provably
+// unchanged (core.Engine.AnswerWindow), so that *any* departure inside a
+// stored window — not just the exact instant that was searched — is
+// served without running an engine.
+//
+// The paper's whole premise is that indoor shortest paths vary with
+// departure time; the flip side is that between topology checkpoints
+// they do not vary at all, and a time-sweep or rush-hour workload
+// asking one OD pair at many nearby departures can reuse one search
+// across the whole window. An exact-identity cache (service's
+// resultCache) gets near-zero reuse on such workloads; this store is
+// the cross-time complement.
+//
+// Layout: buckets keyed by the (source partition, target partition)
+// pair — the spatial granularity schedule invalidation works at —
+// each holding, per exact (source point, target point, speed) triple,
+// a series of windows sorted by opening time and pairwise disjoint, so
+// a lookup is one map step plus an O(log n) binary search. One store
+// serves one engine method (service.Pool keeps one pool, and so one
+// store, per method).
+//
+// Invariants the serving layer relies on:
+//
+//   - stored entries are immutable once inserted; Lookup hands the
+//     same *Entry to many goroutines (the door/partition slices are
+//     shared into materialised paths, which are immutable by the
+//     repository-wide path contract);
+//   - windows are derived for no-waiting paths only, and a served
+//     answer must recompute arrival times from Dists for the query's
+//     own departure — never reuse the original instants;
+//   - a schedule swap must drop the whole store (service swaps the
+//     backend, store included); InvalidateRange supports the finer
+//     slot-granular knob;
+//   - the epoch counter guards the same race as resultCache's: a
+//     search that overlapped an invalidation must not re-insert its
+//     pre-invalidation window.
+package tcache
+
+import (
+	"sort"
+	"sync"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// DefaultCapacity bounds the number of stored windows when NewStore is
+// given zero.
+const DefaultCapacity = 4096
+
+// Key addresses one bucket: the OD partition pair of the cached paths.
+type Key struct {
+	Src, Tgt model.PartitionID
+}
+
+// PointKey identifies one exact query family inside a bucket: the
+// endpoint geometry and walking speed that all departures of a window
+// share. Two queries differing in any of these can have different
+// answers at the same departure, so they never share windows.
+type PointKey struct {
+	Src, Tgt geom.Point
+	Speed    float64
+}
+
+// Entry is one cached answer with its departure-time validity window.
+// All fields are read-only after insertion.
+type Entry struct {
+	// Window is the departure interval (core.Engine.AnswerWindow) the answer
+	// holds for: same doors, partitions and length as a fresh search.
+	Window temporal.Interval
+	// Doors and Partitions are the cached path's sequences, shared as-is
+	// into every materialised path.
+	Doors      []model.DoorID
+	Partitions []model.PartitionID
+	// Length is the walked length in metres (departure-independent).
+	Length float64
+	// Dists is the cumulative walked distance at each door
+	// (core.Engine.PathDistances): a served answer's arrivals are
+	// departure + Dists[i]/Speed, reproducing engine arithmetic bit for
+	// bit.
+	Dists []float64
+	// Stats are the search statistics of the run that produced the
+	// entry, reported on every window hit (mirroring exact-cache hits).
+	Stats core.SearchStats
+}
+
+// series is the per-PointKey window list: sorted by Window.Open and
+// pairwise disjoint, the invariant that makes lookups a binary search.
+type series struct {
+	entries []*Entry
+}
+
+// find returns the entry whose window contains at, if any.
+func (s *series) find(at temporal.TimeOfDay) (*Entry, bool) {
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Window.Close > at })
+	if i < len(s.entries) && s.entries[i].Window.Contains(at) {
+		return s.entries[i], true
+	}
+	return nil, false
+}
+
+// Store is a bounded, concurrency-safe window cache. The zero value is
+// not usable; construct with NewStore.
+type Store struct {
+	mu      sync.RWMutex
+	cap     int
+	size    int // total windows across all series
+	epochN  uint64
+	buckets map[Key]map[PointKey]*series
+}
+
+// NewStore builds a store holding at most capacity windows (0 means
+// DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{cap: capacity, buckets: make(map[Key]map[PointKey]*series)}
+}
+
+// Epoch returns the invalidation epoch; capture it before the search
+// whose result will be inserted and hand it back to Insert.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epochN
+}
+
+// Lookup returns the entry whose validity window contains the
+// departure at, if one is stored for the query family.
+func (s *Store) Lookup(k Key, pk PointKey, at temporal.TimeOfDay) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[k]
+	if !ok {
+		return nil, false
+	}
+	ser, ok := b[pk]
+	if !ok {
+		return nil, false
+	}
+	return ser.find(at)
+}
+
+// Insert stores an entry, keeping the series sorted and disjoint. A
+// window overlapping an already-stored one is dropped (both are proven
+// correct over their windows; serving either is sound, and concurrent
+// searches in one slot derive identical windows anyway). Entries
+// computed before the store's current epoch are discarded — they raced
+// an invalidation. Reports whether the entry was stored.
+func (s *Store) Insert(k Key, pk PointKey, e *Entry, epoch uint64) bool {
+	if e == nil || e.Window.Duration() <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epochN {
+		return false
+	}
+	b, ok := s.buckets[k]
+	if !ok {
+		b = make(map[PointKey]*series)
+		s.buckets[k] = b
+	}
+	ser, ok := b[pk]
+	if !ok {
+		ser = &series{}
+		b[pk] = ser
+	}
+	i := sort.Search(len(ser.entries), func(i int) bool { return ser.entries[i].Window.Open >= e.Window.Open })
+	if i > 0 && ser.entries[i-1].Window.Overlaps(e.Window) {
+		return false
+	}
+	if i < len(ser.entries) && ser.entries[i].Window.Overlaps(e.Window) {
+		return false
+	}
+	ser.entries = append(ser.entries, nil)
+	copy(ser.entries[i+1:], ser.entries[i:])
+	ser.entries[i] = e
+	s.size++
+	for s.size > s.cap {
+		s.evictLocked(k, e)
+	}
+	return true
+}
+
+// evictLocked sheds one bucket other than keep (the bucket just written
+// to); when keep is the only bucket left it drops that bucket's windows
+// other than keepE instead, so a hot OD pair larger than the capacity
+// still serves its latest window.
+func (s *Store) evictLocked(keep Key, keepE *Entry) {
+	for k, b := range s.buckets {
+		if k == keep {
+			if len(s.buckets) > 1 {
+				continue
+			}
+			for pk, ser := range b {
+				for i := 0; i < len(ser.entries); {
+					if ser.entries[i] == keepE {
+						i++
+						continue
+					}
+					copy(ser.entries[i:], ser.entries[i+1:])
+					ser.entries[len(ser.entries)-1] = nil // release for GC
+					ser.entries = ser.entries[:len(ser.entries)-1]
+					s.size--
+					if s.size <= s.cap {
+						s.dropEmptyLocked(k, pk)
+						return
+					}
+				}
+				s.dropEmptyLocked(k, pk)
+			}
+			return
+		}
+		for _, ser := range b {
+			s.size -= len(ser.entries)
+		}
+		delete(s.buckets, k)
+		return
+	}
+}
+
+func (s *Store) dropEmptyLocked(k Key, pk PointKey) {
+	if ser, ok := s.buckets[k][pk]; ok && len(ser.entries) == 0 {
+		delete(s.buckets[k], pk)
+		if len(s.buckets[k]) == 0 {
+			delete(s.buckets, k)
+		}
+	}
+}
+
+// InvalidateRange drops every window overlapping the interval — the
+// slot-granular invalidation hook: a schedule concern scoped to one
+// checkpoint slot voids exactly the windows whose departures (and so,
+// by the answer-window clamp, whose whole walks) touch that slot.
+// Full-day windows (static-method answers) overlap every slot and are
+// always dropped.
+func (s *Store) InvalidateRange(iv temporal.Interval) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epochN++
+	for k, b := range s.buckets {
+		for pk, ser := range b {
+			old := ser.entries
+			kept := old[:0]
+			for _, e := range old {
+				if e.Window.Overlaps(iv) {
+					s.size--
+					continue
+				}
+				kept = append(kept, e)
+			}
+			for i := len(kept); i < len(old); i++ {
+				old[i] = nil // release dropped entries for GC
+			}
+			ser.entries = kept
+			if len(ser.entries) == 0 {
+				delete(b, pk)
+			}
+		}
+		if len(b) == 0 {
+			delete(s.buckets, k)
+		}
+	}
+}
+
+// InvalidateAll drops every window.
+func (s *Store) InvalidateAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epochN++
+	s.buckets = make(map[Key]map[PointKey]*series)
+	s.size = 0
+}
+
+// Len returns the number of stored windows.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
