@@ -143,6 +143,11 @@ type (
 	Method = core.Method
 	// SearchStats describes one query execution.
 	SearchStats = core.SearchStats
+	// ManyOutcome is one query's answer from a shared-execution run
+	// (Engine.RouteMany / Engine.RouteManyTo): one engine search
+	// answering a whole same-endpoint group, each outcome byte-identical
+	// to a solo Engine.Route whenever the shortest valid path is unique.
+	ManyOutcome = core.ManyOutcome
 	// StaticRouter is the temporal-unaware baseline.
 	StaticRouter = core.StaticRouter
 	// WaitingRouter is the earliest-arrival extension with waiting.
@@ -211,12 +216,20 @@ type (
 	// result cache (internal/tcache): answers are stored with the
 	// departure interval over which they provably stay the engine's
 	// answer, so nearby departure times of the same OD pair are served
-	// without a search.
+	// without a search. Set SharedBatch to enable the shared-execution
+	// batch planner (internal/batchplan): RouteBatch partitions each
+	// batch into shared-endpoint groups and answers every group with a
+	// single engine run (core.Engine.RouteMany / RouteManyTo) instead
+	// of one search per query.
 	PoolOptions = service.Options
 	// PoolStats are cumulative pool counters.
 	PoolStats = service.Stats
 	// BatchResult is one ServicePool.RouteBatch outcome.
 	BatchResult = service.Result
+	// BatchSummary describes how one ServicePool.RouteBatchSummary call
+	// was served: per-cache hit counts, engine runs actually executed,
+	// and the shared-execution tallies.
+	BatchSummary = service.BatchSummary
 	// CacheHitKind is a result's cache provenance: HitMiss (engine
 	// search), HitExact (exact-identity cache) or HitWindow
 	// (validity-window cache, arrivals recomputed for the query's own

@@ -447,6 +447,77 @@ func BenchmarkPoolRouteSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolRouteBatchShared measures the shared-execution batch
+// planner on its motivating workload: one source (a crowd position)
+// fanning out to 64 distinct targets at one departure — rush-hour
+// traffic to the gates. Unshared, the batch costs one engine search
+// per distinct target; with SharedBatch the whole fan-out is answered
+// by ONE multi-target run (searches/op ≈ 1 vs 64). The ≥2× search
+// reduction is self-checked via Stats.SharedRuns / EngineSearches, and
+// answers remain byte-identical to the sequential engine (the oracle
+// suite in internal/service proves that; here we check the counters).
+func BenchmarkPoolRouteBatchShared(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	tb.graph.Snapshots().BuildAll()
+	v := tb.graph.Venue()
+	src := tb.queries[0].Source
+	var batch []indoorpath.Query
+	for _, part := range v.Partitions() {
+		if part.Kind != indoorpath.PublicPartition {
+			continue
+		}
+		r := part.Rect
+		c := indoorpath.Pt((r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2, part.Floor())
+		batch = append(batch, indoorpath.Query{Source: src, Target: c, At: indoorpath.Clock(12, 0, 0)})
+		if len(batch) == 64 {
+			break
+		}
+	}
+	if len(batch) != 64 {
+		b.Fatalf("only %d public-partition targets", len(batch))
+	}
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{{"unshared", false}, {"shared", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			pool := indoorpath.NewPool(tb.graph, indoorpath.PoolOptions{
+				Engine:      indoorpath.Options{Method: indoorpath.MethodAsyn},
+				Workers:     4,
+				SharedBatch: mode.shared,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.InvalidateCache() // each iteration recomputes the batch
+				rs, _ := pool.RouteBatchSummary(batch)
+				for _, r := range rs {
+					if r.Err != nil && r.Err != indoorpath.ErrNoRoute {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := pool.Stats()
+			b.ReportMetric(float64(st.EngineSearches)/float64(b.N), "searches/op")
+			b.ReportMetric(float64(st.SharedRuns)/float64(b.N), "sharedRuns/op")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*len(batch))/secs, "queries/s")
+			}
+			if mode.shared {
+				if st.SharedRuns == 0 || st.SharedRuns >= int64(len(batch)) {
+					b.Fatalf("shared runs out of range (want 0 < runs < %d per batch): %v", len(batch), st)
+				}
+				if st.EngineSearches*2 > st.Queries {
+					b.Fatalf("shared batch did not at least halve engine searches: %v", st)
+				}
+			} else if st.SharedRuns != 0 {
+				b.Fatalf("unshared pool reported shared runs: %v", st)
+			}
+		})
+	}
+}
+
 // serverBenchSetup boots the HTTP serving stack (registry + server +
 // httptest listener) over the synth-mall testbed with caching disabled,
 // so every request is a real search and the delta against

@@ -23,11 +23,23 @@
 //
 //	itspq -venue mall.json -from 100,50,0 -to 900,700,2 -workers 1 -sweep 15m -window
 //
+// -shared enables the shared-execution batch planner on the pool: the
+// sweep batch is partitioned into shared-endpoint groups and each group
+// is answered by ONE engine run (the cache line grows sharedRuns /
+// sharedAnswers). With -sweep, -to also accepts several targets
+// separated by ';' — a multi-target sweep from one source is the
+// planner's showcase workload (every departure's fan-out is one
+// search):
+//
+//	itspq -venue mall.json -from 100,50,0 -to "900,700,2;820,640,2;905,80,1" \
+//	      -workers 4 -sweep 1m -shared
+//
 // -server URL sends the query to a running itspqd instead of loading
 // the venue locally; -venue then names the venue ID on the server. The
 // printed output is byte-identical to local mode, so the CLI doubles
 // as a smoke client. -sweep goes through the server's batch endpoint
-// (no -workers needed — the server owns its worker pool).
+// (no -workers needed — the server owns its worker pool; start itspqd
+// with -shared-batch for server-side shared execution).
 package main
 
 import (
@@ -59,12 +71,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		venueFile = fs.String("venue", "", "venue JSON file, or venue ID with -server (required)")
 		from      = fs.String("from", "", "source point x,y,floor (required)")
-		to        = fs.String("to", "", "target point x,y,floor (required)")
+		to        = fs.String("to", "", "target point x,y,floor; with -sweep, several targets separated by ';' (required)")
 		atStr     = fs.String("at", "12:00", "query time of day (H:MM)")
 		method    = fs.String("method", "asyn", "syn | asyn | static | waiting")
 		workers   = fs.Int("workers", 0, "route through the concurrent pool with this many batch workers (0 = bare engine)")
 		sweepStr  = fs.String("sweep", "", "with -workers or -server: batch-answer the query across the day at this step (e.g. 2h, 30m)")
 		window    = fs.Bool("window", false, "with -workers: enable the validity-window result cache (cross-time cache hits)")
+		shared    = fs.Bool("shared", false, "with -workers: enable the shared-execution batch planner (one engine run per shared-endpoint group)")
 		serverURL = fs.String("server", "", "itspqd base URL; query the daemon instead of loading the venue locally")
 		verbose   = fs.Bool("v", false, "print search statistics")
 	)
@@ -84,9 +97,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("-from: %v", err)
 	}
-	tgt, err := parsePoint(*to)
+	targets, err := parseTargets(*to)
 	if err != nil {
 		return fail("-to: %v", err)
+	}
+	tgt := targets[0]
+	if len(targets) > 1 && *sweepStr == "" {
+		return fail("multiple -to targets require -sweep")
 	}
 	at, err := indoorpath.ParseTime(*atStr)
 	if err != nil {
@@ -102,9 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *window {
 			return fail("-window applies to local -workers mode (enable it on the daemon with itspqd -window-cache)")
 		}
+		if *shared {
+			return fail("-shared applies to local -workers mode (enable it on the daemon with itspqd -shared-batch)")
+		}
 		c := &client{base: strings.TrimSuffix(*serverURL, "/"), venue: *venueFile}
 		if *sweepStr != "" {
-			return c.sweep(src, tgt, *method, *sweepStr, *verbose, stdout, stderr)
+			return c.sweep(src, targets, *method, *sweepStr, *verbose, stdout, stderr)
 		}
 		return c.route(src, tgt, at, *method, *verbose, stdout, stderr)
 	}
@@ -141,6 +161,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *window {
 			return fail("-window applies to syn/asyn/static, not waiting")
 		}
+		if *shared {
+			return fail("-shared applies to syn/asyn/static, not waiting")
+		}
 		path, err = indoorpath.NewWaitingRouter(g).Route(q)
 	default:
 		m := map[string]indoorpath.Method{
@@ -151,9 +174,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Engine:      indoorpath.Options{Method: m},
 				Workers:     *workers,
 				WindowCache: *window,
+				SharedBatch: *shared,
 			})
 			if *sweepStr != "" {
-				return sweep(pool, q, *sweepStr, *verbose, stdout, stderr)
+				return sweep(pool, q, targets, *sweepStr, *verbose, stdout, stderr)
 			}
 			path, stats, err = pool.Route(q)
 		} else {
@@ -162,6 +186,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			if *window {
 				return fail("-window requires -workers (or itspqd -window-cache for -server)")
+			}
+			if *shared {
+				return fail("-shared requires -workers (or itspqd -shared-batch for -server)")
 			}
 			path, stats, err = indoorpath.NewEngine(g, indoorpath.Options{Method: m}).Route(q)
 		}
@@ -231,17 +258,24 @@ func printPath(w io.Writer, p pathLines) {
 	}
 }
 
-// sweep answers the OD pair at every step across the day as one
+// sweep answers every (target, departure) pair of the day sweep as one
 // concurrent batch through the pool, printing a summary row per
-// departure time and a cache summary line (how many answers came from
-// the exact cache, the validity-window cache, or an engine search).
-func sweep(pool *indoorpath.ServicePool, q indoorpath.Query, stepStr string, verbose bool, stdout, stderr io.Writer) int {
-	batch, errCode := sweepBatch(q, stepStr, stderr)
+// departure time (per target, with a target header when several) and a
+// cache summary line (how many answers came from the exact cache, the
+// validity-window cache, or an engine search — plus the shared-
+// execution tallies when the planner shared anything).
+func sweep(pool *indoorpath.ServicePool, q indoorpath.Query, targets []indoorpath.Point,
+	stepStr string, verbose bool, stdout, stderr io.Writer) int {
+
+	batch, rows, errCode := sweepBatch(q, targets, stepStr, stderr)
 	if errCode != 0 {
 		return errCode
 	}
-	results := pool.RouteBatch(batch)
+	results, sum := pool.RouteBatchSummary(batch)
 	for i, r := range results {
+		if i%rows == 0 && len(targets) > 1 {
+			printSweepTarget(stdout, batch[i].Target)
+		}
 		switch {
 		case errors.Is(r.Err, indoorpath.ErrNoRoute):
 			printSweepMiss(stdout, batch[i].At)
@@ -252,35 +286,73 @@ func sweep(pool *indoorpath.ServicePool, q indoorpath.Query, stepStr string, ver
 			printSweepRow(stdout, batch[i].At, r.Path.Length, r.Path.Hops(), r.Path.ArrivalAtTgt)
 		}
 	}
-	st := pool.Stats()
-	printSweepCache(stdout, st.Queries, st.CacheHits, st.WindowHits, st.CacheMisses())
+	printSweepCache(stdout, int64(sum.Queries), int64(sum.ExactHits), int64(sum.WindowHits),
+		int64(sum.Searches), int64(sum.SharedRuns), int64(sum.SharedAnswers))
 	if verbose {
-		fmt.Fprintf(stdout, "pool:    %s\n", st)
+		fmt.Fprintf(stdout, "pool:    %s\n", pool.Stats())
 	}
 	return 0
 }
 
 // printSweepCache renders the sweep cache summary, shared by local and
-// server modes so the two are byte-identical.
-func printSweepCache(w io.Writer, queries, exact, window, searches int64) {
-	fmt.Fprintf(w, "cache:   queries=%d exact=%d window=%d searches=%d\n", queries, exact, window, searches)
+// server modes so the two are byte-identical. searches counts engine
+// runs; the shared tallies print only when the planner shared work.
+func printSweepCache(w io.Writer, queries, exact, window, searches, sharedRuns, sharedAnswers int64) {
+	fmt.Fprintf(w, "cache:   queries=%d exact=%d window=%d searches=%d", queries, exact, window, searches)
+	if sharedRuns > 0 {
+		fmt.Fprintf(w, " sharedRuns=%d sharedAnswers=%d", sharedRuns, sharedAnswers)
+	}
+	fmt.Fprintln(w)
 }
 
-// sweepBatch expands the query across the day at the given step.
-func sweepBatch(q indoorpath.Query, stepStr string, stderr io.Writer) ([]indoorpath.Query, int) {
+// printSweepTarget renders a multi-target sweep's block header.
+func printSweepTarget(w io.Writer, tgt indoorpath.Point) {
+	fmt.Fprintf(w, "target:  %g,%g,%d\n", tgt.X, tgt.Y, tgt.Floor)
+}
+
+// sweepBatch expands the query across the day at the given step, one
+// block of departures per target (target-major, so the printed rows
+// group by target). rows is the number of departures per target.
+func sweepBatch(q indoorpath.Query, targets []indoorpath.Point, stepStr string, stderr io.Writer) ([]indoorpath.Query, int, int) {
 	step, err := time.ParseDuration(stepStr)
 	if err != nil || step <= 0 {
 		fmt.Fprintf(stderr, "itspq: -sweep: bad step %q\n", stepStr)
-		return nil, 1
+		return nil, 0, 1
 	}
 	stepSec := indoorpath.TimeOfDay(step.Seconds())
 	var batch []indoorpath.Query
-	for at := indoorpath.TimeOfDay(0); at < 24*3600; at += stepSec {
-		bq := q
-		bq.At = at
-		batch = append(batch, bq)
+	rows := 0
+	for _, tgt := range targets {
+		rows = 0
+		for at := indoorpath.TimeOfDay(0); at < 24*3600; at += stepSec {
+			bq := q
+			bq.Target = tgt
+			bq.At = at
+			batch = append(batch, bq)
+			rows++
+		}
 	}
-	return batch, 0
+	return batch, rows, 0
+}
+
+// parseTargets reads one or more ';'-separated x,y,floor points.
+func parseTargets(s string) ([]indoorpath.Point, error) {
+	var out []indoorpath.Point
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pt, err := parsePoint(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no target points in %q", s)
+	}
+	return out, nil
 }
 
 func printSweepMiss(w io.Writer, at indoorpath.TimeOfDay) {
@@ -377,12 +449,12 @@ func (c *client) route(src, tgt indoorpath.Point, at indoorpath.TimeOfDay, metho
 }
 
 // sweep runs the day sweep through the server's batch endpoint.
-func (c *client) sweep(src, tgt indoorpath.Point, method, stepStr string, verbose bool, stdout, stderr io.Writer) int {
+func (c *client) sweep(src indoorpath.Point, targets []indoorpath.Point, method, stepStr string, verbose bool, stdout, stderr io.Writer) int {
 	if method == "waiting" {
 		fmt.Fprintln(stderr, "itspq: -sweep applies to syn/asyn/static, not waiting")
 		return 1
 	}
-	batch, errCode := sweepBatch(indoorpath.Query{Source: src, Target: tgt}, stepStr, stderr)
+	batch, rows, errCode := sweepBatch(indoorpath.Query{Source: src}, targets, stepStr, stderr)
 	if errCode != 0 {
 		return errCode
 	}
@@ -404,6 +476,9 @@ func (c *client) sweep(src, tgt indoorpath.Point, method, stepStr string, verbos
 		return 1
 	}
 	for i, r := range resp.Results {
+		if i%rows == 0 && len(targets) > 1 {
+			printSweepTarget(stdout, batch[i].Target)
+		}
 		switch {
 		case r.Error != nil:
 			fmt.Fprintf(stderr, "itspq: %s\n", r.Error.Message)
@@ -415,7 +490,8 @@ func (c *client) sweep(src, tgt indoorpath.Point, method, stepStr string, verbos
 		}
 	}
 	printSweepCache(stdout, int64(resp.Cache.Queries), int64(resp.Cache.ExactHits),
-		int64(resp.Cache.WindowHits), int64(resp.Cache.Searches))
+		int64(resp.Cache.WindowHits), int64(resp.Cache.Searches),
+		int64(resp.Cache.SharedRuns), int64(resp.Cache.SharedAnswers))
 	if verbose {
 		var stats server.StatsResponse
 		if err := c.get("/statsz", &stats); err != nil {

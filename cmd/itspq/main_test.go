@@ -333,3 +333,107 @@ func TestRunServerModeErrors(t *testing.T) {
 		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
 	}
 }
+
+// TestRunSweepShared: with -shared and the static method the whole day
+// sweep is one shared-source group — ONE engine search answers every
+// departure — and the cache line reports the planner's work.
+func TestRunSweepShared(t *testing.T) {
+	venue := demoVenueFile(t)
+	code, out, _ := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0",
+		"-method", "static", "-workers", "2", "-sweep", "6h", "-shared")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "cache:   queries=4 exact=0 window=0 searches=1 sharedRuns=1 sharedAnswers=4") {
+		t.Fatalf("shared static sweep summary missing:\n%s", out)
+	}
+	// Rows are byte-identical to the unshared sweep.
+	codeB, outB, _ := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0",
+		"-method", "static", "-workers", "2", "-sweep", "6h")
+	if codeB != 0 {
+		t.Fatalf("exit = %d", codeB)
+	}
+	stripCache := func(s string) string {
+		var kept []string
+		for _, ln := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(ln, "cache:") {
+				kept = append(kept, ln)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripCache(out) != stripCache(outB) {
+		t.Fatalf("shared sweep rows differ from unshared:\n--- shared\n%s--- plain\n%s", out, outB)
+	}
+}
+
+// TestRunSweepMultiTarget: several ';'-separated -to targets sweep as
+// one batch with per-target block headers; with -shared every
+// departure's fan-out is one engine run.
+func TestRunSweepMultiTarget(t *testing.T) {
+	venue := demoVenueFile(t)
+	code, out, _ := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0;22,8,0",
+		"-workers", "2", "-sweep", "6h", "-shared")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"target:  25,5,0", "target:  22,8,0",
+		"cache:   queries=8 exact=0 window=0 searches=4 sharedRuns=4 sharedAnswers=8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multi-target sweep missing %q:\n%s", want, out)
+		}
+	}
+	// 2 headers + 8 rows + cache line.
+	if lines := strings.Split(strings.TrimRight(out, "\n"), "\n"); len(lines) != 11 {
+		t.Fatalf("want 11 output lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+// TestRunServerModeSweepShared: the multi-target shared sweep through a
+// -shared-batch daemon is byte-identical to local -shared mode.
+func TestRunServerModeSweepShared(t *testing.T) {
+	venue := demoVenueFile(t)
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{SharedBatch: true})
+	if err := reg.Add("demo", demoVenue(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{}))
+	t.Cleanup(ts.Close)
+
+	_, localOut, _ := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0;22,8,0",
+		"-workers", "2", "-sweep", "6h", "-shared")
+	code, remoteOut, errb := runCLI(t, "-server", ts.URL, "-venue", "demo",
+		"-from", "2,5,0", "-to", "25,5,0;22,8,0", "-sweep", "6h")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, errb)
+	}
+	if remoteOut != localOut {
+		t.Fatalf("server shared sweep differs from local:\n--- local\n%s--- server\n%s", localOut, remoteOut)
+	}
+}
+
+// TestRunSharedFlagErrors: -shared is a local pool knob with its own
+// guidance, and multi-target -to requires -sweep.
+func TestRunSharedFlagErrors(t *testing.T) {
+	venue := demoVenueFile(t)
+	ts := startServer(t)
+	code, _, errb := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0", "-shared")
+	if code != 1 || !strings.Contains(errb, "-shared requires -workers") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
+	}
+	code, _, errb = runCLI(t, "-server", ts.URL, "-venue", "demo",
+		"-from", "2,5,0", "-to", "25,5,0", "-shared")
+	if code != 1 || !strings.Contains(errb, "itspqd -shared-batch") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
+	}
+	code, _, errb = runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0;22,8,0",
+		"-workers", "2")
+	if code != 1 || !strings.Contains(errb, "require -sweep") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
+	}
+	code, _, errb = runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", "25,5,0",
+		"-method", "waiting", "-shared")
+	if code != 1 || !strings.Contains(errb, "not waiting") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
+	}
+}

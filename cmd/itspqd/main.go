@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "batch fan-out goroutines per venue pool (0 = GOMAXPROCS)")
 		cache   = fs.Int("cache", 0, "result-cache capacity per pool (0 = default, negative = disabled)")
 		window  = fs.Bool("window-cache", false, "enable the validity-window temporal result cache (cross-time cache hits)")
+		shared  = fs.Bool("shared-batch", false, "enable the shared-execution batch planner (one engine run answers each same-endpoint batch group)")
 		timeout = fs.Duration("timeout", 0, "per-request timeout (0 = server default, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,11 +74,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	reg, err := newRegistry(*venues, *presets, *workers, *cache, *window)
+	reg, err := newRegistry(*venues, *presets, *workers, *cache, *window, *shared)
 	if err != nil {
 		return fail("%v", err)
 	}
-	srv := indoorpath.NewServer(reg, indoorpath.ServerOptions{RequestTimeout: *timeout})
+	// The -venues directory doubles as the base for hot reloads (POST
+	// /v1/venues {"dir": ...}); without it, only preset reloads work.
+	srv := indoorpath.NewServer(reg, indoorpath.ServerOptions{
+		RequestTimeout: *timeout,
+		VenueDirBase:   *venues,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -92,14 +98,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // newRegistry loads the requested venues into a fresh registry.
-func newRegistry(venuesDir, presets string, workers, cache int, window bool) (*indoorpath.VenueRegistry, error) {
+func newRegistry(venuesDir, presets string, workers, cache int, window, shared bool) (*indoorpath.VenueRegistry, error) {
 	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
 		Workers:       workers,
 		CacheCapacity: cache,
 		WindowCache:   window,
+		SharedBatch:   shared,
 	})
 	if presets != "" {
-		if err := reg.AddPresets(presets); err != nil {
+		if _, err := reg.AddPresets(presets); err != nil {
 			return nil, err
 		}
 	}

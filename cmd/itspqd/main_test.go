@@ -17,7 +17,7 @@ import (
 
 func TestNewRegistry(t *testing.T) {
 	// Presets load under their own IDs.
-	reg, err := newRegistry("", "hospital,office", 2, 0, false)
+	reg, err := newRegistry("", "hospital,office", 2, 0, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestNewRegistry(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	reg, err = newRegistry(dir, "figure1", 0, 0, true)
+	reg, err = newRegistry(dir, "figure1", 0, 0, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +65,10 @@ func TestNewRegistry(t *testing.T) {
 	}
 
 	// Errors propagate.
-	if _, err := newRegistry("", "narnia", 0, 0, false); err == nil {
+	if _, err := newRegistry("", "narnia", 0, 0, false, false); err == nil {
 		t.Fatal("unknown preset should fail")
 	}
-	if _, err := newRegistry(t.TempDir(), "", 0, 0, false); err == nil {
+	if _, err := newRegistry(t.TempDir(), "", 0, 0, false, false); err == nil {
 		t.Fatal("empty venue dir should fail")
 	}
 }
@@ -94,7 +94,7 @@ func TestRunFlagErrors(t *testing.T) {
 // ephemeral port, exercises the API over real HTTP, then cancels the
 // context and expects a clean exit.
 func TestServeGracefulShutdown(t *testing.T) {
-	reg, err := newRegistry("", "hospital", 0, 0, false)
+	reg, err := newRegistry("", "hospital", 0, 0, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,9 +26,14 @@
 //     partition, checkpoint slot) exact result caching, and an
 //     opt-in validity-window temporal result cache for cross-time
 //     cache hits (internal/tcache);
+//   - a shared-execution batch planner (PoolOptions.SharedBatch,
+//     internal/batchplan): batches are partitioned into shared-endpoint
+//     groups and each group is answered by one multi-target engine run
+//     (Engine.RouteMany / RouteManyTo) instead of one search per query;
 //   - an HTTP/JSON query daemon (NewServer + cmd/itspqd): a multi-venue
 //     registry of serving pools behind route/batch/profile endpoints,
-//     with live door-schedule updates over the wire;
+//     with live door-schedule updates and hot venue reload over the
+//     wire;
 //   - a service-query layer: single-source valid distances, k-nearest
 //     open partitions, day profiles, path validity windows and what-if
 //     schedule re-planning;
@@ -109,12 +114,51 @@
 // exact cache runs one search per sweep departure; the window cache
 // runs roughly one per checkpoint slot).
 //
+// # Shared execution
+//
+// The paper's workloads are many-queries-few-endpoints: rush-hour
+// crowds heading to one gate, boarding calls, mall openings. Dedup and
+// the caches only help when queries repeat; PoolOptions.SharedBatch
+// goes further and makes distinct queries share searches (after Mahmud
+// et al., "Shared Execution of Path Queries on Road Networks"). The
+// planner (internal/batchplan) partitions each RouteBatch into groups
+// with a common endpoint — same source point, departure and speed for
+// the temporal methods; the time-blind static method merges departures
+// and also groups by destination — and each group is answered by ONE
+// engine run: Engine.RouteMany keeps one forward temporal search
+// expanding past the first target until every grouped target's entry
+// is settled, then reconstructs one path per target;
+// Engine.RouteManyTo serves static destination groups with one reverse
+// run over the arc-reversed door graph (temporal methods fall back to
+// source grouping — a reverse run cannot replay forward arrival-time
+// checks).
+//
+// Soundness of settled-partition expansion: a solo Route prunes
+// expansion through its target's partition; the shared run cannot (it
+// serves many targets), so it expands through them. Under the
+// convex-cell model this preserves every per-target answer — a
+// shortest route never leaves and re-enters the target's own partition
+// (entering once and walking straight to the target is strictly
+// shorter), so every door on a target's answer path keeps its solo
+// distance and prev chain, and each target's entry is finalised at the
+// exact frontier position where its solo search would have popped the
+// virtual target node. Per-target rule-2 exemptions cannot be shared:
+// queries whose grouping-relevant endpoint partition is private run
+// solo. Answers are byte-identical to a sequential per-query engine
+// whenever the shortest valid path is unique (under an exact
+// float-length tie a shared run may return the other, equally shortest
+// answer); shared answers feed the exact and window caches like any
+// search result. Stats.SharedRuns / SharedAnswers count the sharing,
+// and BenchmarkPoolRouteBatchShared shows a 64-target fan-out served
+// by 1 engine search instead of 64.
+//
 // # HTTP serving
 //
 // NewServer wraps a VenueRegistry — venue IDs mapped to per-venue,
 // per-method serving pools — into an http.Handler; cmd/itspqd is the
 // ready-made daemon (graceful shutdown, -venues dir and -preset
-// loading, -workers/-cache/-timeout tuning):
+// loading, -workers/-cache/-timeout tuning, -window-cache and
+// -shared-batch for the optimisations above):
 //
 //	itspqd -addr :8080 -preset hospital,office -venues ./venues
 //
@@ -124,8 +168,9 @@
 //	GET  /statsz                        per-venue, per-method pool counters
 //	GET  /metricsz                      the same counters, Prometheus text format
 //	GET  /v1/venues                     venue listing
+//	POST /v1/venues                     hot venue reload (preset / JSON dir)
 //	POST /v1/venues/{id}/route          one ITSPQ query
-//	POST /v1/venues/{id}/route:batch    batch fan-out (dedup + cache sharing)
+//	POST /v1/venues/{id}/route:batch    batch fan-out (dedup + cache + shared execution)
 //	GET  /v1/venues/{id}/profile        day profile between two points
 //	PUT  /v1/venues/{id}/schedules      live door-schedule update
 //
@@ -138,15 +183,18 @@
 //	 "length_m":39.57,"hops":3,"depart":"11:00","arrive":"11:00:28",...},"stats":{...}}
 //
 // Batches send {"method":"asyn","queries":[...]} to /route:batch and
-// come back positionally aligned, with "shared" and "cache_hit" flags
-// and a "hit" provenance ("exact" | "window" | "miss") marking how
-// each entry was served, plus a batch-level "cache" summary (queries,
-// exact_hits, window_hits, searches). The daemon flag -window-cache
-// enables the validity-window cache on every pool. "No such routes" is
+// come back positionally aligned, with "shared", "shared_run" and
+// "cache_hit" flags and a "hit" provenance ("exact" | "window" |
+// "miss") marking how each entry was served, plus a batch-level
+// "cache" summary (queries, exact_hits, window_hits, searches — engine
+// runs, so one shared run counts once — and shared_runs /
+// shared_answers when the planner shared work). The daemon flags
+// -window-cache and -shared-batch enable the validity-window cache and
+// the shared-execution planner on every pool. "No such routes" is
 // a regular answer: HTTP 200 with {"found":false}. Validation failures
 // return a structured envelope {"error":{"code":"bad_request",
 // "message":"..."}} (codes: bad_request, not_found, not_indoor,
-// timeout, too_large, internal).
+// timeout, too_large, conflict, internal).
 //
 // Live schedule updates map door names to ATI lists (null = always
 // open, [] = always closed) and apply as one atomic swap per pool —
@@ -157,8 +205,20 @@
 //	  -d '{"updates":{"ward-1-door":["10:00-18:00"]}}'
 //	{"venue":"hospital","doors_updated":1,"epoch":1}
 //
+// Hot venue reload loads presets or server-local venue-JSON
+// directories into the running daemon (IDs as at startup; duplicates
+// answer 409 conflict; directory loads are gated to the daemon's
+// -venues base directory and disabled without one — remote clients
+// must not point the daemon at arbitrary host paths):
+//
+//	curl -X POST localhost:8080/v1/venues -d '{"preset":"office"}'
+//	{"added":["office"],"venues":3}
+//
 // cmd/itspq doubles as a smoke client: itspq -server http://host:8080
 // -venue hospital -from ... prints byte-identically to local mode.
+// With -sweep, -to takes several ';'-separated targets — the
+// multi-target day sweep is the shared planner's showcase (itspq
+// -shared locally, itspqd -shared-batch on the daemon).
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the paper-to-code mapping.

@@ -1,7 +1,8 @@
 // Server example: boot the HTTP query daemon stack in-process over the
 // hospital preset, answer routes over real HTTP, push a live schedule
-// update, and watch the answer change — the serving loop of cmd/itspqd
-// in ~80 lines.
+// update and watch the answer change, fan a shared-source batch out
+// through the shared-execution planner, and hot-load a second venue —
+// the serving loop of cmd/itspqd in ~100 lines.
 //
 //	go run ./examples/server
 package main
@@ -21,9 +22,11 @@ func main() {
 	log.SetFlags(0)
 
 	// Registry: venue ID -> per-venue serving pools. cmd/itspqd builds
-	// the same thing from -venues / -preset flags.
-	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{})
-	if err := reg.AddPresets("hospital"); err != nil {
+	// the same thing from -venues / -preset flags. SharedBatch turns on
+	// the shared-execution planner (itspqd -shared-batch): batch groups
+	// with a common endpoint are answered by one engine run each.
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{SharedBatch: true})
+	if _, err := reg.AddPresets("hospital"); err != nil {
 		log.Fatal(err)
 	}
 	ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{}))
@@ -45,6 +48,21 @@ func main() {
 
 	// The same 13:00 query now routes.
 	show("route at 13:00 after update", call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", gap))
+
+	// Shared execution: one crowd position fanning out to many rooms at
+	// one departure. The planner groups the whole batch onto ONE engine
+	// search — watch "searches" and "shared_answers" in the cache
+	// summary (shared_runs=1 means 1 run answered every miss).
+	batch := `{"queries":[
+	  {"from":{"x":30,"y":10,"floor":0},"to":{"x":5,"y":34,"floor":0},"at":"11:00"},
+	  {"from":{"x":30,"y":10,"floor":0},"to":{"x":15,"y":34,"floor":0},"at":"11:00"},
+	  {"from":{"x":30,"y":10,"floor":0},"to":{"x":25,"y":34,"floor":0},"at":"11:00"},
+	  {"from":{"x":30,"y":10,"floor":0},"to":{"x":35,"y":34,"floor":0},"at":"11:00"}]}`
+	batch = strings.ReplaceAll(strings.ReplaceAll(batch, "\n", ""), "\t", "")
+	show("shared-source batch", call(ts.URL, http.MethodPost, "/v1/venues/hospital/route:batch", batch))
+
+	// Hot venue reload: load another preset into the running daemon.
+	show("POST /v1/venues", call(ts.URL, http.MethodPost, "/v1/venues", `{"preset":"office"}`))
 
 	// Serving counters, per venue and method.
 	show("statsz", call(ts.URL, http.MethodGet, "/statsz", ""))

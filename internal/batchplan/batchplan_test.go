@@ -1,0 +1,169 @@
+package batchplan
+
+import (
+	"reflect"
+	"testing"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// item builds a planner item with sane defaults.
+func item(idx int, src, tgt geom.Point, at temporal.TimeOfDay) Item {
+	return Item{
+		Index: idx, Src: src, Tgt: tgt, At: at, Speed: core.WalkingSpeedMPS,
+		SrcPart: model.PartitionID(1), TgtPart: model.PartitionID(2),
+	}
+}
+
+func coverage(t *testing.T, p Plan, n int) {
+	t.Helper()
+	seen := make(map[int]bool, n)
+	for _, g := range p.Groups {
+		for _, m := range g.Members {
+			if seen[m] {
+				t.Fatalf("member %d planned twice", m)
+			}
+			seen[m] = true
+		}
+		if g.Kind != Solo && len(g.Members) < 2 {
+			t.Fatalf("%v group with %d members", g.Kind, len(g.Members))
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("plan covers %d of %d items", len(seen), n)
+	}
+}
+
+func TestPlanSharedSourceTemporal(t *testing.T) {
+	src := geom.Pt(1, 1, 0)
+	at := temporal.Clock(12, 0, 0)
+	items := []Item{
+		item(0, src, geom.Pt(5, 5, 0), at),
+		item(1, src, geom.Pt(6, 6, 0), at),
+		item(2, src, geom.Pt(7, 7, 0), at),
+		item(3, src, geom.Pt(8, 8, 0), temporal.Clock(13, 0, 0)), // other departure: not groupable
+		item(4, geom.Pt(2, 2, 0), geom.Pt(9, 9, 0), at),          // other source
+	}
+	p := New(items, core.MethodAsyn)
+	coverage(t, p, len(items))
+	if p.SharedGroups() != 1 {
+		t.Fatalf("plan: %+v", p.Groups)
+	}
+	g := p.Groups[0]
+	if g.Kind != SharedSource || g.Source != src || g.At != at || !reflect.DeepEqual(g.Members, []int{0, 1, 2}) {
+		t.Fatalf("group: %+v", g)
+	}
+	// Temporal methods never form destination groups.
+	tgt := geom.Pt(5, 5, 0)
+	items = []Item{
+		item(0, geom.Pt(1, 1, 0), tgt, at),
+		item(1, geom.Pt(2, 2, 0), tgt, at),
+	}
+	if p := New(items, core.MethodSyn); p.SharedGroups() != 0 {
+		t.Fatalf("temporal destination group formed: %+v", p.Groups)
+	}
+}
+
+func TestPlanStaticMergesDeparturesAndDestinations(t *testing.T) {
+	src := geom.Pt(1, 1, 0)
+	tgt := geom.Pt(20, 20, 0)
+	items := []Item{
+		item(0, src, geom.Pt(5, 5, 0), temporal.Clock(8, 0, 0)),
+		item(1, src, geom.Pt(6, 6, 0), temporal.Clock(14, 0, 0)), // static: departures merge
+		item(2, geom.Pt(2, 2, 0), tgt, temporal.Clock(9, 0, 0)),
+		item(3, geom.Pt(3, 3, 0), tgt, temporal.Clock(10, 0, 0)),
+		item(4, geom.Pt(4, 4, 0), tgt, temporal.Clock(11, 0, 0)),
+	}
+	p := New(items, core.MethodStatic)
+	coverage(t, p, len(items))
+	if p.SharedGroups() != 2 {
+		t.Fatalf("plan: %+v", p.Groups)
+	}
+	// Ordered by fan-out: the destination group (3) before the source
+	// group (2); canonical At is the first member's.
+	if g := p.Groups[0]; g.Kind != SharedTarget || g.Target != tgt ||
+		!reflect.DeepEqual(g.Members, []int{2, 3, 4}) || g.At != temporal.Clock(9, 0, 0) {
+		t.Fatalf("first group: %+v", g)
+	}
+	if g := p.Groups[1]; g.Kind != SharedSource || g.Source != src ||
+		!reflect.DeepEqual(g.Members, []int{0, 1}) || g.At != temporal.Clock(8, 0, 0) {
+		t.Fatalf("second group: %+v", g)
+	}
+}
+
+func TestPlanPrefersLargerSide(t *testing.T) {
+	// One query qualifies for both a 2-strong source family and a
+	// 3-strong target family: static planning sends it to the target
+	// side.
+	src := geom.Pt(1, 1, 0)
+	tgt := geom.Pt(20, 20, 0)
+	at := temporal.Clock(12, 0, 0)
+	items := []Item{
+		item(0, src, tgt, at),              // contested
+		item(1, src, geom.Pt(5, 5, 0), at), // source family
+		item(2, geom.Pt(2, 2, 0), tgt, at), // target family
+		item(3, geom.Pt(3, 3, 0), tgt, at), // target family
+	}
+	p := New(items, core.MethodStatic)
+	coverage(t, p, len(items))
+	var tg *Group
+	for i := range p.Groups {
+		if p.Groups[i].Kind == SharedTarget {
+			tg = &p.Groups[i]
+		}
+	}
+	if tg == nil || !reflect.DeepEqual(tg.Members, []int{0, 2, 3}) {
+		t.Fatalf("contested item not on the larger side: %+v", p.Groups)
+	}
+}
+
+func TestPlanPrivatePartitionsBlockSharing(t *testing.T) {
+	src := geom.Pt(1, 1, 0)
+	at := temporal.Clock(12, 0, 0)
+	a := item(0, src, geom.Pt(5, 5, 0), at)
+	b := item(1, src, geom.Pt(6, 6, 0), at)
+	b.TgtPrivate = true // rule-2 exemption is per query: not source-shareable
+	c := item(2, src, geom.Pt(7, 7, 0), at)
+	c.TgtPrivate = true
+	c.TgtPart = c.SrcPart // ... unless the private partition IS the source's
+	d := item(3, src, geom.Pt(8, 8, 0), at)
+	p := New([]Item{a, b, c, d}, core.MethodAsyn)
+	coverage(t, p, 4)
+	if p.SharedGroups() != 1 || !reflect.DeepEqual(p.Groups[0].Members, []int{0, 2, 3}) {
+		t.Fatalf("plan: %+v", p.Groups)
+	}
+	// Destination side: private sources block target grouping.
+	e := item(0, geom.Pt(2, 2, 0), src, at)
+	f := item(1, geom.Pt(3, 3, 0), src, at)
+	f.SrcPrivate = true
+	p = New([]Item{e, f}, core.MethodStatic)
+	coverage(t, p, 2)
+	if p.SharedGroups() != 0 {
+		t.Fatalf("private source joined a destination group: %+v", p.Groups)
+	}
+}
+
+func TestPlanDeterministicOrder(t *testing.T) {
+	var items []Item
+	at := temporal.Clock(12, 0, 0)
+	for i := 0; i < 5; i++ {
+		items = append(items, item(i, geom.Pt(1, 1, 0), geom.Pt(float64(i), 9, 0), at))
+	}
+	for i := 5; i < 8; i++ {
+		items = append(items, item(i, geom.Pt(2, 2, 0), geom.Pt(float64(i), 9, 0), at))
+	}
+	items = append(items, item(8, geom.Pt(3, 3, 0), geom.Pt(9, 9, 0), at)) // solo
+	want := New(items, core.MethodAsyn)
+	for rep := 0; rep < 20; rep++ {
+		if got := New(items, core.MethodAsyn); !reflect.DeepEqual(got, want) {
+			t.Fatalf("plan differs across runs:\n got: %+v\nwant: %+v", got.Groups, want.Groups)
+		}
+	}
+	// Largest group first, solo tail last.
+	if len(want.Groups[0].Members) != 5 || want.Groups[len(want.Groups)-1].Kind != Solo {
+		t.Fatalf("ordering: %+v", want.Groups)
+	}
+}

@@ -43,6 +43,12 @@ var poolMetrics = []metricDef{
 	{"indoorpath_pool_engine_searches_total", "counter",
 		"Queries answered by running an engine search (cache misses).",
 		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].EngineSearches }},
+	{"indoorpath_pool_shared_runs_total", "counter",
+		"Multi-query shared executions: engine runs answering a whole batch group.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].SharedRuns }},
+	{"indoorpath_pool_shared_answers_total", "counter",
+		"Batch entries answered by a shared multi-query engine run.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].SharedAnswers }},
 	{"indoorpath_pool_engines_created_total", "counter",
 		"Engines constructed rather than reused from the pool.",
 		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].EnginesCreated }},

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -131,6 +132,10 @@ func NewRegistry(opts service.Options) *Registry {
 // Presets lists the built-in venue IDs AddPresets understands.
 func Presets() []string { return []string{"mall", "hospital", "office", "figure1"} }
 
+// ErrDuplicateVenue is wrapped by Add/AddGraph when the ID is taken —
+// the hot-reload endpoint maps it to HTTP 409.
+var ErrDuplicateVenue = errors.New("venue id already registered")
+
 // Add registers a venue model under an ID, building its IT-Graph and
 // method pools. IDs are path segments: non-empty, no "/".
 func (r *Registry) Add(id string, v *model.Venue) error {
@@ -156,7 +161,7 @@ func (r *Registry) AddGraph(id string, g *itgraph.Graph, source string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.venues[id]; dup {
-		return fmt.Errorf("server: venue %q already registered", id)
+		return fmt.Errorf("server: venue %q: %w", id, ErrDuplicateVenue)
 	}
 	r.venues[id] = ve
 	return nil
@@ -164,48 +169,77 @@ func (r *Registry) AddGraph(id string, g *itgraph.Graph, source string) error {
 
 // LoadDir registers every *.json venue document in dir (see
 // cmd/venuegen for the format); the ID is the file name without the
-// extension. Returns the number of venues added.
-func (r *Registry) LoadDir(dir string) (int, error) {
+// extension. Returns the IDs added, in load (sorted file name) order.
+// On a mid-directory error the venues already registered stay
+// registered — the hot-reload endpoint reports the error and callers
+// can inspect IDs().
+func (r *Registry) LoadDir(dir string) ([]string, error) {
 	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if len(files) == 0 {
-		return 0, fmt.Errorf("server: no *.json venue files in %q", dir)
+		return nil, fmt.Errorf("server: no *.json venue files in %q", dir)
 	}
 	sort.Strings(files)
+	added := make([]string, 0, len(files))
 	for _, file := range files {
+		// Cheap duplicate check before parsing and graph construction
+		// (benign TOCTOU: AddGraph re-checks under the lock).
+		if id := strings.TrimSuffix(filepath.Base(file), ".json"); r.has(id) {
+			return added, fmt.Errorf("server: venue %q: %w", id, ErrDuplicateVenue)
+		}
 		f, err := os.Open(file)
 		if err != nil {
-			return 0, err
+			return added, err
 		}
 		v, err := itgraph.Load(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return 0, fmt.Errorf("server: %s: %w", file, err)
+			return added, fmt.Errorf("server: %s: %w", file, err)
 		}
 		id := strings.TrimSuffix(filepath.Base(file), ".json")
 		g, err := itgraph.New(v)
 		if err != nil {
-			return 0, fmt.Errorf("server: %s: %w", file, err)
+			return added, fmt.Errorf("server: %s: %w", file, err)
 		}
 		if err := r.AddGraph(id, g, "file:"+file); err != nil {
-			return 0, err
+			return added, err
 		}
+		added = append(added, id)
 	}
-	return len(files), nil
+	return added, nil
 }
 
 // AddPresets registers built-in synthetic venues from a comma-
 // separated list: mall (the paper's 5-floor synthetic mall), hospital,
-// office, figure1 (the paper's running example).
-func (r *Registry) AddPresets(names string) error {
+// office, figure1 (the paper's running example). Returns the IDs
+// added, in list order.
+func (r *Registry) AddPresets(names string) ([]string, error) {
+	var added []string
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
+		}
+		known := false
+		for _, p := range Presets() {
+			if p == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return added, fmt.Errorf("server: unknown preset %q (want one of %s)", name, strings.Join(Presets(), ", "))
+		}
+		// Cheap duplicate check before venue synthesis and graph
+		// construction (benign TOCTOU: AddGraph re-checks under the
+		// lock) — a replayed hot-reload request must not burn a full
+		// mall build just to answer 409.
+		if r.has(name) {
+			return added, fmt.Errorf("server: venue %q: %w", name, ErrDuplicateVenue)
 		}
 		var v *model.Venue
 		switch name {
@@ -215,7 +249,7 @@ func (r *Registry) AddPresets(names string) error {
 				ATI:  synth.ATIConfig{CheckpointCount: 8, Seed: 43},
 			})
 			if err != nil {
-				return fmt.Errorf("server: preset mall: %w", err)
+				return added, fmt.Errorf("server: preset mall: %w", err)
 			}
 			v = m.Venue
 		case "hospital":
@@ -224,18 +258,25 @@ func (r *Registry) AddPresets(names string) error {
 			v = synth.Office()
 		case "figure1":
 			v = synth.PaperFigure1().Venue
-		default:
-			return fmt.Errorf("server: unknown preset %q (want one of %s)", name, strings.Join(Presets(), ", "))
 		}
 		g, err := itgraph.New(v)
 		if err != nil {
-			return fmt.Errorf("server: preset %s: %w", name, err)
+			return added, fmt.Errorf("server: preset %s: %w", name, err)
 		}
 		if err := r.AddGraph(name, g, "preset:"+name); err != nil {
-			return err
+			return added, err
 		}
+		added = append(added, name)
 	}
-	return nil
+	return added, nil
+}
+
+// has reports whether id is registered.
+func (r *Registry) has(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.venues[id]
+	return ok
 }
 
 // Get returns the venue registered under id.

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/service"
+	"indoorpath/internal/synth"
+)
+
+// TestVenuesHotReload: POST /v1/venues loads presets and venue-JSON
+// directories into the running daemon, new venues route immediately,
+// and duplicate IDs answer 409.
+func TestVenuesHotReload(t *testing.T) {
+	ts, reg := newTestServer(t, Options{}) // hospital + office preloaded
+
+	// Load a preset.
+	resp, raw := postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Preset: "figure1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var lr VenuesLoadResponse
+	decodeInto(t, raw, &lr)
+	if len(lr.Added) != 1 || lr.Added[0] != "figure1" || lr.Venues != 3 {
+		t.Fatalf("load response: %+v", lr)
+	}
+	if _, ok := reg.Get("figure1"); !ok {
+		t.Fatalf("figure1 not registered: %v", reg.IDs())
+	}
+
+	// The hot-loaded venue routes (the paper's running example: p3 to
+	// p4 mid-morning).
+	ex := synth.PaperFigure1()
+	q := RouteRequest{
+		From: &PointDoc{X: ex.P3.X, Y: ex.P3.Y, Floor: ex.P3.Floor},
+		To:   &PointDoc{X: ex.P4.X, Y: ex.P4.Y, Floor: ex.P4.Floor},
+		At:   "9:00",
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/venues/figure1/route", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("route on hot-loaded venue: %d: %s", resp.StatusCode, raw)
+	}
+
+	// Duplicate ID: conflict.
+	resp, raw = postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Preset: "figure1"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate preset: status = %d: %s", resp.StatusCode, raw)
+	}
+	var envelope struct {
+		Error *ErrorDoc `json:"error"`
+	}
+	decodeInto(t, raw, &envelope)
+	if envelope.Error == nil || envelope.Error.Code != "conflict" {
+		t.Fatalf("duplicate preset error: %s", raw)
+	}
+
+	// Directory loads are gated: this server has no VenueDirBase.
+	resp, raw = postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Dir: t.TempDir()})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ungated dir load: status = %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestVenuesHotReloadDir: with Options.VenueDirBase set (itspqd
+// -venues), directories inside the base hot-load; escapes are
+// rejected.
+func TestVenuesHotReloadDir(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "extra")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := itgraph.Save(&buf, synth.Hospital()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "annex.json"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(service.Options{})
+	ts := httptest.NewServer(New(reg, Options{VenueDirBase: base}))
+	t.Cleanup(ts.Close)
+
+	resp, raw := postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Dir: dir})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dir load: status = %d: %s", resp.StatusCode, raw)
+	}
+	var lr VenuesLoadResponse
+	decodeInto(t, raw, &lr)
+	if len(lr.Added) != 1 || lr.Added[0] != "annex" || lr.Venues != 1 {
+		t.Fatalf("dir load response: %+v", lr)
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/venues/annex/route",
+		RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("route on dir-loaded venue: %d: %s", resp.StatusCode, raw)
+	}
+	var rr RouteResponse
+	decodeInto(t, raw, &rr)
+	if !rr.Found {
+		t.Fatalf("annex route not found: %s", raw)
+	}
+
+	// Paths escaping the base are rejected before touching the disk.
+	for _, esc := range []string{"/etc", filepath.Join(base, ".."), filepath.Join(dir, "..", "..")} {
+		resp, raw := postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Dir: esc})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("escape %q: status = %d: %s", esc, resp.StatusCode, raw)
+		}
+	}
+
+	// A mid-directory failure reports the venues that did get added.
+	bad := filepath.Join(base, "bad")
+	if err := os.Mkdir(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, "a-ok.json"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, "broken.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Dir: bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial load: status = %d: %s", resp.StatusCode, raw)
+	}
+	var envelope struct {
+		Error *ErrorDoc `json:"error"`
+	}
+	decodeInto(t, raw, &envelope)
+	if envelope.Error == nil || !strings.Contains(envelope.Error.Message, "added before the failure: a-ok") {
+		t.Fatalf("partial-load error hides the mutation: %s", raw)
+	}
+	if _, ok := reg.Get("a-ok"); !ok {
+		t.Fatalf("a-ok not registered after partial load: %v", reg.IDs())
+	}
+}
+
+// TestVenuesHotReloadValidation: the request must set exactly one of
+// preset/dir, and load failures surface as bad_request.
+func TestVenuesHotReloadValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	for name, req := range map[string]VenuesLoadRequest{
+		"neither": {},
+		"both":    {Preset: "figure1", Dir: "/tmp"},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/venues", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d: %s", name, resp.StatusCode, raw)
+		}
+	}
+	if resp, raw := postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Preset: "narnia"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown preset: status = %d: %s", resp.StatusCode, raw)
+	}
+	if resp, raw := postJSON(t, ts.URL+"/v1/venues", VenuesLoadRequest{Dir: t.TempDir()}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty dir: status = %d: %s", resp.StatusCode, raw)
+	}
+	// Strict body decoding applies.
+	resp, err := http.Post(ts.URL+"/v1/venues", "application/json", bytes.NewReader([]byte(`{"nope":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status = %d", resp.StatusCode)
+	}
+}
+
+// TestBatchSharedExecutionOnWire: a shared-source batch against a
+// -shared-batch daemon reports the planner's work in the cache summary
+// and flags shared-run entries, while answers stay byte-identical to
+// an unshared daemon's.
+func TestBatchSharedExecutionOnWire(t *testing.T) {
+	boot := func(shared bool) *httptest.Server {
+		reg := NewRegistry(service.Options{SharedBatch: shared})
+		if _, err := reg.AddPresets("hospital"); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(reg, Options{}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	sharedTS := boot(true)
+	plainTS := boot(false)
+
+	req := BatchRequest{}
+	for _, to := range []PointDoc{
+		{X: 5, Y: 34, Floor: 0}, {X: 15, Y: 34, Floor: 0},
+		{X: 25, Y: 34, Floor: 0}, {X: 35, Y: 34, Floor: 0},
+	} {
+		to := to
+		req.Queries = append(req.Queries, RouteRequest{From: &erCentre, To: &to, At: "11:00"})
+	}
+	_, rawShared := postJSON(t, sharedTS.URL+"/v1/venues/hospital/route:batch", req)
+	_, rawPlain := postJSON(t, plainTS.URL+"/v1/venues/hospital/route:batch", req)
+
+	var shared, plain BatchResponse
+	decodeInto(t, rawShared, &shared)
+	decodeInto(t, rawPlain, &plain)
+	if shared.Cache.SharedRuns == 0 || shared.Cache.SharedAnswers < 2 {
+		t.Fatalf("shared daemon reported no sharing: %+v", shared.Cache)
+	}
+	if shared.Cache.Searches >= plain.Cache.Searches {
+		t.Fatalf("shared searches %d not fewer than plain %d",
+			shared.Cache.Searches, plain.Cache.Searches)
+	}
+	if plain.Cache.SharedRuns != 0 || plain.Cache.SharedAnswers != 0 {
+		t.Fatalf("plain daemon reported sharing: %+v", plain.Cache)
+	}
+	sharedRunSeen := false
+	for i := range shared.Results {
+		s, p := shared.Results[i], plain.Results[i]
+		if s.Found != p.Found {
+			t.Fatalf("result %d: found %v vs %v", i, s.Found, p.Found)
+		}
+		if s.Found {
+			sb, _ := json.Marshal(s.Path)
+			pb, _ := json.Marshal(p.Path)
+			if !bytes.Equal(sb, pb) {
+				t.Fatalf("result %d: shared path differs:\n%s\n%s", i, sb, pb)
+			}
+		}
+		sharedRunSeen = sharedRunSeen || s.SharedRun
+		if p.SharedRun {
+			t.Fatalf("result %d: plain daemon flagged shared_run", i)
+		}
+	}
+	if !sharedRunSeen {
+		t.Fatal("no result carried shared_run=true")
+	}
+}

@@ -9,6 +9,7 @@
 //	GET  /statsz                        per-venue, per-method pool counters
 //	GET  /metricsz                      the same counters in Prometheus text format
 //	GET  /v1/venues                     venue listing
+//	POST /v1/venues                     hot venue reload (preset / JSON dir)
 //	POST /v1/venues/{id}/route          one ITSPQ query
 //	POST /v1/venues/{id}/route:batch    batch fan-out via Pool.RouteBatch
 //	GET  /v1/venues/{id}/profile        day profile between two points
@@ -31,11 +32,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"indoorpath/internal/core"
 	"indoorpath/internal/model"
-	"indoorpath/internal/service"
 )
 
 // Options tune a Server. The zero value is usable.
@@ -52,6 +54,13 @@ type Options struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body sizes. 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// VenueDirBase gates POST /v1/venues {"dir": ...} hot reloads: when
+	// empty (the default) directory loads are rejected — a remote
+	// client must not get to point the daemon at arbitrary host paths —
+	// and when set, the requested directory must resolve inside this
+	// base. Preset loads are always allowed. cmd/itspqd sets it to the
+	// -venues directory.
+	VenueDirBase string
 }
 
 // Defaults for Options zero values.
@@ -85,6 +94,7 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
+	s.mux.HandleFunc("POST /v1/venues", s.handleVenuesLoad)
 	s.mux.HandleFunc("POST /v1/venues/{id}/route", s.venueHandler(s.handleRoute))
 	s.mux.HandleFunc("POST /v1/venues/{id}/route:batch", s.venueHandler(s.handleRouteBatch))
 	s.mux.HandleFunc("GET /v1/venues/{id}/profile", s.venueHandler(s.handleProfile))
@@ -133,6 +143,75 @@ func (s *Server) handleVenues(w http.ResponseWriter, _ *http.Request) {
 		resp.Venues = append(resp.Venues, ve.Info())
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleVenuesLoad is POST /v1/venues: hot venue reload. Presets and
+// server-local venue-JSON directories load into the running registry
+// exactly as the daemon's startup flags would (the registry supports
+// concurrent Add; routes to existing venues keep flowing throughout).
+// Like schedule updates, loads are deliberately not subject to the
+// request timeout: once validated they are applied, so the response is
+// truthful about what is being served.
+func (s *Server) handleVenuesLoad(w http.ResponseWriter, r *http.Request) {
+	var req VenuesLoadRequest
+	if errDoc := s.decodeBody(w, r, &req); errDoc != nil {
+		writeError(w, statusOf(errDoc), errDoc)
+		return
+	}
+	if (req.Preset == "") == (req.Dir == "") {
+		writeError(w, http.StatusBadRequest, badRequest("set exactly one of \"preset\" or \"dir\""))
+		return
+	}
+	var added []string
+	var err error
+	if req.Preset != "" {
+		added, err = s.reg.AddPresets(req.Preset)
+	} else {
+		var errDoc *ErrorDoc
+		if errDoc = s.checkVenueDir(req.Dir); errDoc != nil {
+			writeError(w, statusOf(errDoc), errDoc)
+			return
+		}
+		added, err = s.reg.LoadDir(req.Dir)
+	}
+	if err != nil {
+		// A mid-list failure leaves the earlier venues registered
+		// (documented on LoadDir); say so instead of hiding the
+		// mutation behind the error.
+		msg := err.Error()
+		if len(added) > 0 {
+			msg = fmt.Sprintf("%s (venues added before the failure: %s)", msg, strings.Join(added, ", "))
+		}
+		errDoc := &ErrorDoc{Code: "bad_request", Message: msg}
+		if errors.Is(err, ErrDuplicateVenue) {
+			errDoc.Code = "conflict"
+		}
+		writeError(w, statusOf(errDoc), errDoc)
+		return
+	}
+	writeJSON(w, http.StatusOK, VenuesLoadResponse{Added: added, Venues: s.reg.Len()})
+}
+
+// checkVenueDir enforces Options.VenueDirBase on a requested hot-load
+// directory: loads are disabled without a base, and the request must
+// resolve inside it (path-cleaned; no ".." escapes).
+func (s *Server) checkVenueDir(dir string) *ErrorDoc {
+	if s.opts.VenueDirBase == "" {
+		return badRequest("directory loads are disabled on this daemon (start it with -venues to enable; presets are always available)")
+	}
+	base, err := filepath.Abs(s.opts.VenueDirBase)
+	if err != nil {
+		return &ErrorDoc{Code: "internal", Message: err.Error()}
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return badRequest("bad \"dir\": %v", err)
+	}
+	rel, err := filepath.Rel(base, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return badRequest("\"dir\" must lie inside the daemon's venue directory")
+	}
+	return nil
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, ve *Venue) {
@@ -207,26 +286,23 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Ve
 	}
 	resp, ok := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() BatchResponse {
 		pool := ve.Pool(m)
-		results := pool.RouteBatch(qs)
+		results, sum := pool.RouteBatchSummary(qs)
 		out := BatchResponse{Results: make([]RouteResponse, len(results))}
-		out.Cache.Queries = len(results)
+		out.Cache = BatchCacheDoc{
+			Queries:       sum.Queries,
+			ExactHits:     sum.ExactHits,
+			WindowHits:    sum.WindowHits,
+			Searches:      sum.Searches,
+			SharedRuns:    sum.SharedRuns,
+			SharedAnswers: sum.SharedAnswers,
+		}
 		mv := ve.Model()
 		for i, res := range results {
 			out.Results[i] = responseOf(mv, res.Path, res.Err, &res.Stats)
 			out.Results[i].CacheHit = res.CacheHit
 			out.Results[i].Hit = string(res.Hit)
 			out.Results[i].Shared = res.Shared
-			if res.Shared {
-				continue // deduplicated: the canonical entry is counted
-			}
-			switch res.Hit {
-			case service.HitExact:
-				out.Cache.ExactHits++
-			case service.HitWindow:
-				out.Cache.WindowHits++
-			default:
-				out.Cache.Searches++
-			}
+			out.Results[i].SharedRun = res.SharedRun
 		}
 		return out
 	})
@@ -422,6 +498,8 @@ func statusOf(e *ErrorDoc) int {
 		return http.StatusGatewayTimeout
 	case "too_large":
 		return http.StatusRequestEntityTooLarge
+	case "conflict":
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}

@@ -33,7 +33,7 @@ var (
 func newTestServer(t testing.TB, opts Options) (*httptest.Server, *Registry) {
 	t.Helper()
 	reg := NewRegistry(service.Options{})
-	if err := reg.AddPresets("hospital,office"); err != nil {
+	if _, err := reg.AddPresets("hospital,office"); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(New(reg, opts))
@@ -594,7 +594,7 @@ func TestRegistryValidation(t *testing.T) {
 	if err := reg.Add("h", v); err == nil {
 		t.Fatal("duplicate id should be rejected")
 	}
-	if err := reg.AddPresets("nonsense"); err == nil {
+	if _, err := reg.AddPresets("nonsense"); err == nil {
 		t.Fatal("unknown preset should be rejected")
 	}
 	if _, err := reg.LoadDir(t.TempDir()); err == nil {
@@ -621,12 +621,12 @@ func TestLoadDir(t *testing.T) {
 	saveVenue("floor.json", synth.Office())
 
 	reg := NewRegistry(service.Options{})
-	n, err := reg.LoadDir(dir)
+	ids, err := reg.LoadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("loaded %d venues, want 2", n)
+	if len(ids) != 2 || ids[0] != "floor" || ids[1] != "wing" {
+		t.Fatalf("loaded %v, want [floor wing]", ids)
 	}
 	ve, ok := reg.Get("wing")
 	if !ok {
@@ -649,7 +649,7 @@ func TestLoadDir(t *testing.T) {
 func newWindowTestServer(t testing.TB, opts Options) (*httptest.Server, *Registry) {
 	t.Helper()
 	reg := NewRegistry(service.Options{WindowCache: true})
-	if err := reg.AddPresets("hospital,office"); err != nil {
+	if _, err := reg.AddPresets("hospital,office"); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(New(reg, opts))
@@ -793,6 +793,9 @@ func TestMetricsz(t *testing.T) {
 		`indoorpath_pool_queries_total{venue="hospital",method="asyn"} 2`,
 		`indoorpath_pool_window_hits_total{venue="hospital",method="asyn"} 1`,
 		`indoorpath_pool_engine_searches_total{venue="hospital",method="asyn"} 1`,
+		"# TYPE indoorpath_pool_shared_runs_total counter",
+		`indoorpath_pool_shared_runs_total{venue="hospital",method="asyn"} 0`,
+		`indoorpath_pool_shared_answers_total{venue="hospital",method="asyn"} 0`,
 		`indoorpath_pool_queries_total{venue="office",method="syn"} 0`,
 	} {
 		if !strings.Contains(body, want) {

@@ -115,20 +115,29 @@ type RouteResponse struct {
 	Hit string `json:"hit,omitempty"`
 	// Shared marks batch entries answered by an identical query's
 	// search elsewhere in the same batch.
-	Shared bool      `json:"shared,omitempty"`
-	Error  *ErrorDoc `json:"error,omitempty"`
+	Shared bool `json:"shared,omitempty"`
+	// SharedRun marks batch entries answered by a multi-query shared
+	// execution — one engine run serving a whole same-endpoint group
+	// (the shared-execution batch planner; itspqd -shared-batch).
+	SharedRun bool      `json:"shared_run,omitempty"`
+	Error     *ErrorDoc `json:"error,omitempty"`
 }
 
-// BatchCacheDoc summarises cache provenance across one batch — the
-// fields cmd/itspq prints as its sweep summary line. Shared
-// (deduplicated) entries count toward Queries but none of the other
-// three, so Queries - ExactHits - WindowHits - Searches is the number
-// of deduplicated entries.
+// BatchCacheDoc summarises how one batch was served — the fields
+// cmd/itspq prints as its sweep summary line. Searches counts engine
+// runs actually executed: with the shared-execution planner one run
+// can answer a whole group, so SharedAnswers entries share SharedRuns
+// of those runs, and Queries = ExactHits + WindowHits + SharedAnswers
+// + (Searches - SharedRuns) + deduplicated entries.
 type BatchCacheDoc struct {
 	Queries    int `json:"queries"`
 	ExactHits  int `json:"exact_hits"`
 	WindowHits int `json:"window_hits"`
 	Searches   int `json:"searches"`
+	// SharedRuns / SharedAnswers are the shared-execution tallies,
+	// omitted while zero so the wire is unchanged with the planner off.
+	SharedRuns    int `json:"shared_runs,omitempty"`
+	SharedAnswers int `json:"shared_answers,omitempty"`
 }
 
 // BatchResponse aligns positionally with BatchRequest.Queries.
@@ -200,6 +209,29 @@ type SchedulesResponse struct {
 	Epoch        int64  `json:"epoch"`
 }
 
+// VenuesLoadRequest is the body of POST /v1/venues — hot venue reload:
+// load built-in presets and/or a server-local directory of venue JSON
+// files into the running daemon. Exactly one of Preset or Dir must be
+// set. IDs are derived as at startup (preset names / file names); a
+// taken ID answers 409 conflict.
+type VenuesLoadRequest struct {
+	// Preset is a comma-separated built-in list (see GET /v1/venues
+	// sources), e.g. "office" or "hospital,figure1".
+	Preset string `json:"preset,omitempty"`
+	// Dir is a directory on the server host containing *.json venue
+	// documents (the cmd/venuegen format). Directory loads are gated by
+	// Options.VenueDirBase (itspqd -venues): disabled when unset, and
+	// the requested directory must resolve inside the base.
+	Dir string `json:"dir,omitempty"`
+}
+
+// VenuesLoadResponse confirms a hot venue load: the IDs added by this
+// request and the new registry size.
+type VenuesLoadResponse struct {
+	Added  []string `json:"added"`
+	Venues int      `json:"venues"`
+}
+
 // VenueInfo is one row of GET /v1/venues.
 type VenueInfo struct {
 	ID          string `json:"id"`
@@ -239,7 +271,7 @@ type StatsResponse struct {
 // carries (and batch entries embed).
 type ErrorDoc struct {
 	// Code is one of bad_request, not_found, not_indoor, timeout,
-	// too_large, internal.
+	// too_large, conflict, internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }

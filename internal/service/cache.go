@@ -93,6 +93,7 @@ func (c *resultCache) put(key cacheKey, ekey entryKey, e cacheEntry, epoch uint6
 	// later get re-labels the outcome as its own (exact) hit.
 	e.res.CacheHit = false
 	e.res.Shared = false
+	e.res.SharedRun = false
 	e.res.Hit = HitMiss
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -22,12 +22,15 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"indoorpath/internal/batchplan"
 	"indoorpath/internal/core"
+	"indoorpath/internal/geom"
 	"indoorpath/internal/itgraph"
 	"indoorpath/internal/model"
 	"indoorpath/internal/tcache"
@@ -61,6 +64,17 @@ type Options struct {
 	// 0 means tcache.DefaultCapacity, and negative disables the window
 	// store even when WindowCache is set (mirroring CacheCapacity).
 	WindowCapacity int
+	// SharedBatch enables the shared-execution batch planner
+	// (internal/batchplan): RouteBatch partitions each batch into
+	// shared-source groups (same source point, departure instant and
+	// speed; the time-blind static method merges departures and also
+	// forms shared-destination groups served by one reverse run each)
+	// and answers every group with a single engine search
+	// (core.Engine.RouteMany / RouteManyTo) instead of one per query.
+	// Per-entry answers stay byte-identical to a sequential per-query
+	// engine and still feed the exact and validity-window caches.
+	// Off by default.
+	SharedBatch bool
 }
 
 // DefaultCacheCapacity is the cache size used when Options.CacheCapacity
@@ -97,6 +111,11 @@ type Result struct {
 	// Shared reports that the outcome was computed once for an
 	// identical query elsewhere in the same batch and shared.
 	Shared bool
+	// SharedRun reports that the outcome came out of a multi-query
+	// shared execution (one engine run answering a whole batchplan
+	// group) rather than a dedicated per-query search. Requires
+	// Options.SharedBatch.
+	SharedRun bool
 }
 
 // Stats are cumulative pool counters, safe to read concurrently. The
@@ -112,8 +131,17 @@ type Stats struct {
 	// EngineSearches counts actual engine runs. It is its own monotone
 	// counter (the Prometheus series behind /metricsz must never
 	// decrease); CacheMisses() is the derived view over one Stats
-	// snapshot, which can transiently differ by in-flight queries.
+	// snapshot, which can transiently differ by in-flight queries —
+	// and, with SharedBatch, by design: a shared run answers many
+	// cache misses with one engine search, so EngineSearches <=
+	// CacheMisses() is the headline saving.
 	EngineSearches int64 `json:"engine_searches"`
+	// SharedRuns counts multi-query shared executions: engine runs that
+	// answered a whole batchplan group at once (Options.SharedBatch).
+	SharedRuns int64 `json:"shared_runs"`
+	// SharedAnswers counts batch entries answered by a shared run —
+	// each cost 1/groupsize of a search instead of a search.
+	SharedAnswers int64 `json:"shared_answers"`
 	// Epoch is the backend generation: the number of SetGraph /
 	// UpdateSchedules swaps since the pool was built. A response
 	// computed at epoch N can never be served once epoch N+1 begins
@@ -128,8 +156,8 @@ func (s Stats) CacheMisses() int64 { return s.Queries - s.CacheHits - s.WindowHi
 
 // String renders a one-line summary of the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("queries=%d batches=%d cacheHits=%d windowHits=%d cacheMisses=%d deduped=%d engines=%d epoch=%d",
-		s.Queries, s.Batches, s.CacheHits, s.WindowHits, s.CacheMisses(), s.Deduped, s.EnginesCreated, s.Epoch)
+	return fmt.Sprintf("queries=%d batches=%d cacheHits=%d windowHits=%d cacheMisses=%d deduped=%d sharedRuns=%d sharedAnswers=%d engines=%d epoch=%d",
+		s.Queries, s.Batches, s.CacheHits, s.WindowHits, s.CacheMisses(), s.Deduped, s.SharedRuns, s.SharedAnswers, s.EnginesCreated, s.Epoch)
 }
 
 // poolBackend bundles one graph with the engine pool and result cache
@@ -163,6 +191,8 @@ type Pool struct {
 	deduped        atomic.Int64
 	enginesCreated atomic.Int64
 	engineSearches atomic.Int64
+	sharedRuns     atomic.Int64
+	sharedAnswers  atomic.Int64
 	swapEpoch      atomic.Int64
 }
 
@@ -241,6 +271,8 @@ func (p *Pool) Stats() Stats {
 		Deduped:        deduped,
 		EnginesCreated: p.enginesCreated.Load(),
 		EngineSearches: p.engineSearches.Load(),
+		SharedRuns:     p.sharedRuns.Load(),
+		SharedAnswers:  p.sharedAnswers.Load(),
 		Epoch:          p.swapEpoch.Load(),
 		Queries:        p.queries.Load(),
 	}
@@ -281,6 +313,23 @@ func (p *Pool) route(q core.Query) Result {
 // cache, then an engine search whose outcome feeds both.
 func (p *Pool) routeKeyed(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) Result {
 	p.queries.Add(1)
+	r, ok, epoch, wepoch := p.lookupCaches(b, q, key, ekey, cacheable)
+	if ok {
+		return r
+	}
+	p.engineSearches.Add(1)
+	e := b.engines.Get().(*core.Engine)
+	path, stats, err := e.Route(q)
+	r = Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
+	p.storeOutcome(b, e, q, key, ekey, cacheable, r, epoch, wepoch)
+	b.engines.Put(e)
+	return r
+}
+
+// lookupCaches serves q from the exact cache, then the validity-window
+// cache, counting hits. On a miss it returns the store epochs captured
+// before any search, for the epoch-guarded inserts of storeOutcome.
+func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) (Result, bool, uint64, uint64) {
 	useCache := cacheable && b.cache != nil
 	useWindows := cacheable && b.windows != nil
 	var epoch, wepoch uint64
@@ -289,7 +338,7 @@ func (p *Pool) routeKeyed(b *poolBackend, q core.Query, key cacheKey, ekey entry
 			p.cacheHits.Add(1)
 			r.CacheHit = true
 			r.Hit = HitExact
-			return r
+			return r, true, 0, 0
 		}
 		epoch = b.cache.epoch()
 	}
@@ -304,25 +353,26 @@ func (p *Pool) routeKeyed(b *poolBackend, q core.Query, key cacheKey, ekey entry
 			p.windowHits.Add(1)
 			r.CacheHit = true
 			r.Hit = HitWindow
-			return r
+			return r, true, 0, 0
 		}
 	}
-	p.engineSearches.Add(1)
-	e := b.engines.Get().(*core.Engine)
-	path, stats, err := e.Route(q)
-	var went *tcache.Entry
-	if useWindows && err == nil && path != nil {
-		went = windowEntryFor(e, q, path, stats)
-	}
-	b.engines.Put(e)
-	r := Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
-	if useCache {
+	return Result{}, false, epoch, wepoch
+}
+
+// storeOutcome feeds one computed outcome into the exact and window
+// caches. The engine that produced (or rebased) the answer must still
+// be checked out: the window derivation replays its leg arithmetic.
+func (p *Pool) storeOutcome(b *poolBackend, e *core.Engine, q core.Query, key cacheKey, ekey entryKey,
+	cacheable bool, r Result, epoch, wepoch uint64) {
+
+	if cacheable && b.cache != nil {
 		b.cache.put(key, ekey, entryFor(b, key, r), epoch)
 	}
-	if went != nil {
-		b.windows.Insert(windowKey(key), windowPointKey(ekey), went, wepoch)
+	if cacheable && b.windows != nil && r.Err == nil && r.Path != nil {
+		if went := windowEntryFor(e, q, r.Path, r.Stats); went != nil {
+			b.windows.Insert(windowKey(key), windowPointKey(ekey), went, wepoch)
+		}
 	}
-	return r
 }
 
 // windowKey and windowPointKey project the exact-cache keys onto the
@@ -421,18 +471,45 @@ func keysFor(b *poolBackend, q core.Query) (cacheKey, entryKey, bool) {
 	return key, ekey, true
 }
 
+// BatchSummary describes how one RouteBatch was served: how many
+// entries came from each cache, how many engine searches actually ran
+// (Searches counts runs, so one shared run answering a 64-query group
+// adds 1, not 64), and the shared-execution tallies. Queries ==
+// ExactHits + WindowHits + Deduped + SharedAnswers + (Searches -
+// SharedRuns) always holds: every entry is a hit, a duplicate, a
+// shared-run answer, or a dedicated search.
+type BatchSummary struct {
+	Queries       int
+	ExactHits     int
+	WindowHits    int
+	Deduped       int
+	Searches      int
+	SharedRuns    int
+	SharedAnswers int
+}
+
 // RouteBatch answers a batch of queries with worker fan-out. Identical
 // queries (same source, target, normalised time and speed) are searched
 // once and shared across the batch; distinct queries run concurrently
 // on up to Options.Workers goroutines, each checking a warm engine out
-// of the shared pool per query. Results are positionally
-// aligned with qs, and each Path/Err pair is byte-for-byte what a
-// sequential core.Engine.Route would have produced.
+// of the shared pool per query (or per batchplan group when
+// Options.SharedBatch is on). Results are positionally aligned with qs,
+// and each Path/Err pair is byte-for-byte what a sequential
+// core.Engine.Route would have produced.
 func (p *Pool) RouteBatch(qs []core.Query) []Result {
+	rs, _ := p.RouteBatchSummary(qs)
+	return rs
+}
+
+// RouteBatchSummary is RouteBatch returning the per-batch serving
+// summary alongside the results — the form the HTTP batch endpoint and
+// the CLI sweep report from.
+func (p *Pool) RouteBatchSummary(qs []core.Query) ([]Result, BatchSummary) {
 	p.batches.Add(1)
 	out := make([]Result, len(qs))
+	sum := BatchSummary{Queries: len(qs)}
 	if len(qs) == 0 {
-		return out
+		return out, sum
 	}
 
 	// Shared-query deduplication: collapse identical (ps, pt, t, v)
@@ -463,20 +540,63 @@ func (p *Pool) RouteBatch(qs []core.Query) []Result {
 		groups = append(groups, group{canon: i})
 	}
 
-	// Fan the canonical searches out over the worker group.
-	work := make([]int, 0, len(groups)+len(uncacheable))
-	for _, g := range groups {
-		work = append(work, g.canon)
+	// Build the work units: with the shared planner on, canonical
+	// cacheable queries are partitioned into batchplan groups (largest
+	// fan-out first); otherwise each is its own unit. Unlocatable
+	// queries always run solo.
+	type unit struct {
+		solo int // batch index, when grp is nil
+		grp  *batchplan.Group
 	}
-	work = append(work, uncacheable...)
+	var units []unit
+	var items []batchplan.Item
+	var sharedRuns atomic.Int64 // this batch's shared executions
+	if p.opts.SharedBatch {
+		items = make([]batchplan.Item, 0, len(groups))
+		for _, g := range groups {
+			i := g.canon
+			items = append(items, batchplan.Item{
+				Index:      i,
+				Src:        qs[i].Source,
+				Tgt:        qs[i].Target,
+				At:         ekeys[i].at,
+				Speed:      ekeys[i].speed,
+				SrcPart:    keys[i].src,
+				TgtPart:    keys[i].tgt,
+				SrcPrivate: b.v.Partition(keys[i].src).Kind.IsPrivate(),
+				TgtPrivate: b.v.Partition(keys[i].tgt).Kind.IsPrivate(),
+			})
+		}
+		plan := batchplan.New(items, p.opts.Engine.Method)
+		units = make([]unit, 0, len(plan.Groups)+len(uncacheable))
+		for gi := range plan.Groups {
+			units = append(units, unit{solo: -1, grp: &plan.Groups[gi]})
+		}
+	} else {
+		units = make([]unit, 0, len(groups)+len(uncacheable))
+		for _, g := range groups {
+			units = append(units, unit{solo: g.canon})
+		}
+	}
+	for _, i := range uncacheable {
+		units = append(units, unit{solo: i})
+	}
+
+	runUnit := func(u unit) {
+		if u.grp == nil {
+			out[u.solo] = p.routeKeyed(b, qs[u.solo], keys[u.solo], ekeys[u.solo], cacheable[u.solo])
+			return
+		}
+		p.routeGroup(b, qs, items, u.grp, keys, ekeys, out, &sharedRuns)
+	}
 
 	w := p.workers()
-	if w > len(work) {
-		w = len(work)
+	if w > len(units) {
+		w = len(units)
 	}
 	if w <= 1 {
-		for _, i := range work {
-			out[i] = p.routeKeyed(b, qs[i], keys[i], ekeys[i], cacheable[i])
+		for _, u := range units {
+			runUnit(u)
 		}
 	} else {
 		var next atomic.Int64
@@ -487,28 +607,151 @@ func (p *Pool) RouteBatch(qs []core.Query) []Result {
 				defer wg.Done()
 				for {
 					n := int(next.Add(1)) - 1
-					if n >= len(work) {
+					if n >= len(units) {
 						return
 					}
-					i := work[n]
-					out[i] = p.routeKeyed(b, qs[i], keys[i], ekeys[i], cacheable[i])
+					runUnit(units[n])
 				}
 			}()
 		}
 		wg.Wait()
 	}
 
-	// Propagate canonical outcomes to their duplicates.
+	// Propagate canonical outcomes to their duplicates. SharedRun is
+	// cleared on the copy (as cache.put does when re-labelling): the
+	// duplicate is accounted as deduped, not as a shared-run answer, so
+	// per-entry flags always sum to the summary's tallies.
 	for _, g := range groups {
 		for _, i := range g.dups {
 			p.queries.Add(1)
 			p.deduped.Add(1)
 			r := out[g.canon]
 			r.Shared = true
+			r.SharedRun = false
 			out[i] = r
 		}
 	}
-	return out
+
+	// Derive the serving summary from the results (Searches counts
+	// engine runs: each plain miss ran one, each shared run ran one).
+	for i := range out {
+		r := &out[i]
+		switch {
+		case r.Shared:
+			sum.Deduped++
+		case r.Hit == HitExact:
+			sum.ExactHits++
+		case r.Hit == HitWindow:
+			sum.WindowHits++
+		case r.SharedRun:
+			sum.SharedAnswers++
+		default:
+			sum.Searches++
+		}
+	}
+	sum.SharedRuns = int(sharedRuns.Load())
+	sum.Searches += sum.SharedRuns
+	return out, sum
+}
+
+// routeGroup executes one batchplan group: a per-member cache pass
+// (exact and window hits never reach the shared run), then one
+// checked-out engine answering every remaining member together via
+// RouteMany / RouteManyTo, with each answer fed through the same
+// epoch-guarded cache inserts a solo search uses. Static groups may
+// mix departure instants; those answers are restated per member by a
+// bit-identical departure rebase before caching and delivery.
+func (p *Pool) routeGroup(b *poolBackend, qs []core.Query, items []batchplan.Item, grp *batchplan.Group,
+	keys []cacheKey, ekeys []entryKey, out []Result, sharedRuns *atomic.Int64) {
+
+	if grp.Kind == batchplan.Solo || len(grp.Members) == 1 {
+		for _, m := range grp.Members {
+			i := items[m].Index
+			out[i] = p.routeKeyed(b, qs[i], keys[i], ekeys[i], true)
+		}
+		return
+	}
+
+	type pending struct {
+		i      int // batch index
+		epoch  uint64
+		wepoch uint64
+	}
+	var rem []pending
+	var pts []geom.Point
+	for _, m := range grp.Members {
+		i := items[m].Index
+		p.queries.Add(1)
+		r, ok, epoch, wepoch := p.lookupCaches(b, qs[i], keys[i], ekeys[i], true)
+		if ok {
+			out[i] = r
+			continue
+		}
+		rem = append(rem, pending{i: i, epoch: epoch, wepoch: wepoch})
+		if grp.Kind == batchplan.SharedSource {
+			pts = append(pts, qs[i].Target)
+		} else {
+			pts = append(pts, qs[i].Source)
+		}
+	}
+	if len(rem) == 0 {
+		return
+	}
+
+	e := b.engines.Get().(*core.Engine)
+	defer b.engines.Put(e)
+	if len(rem) == 1 {
+		// The caches absorbed the fan-out: a single miss is a plain
+		// solo search.
+		pm := rem[0]
+		p.engineSearches.Add(1)
+		path, stats, err := e.Route(qs[pm.i])
+		r := Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
+		p.storeOutcome(b, e, qs[pm.i], keys[pm.i], ekeys[pm.i], true, r, pm.epoch, pm.wepoch)
+		out[pm.i] = r
+		return
+	}
+
+	var outs []core.ManyOutcome
+	if grp.Kind == batchplan.SharedSource {
+		outs = e.RouteMany(grp.Source, pts, grp.At, grp.Speed)
+	} else {
+		outs = e.RouteManyTo(pts, grp.Target, grp.At, grp.Speed)
+	}
+	nShared := 0
+	for _, o := range outs {
+		if o.Solo {
+			p.engineSearches.Add(1)
+		} else if o.Err == nil || errors.Is(o.Err, core.ErrNoRoute) {
+			nShared++
+		}
+	}
+	if nShared > 0 {
+		p.engineSearches.Add(1) // the one shared search
+	}
+	counted := nShared >= 2 // a "shared run" must actually share
+	if counted {
+		sharedRuns.Add(1)
+		p.sharedRuns.Add(1)
+		p.sharedAnswers.Add(int64(nShared))
+	}
+	for k, pm := range rem {
+		o := outs[k]
+		path := o.Path
+		if path != nil && ekeys[pm.i].at != path.DepartedAt {
+			path = e.RebaseDeparture(path, qs[pm.i])
+		}
+		fromRun := !o.Solo && (o.Err == nil || errors.Is(o.Err, core.ErrNoRoute))
+		r := Result{
+			Path:      path,
+			Stats:     o.Stats,
+			Err:       o.Err,
+			Hit:       HitMiss,
+			SharedRun: counted && fromRun,
+		}
+		p.storeOutcome(b, e, qs[pm.i], keys[pm.i], ekeys[pm.i], true, r, pm.epoch, pm.wepoch)
+		out[pm.i] = r
+	}
 }
 
 // InvalidateSlot drops every cached outcome whose answer can depend on
