@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"indoorpath/internal/bench"
+	"indoorpath/internal/coalesce"
 	"indoorpath/internal/core"
 	"indoorpath/internal/decompose"
 	"indoorpath/internal/geom"
@@ -250,6 +251,30 @@ const (
 // Pool.Route answers exactly as Engine.Route would, and Pool.RouteBatch
 // fans a batch out over PoolOptions.Workers goroutines.
 func NewPool(g *Graph, opts PoolOptions) *ServicePool { return service.New(g, opts) }
+
+// Request-coalescing types (see internal/coalesce).
+type (
+	// Coalescer is the standing cross-batch request coalescer: solo
+	// Route calls are held for a few milliseconds and flushed together
+	// through one shared-execution batch, so shareable singleton
+	// queries arriving on separate requests (same source point,
+	// departure and speed — or a static shared destination) are
+	// answered by ONE engine run. Every caller still receives exactly
+	// the result a solo ServicePool.Route would have produced.
+	Coalescer = coalesce.Coalescer
+	// CoalescerOptions tune a Coalescer: the hold window (latency
+	// bound) and the maximum group size per flush.
+	CoalescerOptions = coalesce.Options
+	// CoalescerStats are cumulative coalescer counters, including the
+	// hold-time histogram.
+	CoalescerStats = coalesce.Stats
+)
+
+// NewCoalescer builds a standing request coalescer over a pool. The
+// pool should have PoolOptions.SharedBatch enabled — a flush is
+// answered via RouteBatchSummary, and the batch planner's grouping is
+// what turns held singletons into shared engine runs.
+func NewCoalescer(p *ServicePool, opts CoalescerOptions) *Coalescer { return coalesce.New(p, opts) }
 
 // HTTP serving types (see internal/server and cmd/itspqd).
 type (

@@ -21,8 +21,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	indoorpath "indoorpath"
+	"indoorpath/internal/server"
 )
 
 // testbed bundles a generated venue with its graph and query set.
@@ -656,6 +658,139 @@ func BenchmarkServerRouteBatch(b *testing.B) {
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(b.N*len(qs))/secs, "queries/s")
 			}
+		})
+	}
+}
+
+// BenchmarkServerRouteCoalesced measures the standing cross-batch
+// coalescer under its target workload: a burst of concurrent solo
+// /route requests sharing one source and departure, each on its own
+// HTTP request. With -coalesce semantics on (ServerOptions.Coalesce)
+// the requests accumulate for a few milliseconds and flush as ONE
+// shared engine run; caching is disabled so every answer must come
+// from an engine, making Stats.EngineSearches/Queries the honest
+// sharing ratio. Self-checks: searches per query < 0.5 on the
+// 64-client burst, coalesced groups actually formed, and no hold
+// pathologically exceeding the configured window.
+func BenchmarkServerRouteCoalesced(b *testing.B) {
+	const (
+		clients = 64
+		hold    = 5 * time.Millisecond
+	)
+	for _, coalesced := range []bool{false, true} {
+		name := "coalesce=off"
+		if coalesced {
+			name = "coalesce=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
+				SharedBatch:   true,
+				CacheCapacity: -1, // every query costs an engine unless a run is shared
+			})
+			if err := reg.Add("hospital", indoorpath.Hospital()); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{
+				Coalesce:     coalesced,
+				CoalesceHold: hold,
+			}))
+			b.Cleanup(ts.Close)
+			url := ts.URL + "/v1/venues/hospital/route"
+			client := ts.Client()
+
+			// One source (the 24h ER entrance area), one departure, 64
+			// distinct corridor targets: the canonical shareable-singleton
+			// burst — every request alone justifies a full search, together
+			// they justify one.
+			bodies := make([][]byte, clients)
+			for i := range bodies {
+				body, err := json.Marshal(map[string]any{
+					"from": map[string]any{"x": 30, "y": 10, "floor": 0},
+					"to":   map[string]any{"x": 1 + float64(i)*0.9, "y": 24, "floor": 0},
+					"at":   "11:00",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies[i] = body
+			}
+			post := func(body []byte) error {
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					return err
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					return fmt.Errorf("status %d", resp.StatusCode)
+				}
+				return nil
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for range b.N {
+				var wg sync.WaitGroup
+				errs := make(chan error, clients)
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						if err := post(bodies[c]); err != nil {
+							errs <- err
+						}
+					}(c)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+
+			var sr server.StatsResponse
+			resp, err := client.Get(ts.URL + "/statsz")
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := sr.Venues["hospital"].Methods["asyn"]
+			queries := float64(st.Queries)
+			if queries != float64(b.N*clients) {
+				b.Fatalf("pool saw %v queries, want %d", queries, b.N*clients)
+			}
+			ratio := float64(st.EngineSearches) / queries
+			b.ReportMetric(ratio, "searches/query")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(queries/secs, "queries/s")
+			}
+			if !coalesced {
+				if st.EngineSearches != st.Queries {
+					b.Fatalf("uncoalesced solo requests must each search: %+v", st)
+				}
+				return
+			}
+			// The acceptance bar: well under one engine run per query on
+			// the shared-source burst.
+			if ratio >= 0.5 {
+				b.Fatalf("searches/query = %.3f, want < 0.5 (coalescing shared nothing): %+v", ratio, st)
+			}
+			cs := sr.Venues["hospital"].Coalesce["asyn"]
+			if cs.Groups == 0 || cs.Answers == 0 {
+				b.Fatalf("no coalesced groups recorded: %+v", cs)
+			}
+			// Latency bound sanity: holds are bounded by the window plus
+			// scheduling noise; a max hold far beyond it means the flush
+			// timer path is broken (generous grace for loaded CI runners).
+			if maxHold := time.Duration(cs.MaxHoldNanos); maxHold > hold+time.Second {
+				b.Fatalf("max hold %v far exceeds the %v window", maxHold, hold)
+			}
+			b.ReportMetric(float64(cs.MaxHoldNanos)/1e6, "max-hold-ms")
 		})
 	}
 }

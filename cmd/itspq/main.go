@@ -335,22 +335,23 @@ func sweepBatch(q indoorpath.Query, targets []indoorpath.Point, stepStr string, 
 	return batch, rows, 0
 }
 
-// parseTargets reads one or more ';'-separated x,y,floor points.
+// parseTargets reads one or more ';'-separated x,y,floor points. Empty
+// segments (a trailing ';', "a;;b", a lone ';') are rejected rather
+// than skipped: silently dropping them would turn a typo into a query
+// over the wrong target set.
 func parseTargets(s string) ([]indoorpath.Point, error) {
-	var out []indoorpath.Point
-	for _, part := range strings.Split(s, ";") {
+	parts := strings.Split(s, ";")
+	out := make([]indoorpath.Point, 0, len(parts))
+	for i, part := range parts {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			return nil, fmt.Errorf("empty target segment %d in %q (';' separates x,y,floor points)", i+1, s)
 		}
 		pt, err := parsePoint(part)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pt)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no target points in %q", s)
 	}
 	return out, nil
 }

@@ -412,6 +412,35 @@ func TestRunServerModeSweepShared(t *testing.T) {
 	}
 }
 
+// TestRunToEmptySegments: ';'-separated -to lists must reject empty
+// segments (trailing ';', "a;;b", a lone ';') with a clear usage error
+// instead of silently dropping them and querying the wrong target set.
+func TestRunToEmptySegments(t *testing.T) {
+	venue := demoVenueFile(t)
+	for _, to := range []string{
+		"25,5,0;",         // trailing separator
+		"25,5,0;;22,8,0",  // double separator
+		";25,5,0",         // leading separator
+		";",               // nothing but separators
+		"25,5,0; ;22,8,0", // blank segment
+	} {
+		t.Run(to, func(t *testing.T) {
+			code, out, errb := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", to,
+				"-workers", "2", "-sweep", "6h")
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+			}
+			if !strings.Contains(errb, "-to") || !strings.Contains(errb, "empty target segment") {
+				t.Fatalf("stderr should name the empty -to segment:\n%s", errb)
+			}
+		})
+	}
+	// The plain single-target form is untouched.
+	if code, out, errb := runCLI(t, "-venue", venue, "-from", "2,5,0", "-to", " 25,5,0 ", "-at", "12:00"); code != 0 {
+		t.Fatalf("single target with spaces: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+}
+
 // TestRunSharedFlagErrors: -shared is a local pool knob with its own
 // guidance, and multi-target -to requires -sweep.
 func TestRunSharedFlagErrors(t *testing.T) {

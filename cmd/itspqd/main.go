@@ -7,6 +7,13 @@
 //	itspqd -preset hospital,office                 # built-in venues
 //	itspqd -venues ./venues                        # every *.json in a dir
 //	itspqd -addr :9000 -preset mall -workers 8     # tuned
+//	itspqd -preset mall -coalesce -coalesce-hold 2ms   # cross-request coalescing
+//
+// -coalesce holds each solo route request for up to -coalesce-hold and
+// flushes the accumulated queries as ONE shared-execution batch, so
+// shareable singletons arriving on separate requests (same source and
+// departure, or static shared destination) cost one engine run
+// together instead of one each. It implies -shared-batch.
 //
 // Endpoints (see the package documentation of indoorpath for request
 // and response bodies):
@@ -59,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cache   = fs.Int("cache", 0, "result-cache capacity per pool (0 = default, negative = disabled)")
 		window  = fs.Bool("window-cache", false, "enable the validity-window temporal result cache (cross-time cache hits)")
 		shared  = fs.Bool("shared-batch", false, "enable the shared-execution batch planner (one engine run answers each same-endpoint batch group)")
+		coal    = fs.Bool("coalesce", false, "coalesce concurrent solo route requests into shared engine runs (implies -shared-batch)")
+		hold    = fs.Duration("coalesce-hold", 0, "coalescer accumulation window (0 = 2ms default); solo requests wait at most this long for company")
 		timeout = fs.Duration("timeout", 0, "per-request timeout (0 = server default, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,8 +82,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *hold != 0 && !*coal {
+		fmt.Fprintln(stderr, "itspqd: -coalesce-hold requires -coalesce")
+		return 2
+	}
 
-	reg, err := newRegistry(*venues, *presets, *workers, *cache, *window, *shared)
+	// Coalescing flushes through the batch planner; without SharedBatch
+	// on the pools a flush could only deduplicate, not share runs.
+	reg, err := newRegistry(*venues, *presets, *workers, *cache, *window, *shared || *coal)
 	if err != nil {
 		return fail("%v", err)
 	}
@@ -83,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	srv := indoorpath.NewServer(reg, indoorpath.ServerOptions{
 		RequestTimeout: *timeout,
 		VenueDirBase:   *venues,
+		Coalesce:       *coal,
+		CoalesceHold:   *hold,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

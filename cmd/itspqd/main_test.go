@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"os"
@@ -88,6 +89,13 @@ func TestRunFlagErrors(t *testing.T) {
 	if code := run([]string{"-preset", "narnia"}, &out, &errb); code != 1 {
 		t.Fatalf("unknown preset: exit = %d", code)
 	}
+	errb.Reset()
+	if code := run([]string{"-preset", "hospital", "-coalesce-hold", "5ms"}, &out, &errb); code != 2 {
+		t.Fatalf("-coalesce-hold without -coalesce: exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "-coalesce-hold requires -coalesce") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
 }
 
 // TestServeGracefulShutdown boots the daemon's serve loop on an
@@ -154,3 +162,105 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatalf("stdout = %q", out.String())
 	}
 }
+
+// TestServeCoalesced boots the daemon stack the way `itspqd -preset
+// hospital -coalesce` wires it (SharedBatch pools + a coalescing
+// server) and proves over real HTTP that two concurrent solo requests
+// are answered out of one coalesced flush.
+func TestServeCoalesced(t *testing.T) {
+	// -coalesce implies -shared-batch on the pools (see run()).
+	reg, err := newRegistry("", "hospital", 0, 0, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := indoorpath.NewServer(reg, indoorpath.ServerOptions{
+		Coalesce:     true,
+		CoalesceHold: 500 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- serve(ctx, ln, srv, &out, &errb) }()
+	base := "http://" + ln.Addr().String()
+
+	// Two concurrent solo requests, same source and departure: both
+	// land in one 500ms hold window and flush together.
+	type result struct {
+		coalesced bool
+		err       error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			body := `{"from":{"x":30,"y":10,"floor":0},"to":{"x":` +
+				[]string{"5", "10"}[i] + `,"y":24,"floor":0},"at":"11:00"}`
+			resp, err := http.Post(base+"/v1/venues/hospital/route", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var rr struct {
+				Found     bool `json:"found"`
+				Coalesced bool `json:"coalesced"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				results <- result{err: err}
+				return
+			}
+			if !rr.Found {
+				results <- result{err: errNotFound}
+				return
+			}
+			results <- result{coalesced: rr.Coalesced}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if !r.coalesced {
+			t.Fatal("concurrent solo request not marked coalesced")
+		}
+	}
+
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Venues map[string]struct {
+			Coalesce map[string]struct {
+				Groups  int64 `json:"coalesced_groups"`
+				Answers int64 `json:"coalesced_answers"`
+			} `json:"coalesce"`
+		} `json:"venues"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := sr.Venues["hospital"].Coalesce["asyn"]
+	if cs.Groups != 1 || cs.Answers != 2 {
+		t.Fatalf("coalesce stats = %+v, want one 2-answer group", cs)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serve exit = %d, stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}
+
+var errNotFound = errors.New("route not found over the daemon")

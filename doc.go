@@ -152,13 +152,48 @@
 // and BenchmarkPoolRouteBatchShared shows a 64-target fan-out served
 // by 1 engine search instead of 64.
 //
+// # Request coalescing
+//
+// Shared execution only helps queries that arrive in the same
+// RouteBatch call; under live traffic shareable singletons arrive
+// milliseconds apart on separate requests, each paying a full search.
+// NewCoalescer puts a standing accumulator in front of a pool: solo
+// Route calls enqueue into a small hold window (CoalescerOptions.Hold,
+// default 2ms; the first arrival arms the flush timer) and the held
+// queries are flushed as ONE shared-execution batch through
+// RouteBatchSummary — planned with the same batchplan grouping keys
+// and executed with the same engine primitives, so every caller
+// receives exactly the result a solo Pool.Route would have produced
+// (byte-identical by the shared-execution soundness argument above).
+// Non-shareable arrivals simply plan Solo inside the flush; reaching
+// CoalescerOptions.MaxGroup flushes immediately. The semantics:
+//
+//   - Latency bound: a request waits at most the hold window plus one
+//     flush execution; singleton windows flush on the timer and cost
+//     nothing but the hold.
+//   - Swap atomicity: one flush is one RouteBatchSummary call pinning
+//     one pool backend, so a held queue racing
+//     SetGraph/UpdateSchedules drains entirely old or entirely new,
+//     never a mix.
+//   - Provenance and accounting: answers out of a multi-query flush
+//     carry Coalesced (and "coalesced" on the HTTP wire);
+//     CoalescerStats counts flushes, coalesced groups and answers and
+//     keeps a hold-time histogram, surfaced per venue and method on
+//     /statsz and /metricsz.
+//
+// On the daemon, -coalesce (with -coalesce-hold) enables it in front
+// of every venue pool and implies -shared-batch;
+// BenchmarkServerRouteCoalesced shows a 64-client concurrent
+// solo-request burst answered with ~0.016 engine searches per query
+// instead of 1.
+//
 // # HTTP serving
 //
 // NewServer wraps a VenueRegistry — venue IDs mapped to per-venue,
 // per-method serving pools — into an http.Handler; cmd/itspqd is the
 // ready-made daemon (graceful shutdown, -venues dir and -preset
-// loading, -workers/-cache/-timeout tuning, -window-cache and
-// -shared-batch for the optimisations above):
+// loading, -workers/-cache/-timeout tuning, -window-cache,
+// -shared-batch and -coalesce for the optimisations above):
 //
 //	itspqd -addr :8080 -preset hospital,office -venues ./venues
 //
@@ -194,7 +229,11 @@
 // a regular answer: HTTP 200 with {"found":false}. Validation failures
 // return a structured envelope {"error":{"code":"bad_request",
 // "message":"..."}} (codes: bad_request, not_found, not_indoor,
-// timeout, too_large, conflict, internal).
+// timeout, too_large, conflict, internal). A request that exceeds the
+// server deadline answers 504 "timeout"; a client that disconnects
+// first gets nothing (the connection is dead) and is counted
+// separately — /statsz "server" reports timeouts and client_gone side
+// by side so disconnect waves cannot masquerade as slow searches.
 //
 // Live schedule updates map door names to ATI lists (null = always
 // open, [] = always closed) and apply as one atomic swap per pool —

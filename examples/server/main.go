@@ -1,8 +1,9 @@
 // Server example: boot the HTTP query daemon stack in-process over the
 // hospital preset, answer routes over real HTTP, push a live schedule
 // update and watch the answer change, fan a shared-source batch out
-// through the shared-execution planner, and hot-load a second venue —
-// the serving loop of cmd/itspqd in ~100 lines.
+// through the shared-execution planner, coalesce concurrent solo
+// requests into one engine run, and hot-load a second venue — the
+// serving loop of cmd/itspqd in ~100 lines.
 //
 //	go run ./examples/server
 package main
@@ -14,6 +15,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"time"
 
 	indoorpath "indoorpath"
 )
@@ -29,7 +32,13 @@ func main() {
 	if _, err := reg.AddPresets("hospital"); err != nil {
 		log.Fatal(err)
 	}
-	ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{}))
+	// Coalesce holds each solo route request for up to CoalesceHold and
+	// flushes concurrent arrivals as ONE shared batch (itspqd -coalesce
+	// -coalesce-hold 5ms).
+	ts := httptest.NewServer(indoorpath.NewServer(reg, indoorpath.ServerOptions{
+		Coalesce:     true,
+		CoalesceHold: 5 * time.Millisecond,
+	}))
 	defer ts.Close()
 	fmt.Printf("serving %v at %s\n\n", reg.IDs(), ts.URL)
 
@@ -60,6 +69,26 @@ func main() {
 	  {"from":{"x":30,"y":10,"floor":0},"to":{"x":35,"y":34,"floor":0},"at":"11:00"}]}`
 	batch = strings.ReplaceAll(strings.ReplaceAll(batch, "\n", ""), "\t", "")
 	show("shared-source batch", call(ts.URL, http.MethodPost, "/v1/venues/hospital/route:batch", batch))
+
+	// Cross-batch coalescing: the same crowd as SEPARATE concurrent
+	// solo requests. They land in one 5ms hold window and flush as one
+	// shared run — each response carries "coalesced":true, and the
+	// statsz "coalesce" block counts the merged group.
+	var wg sync.WaitGroup
+	var first string
+	for i, tgt := range []string{"5", "15", "25", "35"} {
+		wg.Add(1)
+		go func(i int, tgt string) {
+			defer wg.Done()
+			q := `{"from":{"x":30,"y":10,"floor":0},"to":{"x":` + tgt + `,"y":34,"floor":0},"at":"11:30"}`
+			resp := call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", q)
+			if i == 0 {
+				first = resp
+			}
+		}(i, tgt)
+	}
+	wg.Wait()
+	show("coalesced solo request", first)
 
 	// Hot venue reload: load another preset into the running daemon.
 	show("POST /v1/venues", call(ts.URL, http.MethodPost, "/v1/venues", `{"preset":"office"}`))

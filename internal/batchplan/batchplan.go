@@ -30,6 +30,12 @@
 // worker pool drains the expensive shared runs before the solo tail.
 // Planning is deterministic: group order, member order and canonical
 // departures depend only on the input order.
+//
+// The planner has two consumers: explicit RouteBatch calls, and the
+// standing cross-batch coalescer (internal/coalesce), which
+// accumulates concurrently arriving solo queries for a few
+// milliseconds and flushes them through RouteBatchSummary — so the
+// grouping rules above decide sharing for cross-request traffic too.
 package batchplan
 
 import (

@@ -3,7 +3,10 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"indoorpath/internal/coalesce"
 )
 
 // This file implements GET /metricsz: the pool counters of /statsz in
@@ -86,7 +89,86 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	// Request-lifecycle counters: real deadline 504s vs clients that
+	// hung up first (kept apart so disconnect waves don't read as slow
+	// searches).
+	fmt.Fprintf(&sb, "# HELP indoorpath_server_timeouts_total Requests that hit the server-side deadline and answered 504.\n")
+	fmt.Fprintf(&sb, "# TYPE indoorpath_server_timeouts_total counter\n")
+	fmt.Fprintf(&sb, "indoorpath_server_timeouts_total %d\n", s.timeouts.Load())
+	fmt.Fprintf(&sb, "# HELP indoorpath_server_client_gone_total Requests whose client disconnected before the answer was ready (no 504 emitted).\n")
+	fmt.Fprintf(&sb, "# TYPE indoorpath_server_client_gone_total counter\n")
+	fmt.Fprintf(&sb, "indoorpath_server_client_gone_total %d\n", s.clientGone.Load())
+
+	if s.opts.Coalesce {
+		s.writeCoalesceMetrics(&sb, venues)
+	}
+
 	w.Header().Set("Content-Type", metricsContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(sb.String()))
+}
+
+// coalesceMetrics are the counter families over the standing
+// coalescers' stats (the hold-time histogram is rendered separately).
+var coalesceMetrics = []struct {
+	name  string
+	help  string
+	value func(coalesce.Stats) int64
+}{
+	{"indoorpath_coalesce_queries_total",
+		"Solo route requests accepted by the standing coalescer.",
+		func(s coalesce.Stats) int64 { return s.Queries }},
+	{"indoorpath_coalesce_flushes_total",
+		"Coalescer windows flushed (singleton windows included).",
+		func(s coalesce.Stats) int64 { return s.Flushes }},
+	{"indoorpath_coalesce_groups_total",
+		"Coalesced flushes: windows that accumulated two or more solo requests.",
+		func(s coalesce.Stats) int64 { return s.Groups }},
+	{"indoorpath_coalesce_answers_total",
+		"Solo requests answered out of a coalesced (multi-request) flush.",
+		func(s coalesce.Stats) int64 { return s.Answers }},
+}
+
+// writeCoalesceMetrics renders the coalescer counters and the
+// hold-time histogram in Prometheus text format. Series appear for
+// every (venue, pooled method) whose coalescer exists — i.e. that has
+// routed at least once — in the same deterministic order as the pool
+// metrics.
+func (s *Server) writeCoalesceMetrics(sb *strings.Builder, venues []*Venue) {
+	type row struct {
+		venue, method string
+		st            coalesce.Stats
+	}
+	var rows []row
+	for _, ve := range venues {
+		for _, m := range pooledMethods {
+			if c, ok := s.coal.Load(ve.Pool(m)); ok {
+				rows = append(rows, row{ve.ID(), methodName(m), c.(*coalesce.Coalescer).Stats()})
+			}
+		}
+	}
+	for _, md := range coalesceMetrics {
+		fmt.Fprintf(sb, "# HELP %s %s\n", md.name, md.help)
+		fmt.Fprintf(sb, "# TYPE %s counter\n", md.name)
+		for _, r := range rows {
+			fmt.Fprintf(sb, "%s{venue=%q,method=%q} %d\n", md.name, r.venue, r.method, md.value(r.st))
+		}
+	}
+	fmt.Fprintf(sb, "# HELP indoorpath_coalesce_hold_seconds Time a solo request was held between arrival and its flush starting.\n")
+	fmt.Fprintf(sb, "# TYPE indoorpath_coalesce_hold_seconds histogram\n")
+	for _, r := range rows {
+		cum := int64(0)
+		for i, bound := range coalesce.HoldBucketBounds {
+			cum += r.st.HoldBuckets[i]
+			fmt.Fprintf(sb, "indoorpath_coalesce_hold_seconds_bucket{venue=%q,method=%q,le=%q} %d\n",
+				r.venue, r.method, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += r.st.HoldBuckets[len(coalesce.HoldBucketBounds)]
+		fmt.Fprintf(sb, "indoorpath_coalesce_hold_seconds_bucket{venue=%q,method=%q,le=\"+Inf\"} %d\n",
+			r.venue, r.method, cum)
+		fmt.Fprintf(sb, "indoorpath_coalesce_hold_seconds_sum{venue=%q,method=%q} %g\n",
+			r.venue, r.method, float64(r.st.HoldSumNanos)/1e9)
+		fmt.Fprintf(sb, "indoorpath_coalesce_hold_seconds_count{venue=%q,method=%q} %d\n",
+			r.venue, r.method, cum)
+	}
 }

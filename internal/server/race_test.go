@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"indoorpath/internal/core"
 	"indoorpath/internal/geom"
@@ -414,5 +415,129 @@ func TestRaceStatszConsistent(t *testing.T) {
 	}
 	if st.Epoch != 0 {
 		t.Fatalf("epoch = %d, want 0 (no schedule updates)", st.Epoch)
+	}
+}
+
+// TestRaceStatszCoalesced re-runs the counter-consistency hammer with
+// the standing coalescer in front of the pools: the /statsz partition
+// invariant (hits + window hits + misses + deduped == queries) must
+// keep holding when SharedBatch dedup and coalesced flushes combine,
+// no request may be double-counted (a deduped member of a coalesced
+// flush is one query, not two), and the coalescer's own counters must
+// stay coherent with the pool's.
+func TestRaceStatszCoalesced(t *testing.T) {
+	reg := NewRegistry(service.Options{SharedBatch: true})
+	if _, err := reg.AddPresets("hospital"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(reg, Options{
+		Coalesce:     true,
+		CoalesceHold: 2 * time.Millisecond,
+	}))
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + "/v1/venues/hospital/route"
+
+	const goroutines, perG = 6, 40
+	var sent atomic.Int64
+	errc := make(chan error, goroutines+1)
+	done := make(chan struct{})
+
+	checkSnapshot := func(sr *StatsResponse) error {
+		st := sr.Venues["hospital"].Methods["asyn"]
+		if st.CacheHits+st.WindowHits+st.CacheMisses()+st.Deduped != st.Queries {
+			return fmt.Errorf("statsz does not partition: %+v", st)
+		}
+		if st.CacheMisses() < 0 {
+			return fmt.Errorf("negative cache misses: %+v", st)
+		}
+		if st.EngineSearches > st.CacheMisses() {
+			return fmt.Errorf("more engine runs than misses (coalesced members double-counted?): %+v", st)
+		}
+		cs := sr.Venues["hospital"].Coalesce["asyn"]
+		if cs.Groups > cs.Flushes {
+			return fmt.Errorf("coalesce groups %d > flushes %d", cs.Groups, cs.Flushes)
+		}
+		if cs.Answers < 2*cs.Groups {
+			return fmt.Errorf("coalesce answers %d < 2×groups %d", cs.Answers, cs.Groups)
+		}
+		if cs.Queries < cs.Answers {
+			return fmt.Errorf("coalesce answers %d exceed accepted queries %d", cs.Answers, cs.Queries)
+		}
+		return nil
+	}
+
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var sr StatsResponse
+			if _, err := post(client, http.MethodGet, ts.URL+"/statsz", nil, &sr); err != nil {
+				continue // transient decode overlap with shutdown is fine
+			}
+			if err := checkSnapshot(&sr); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// A few hot departures so concurrent arrivals share keys
+				// (dedup + shared runs inside coalesced flushes).
+				hour := 10 + (seed+i)%2
+				req := RouteRequest{From: &erCentre, To: &wardCentre, At: temporal.Clock(hour, 0, 0).String()}
+				var rr RouteResponse
+				status, err := post(client, http.MethodPost, url, req, &rr)
+				if err != nil || status != http.StatusOK {
+					errc <- fmt.Errorf("route: status %d err %v", status, err)
+					return
+				}
+				sent.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	poller.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	var sr StatsResponse
+	if _, err := post(client, http.MethodGet, ts.URL+"/statsz", nil, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkSnapshot(&sr); err != nil {
+		t.Fatal(err)
+	}
+	st := sr.Venues["hospital"].Methods["asyn"]
+	if st.Queries != sent.Load() {
+		t.Fatalf("pool queries = %d, want %d (every request exactly once)", st.Queries, sent.Load())
+	}
+	cs := sr.Venues["hospital"].Coalesce["asyn"]
+	if cs.Queries != sent.Load() {
+		t.Fatalf("coalescer accepted %d queries, want %d", cs.Queries, sent.Load())
+	}
+	if cs.Flushes == 0 {
+		t.Fatal("no flushes recorded")
+	}
+	if cs.Groups == 0 {
+		t.Fatal("6 goroutines hammering 2 hot keys through a 2ms hold window never coalesced")
+	}
+	if sr.Server.Timeouts != 0 {
+		t.Fatalf("coalesced traffic within the default deadline produced %d timeouts", sr.Server.Timeouts)
 	}
 }

@@ -23,6 +23,15 @@
 // full, and post-update requests can never be served pre-update cache
 // entries). Schedule updates are serialised per venue; the registry
 // row itself is never replaced by an update.
+//
+// With Options.Coalesce, solo route requests go through a standing
+// per-(venue, method) coalescer (internal/coalesce): concurrent
+// arrivals are held for up to Options.CoalesceHold and flushed as one
+// shared-execution batch, so shareable singletons on separate HTTP
+// requests cost one engine run together. Request aborts are
+// classified: a server-side deadline answers 504 and counts a
+// timeout, while a client disconnect is only counted (client_gone)
+// and logged — nothing is written into the dead connection.
 package server
 
 import (
@@ -31,13 +40,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"indoorpath/internal/coalesce"
 	"indoorpath/internal/core"
 	"indoorpath/internal/model"
+	"indoorpath/internal/service"
 )
 
 // Options tune a Server. The zero value is usable.
@@ -61,6 +75,25 @@ type Options struct {
 	// base. Preset loads are always allowed. cmd/itspqd sets it to the
 	// -venues directory.
 	VenueDirBase string
+	// Coalesce enables the standing cross-batch request coalescer
+	// (internal/coalesce) in front of every venue's method pools: solo
+	// route requests are held for up to CoalesceHold and flushed as one
+	// shared-execution batch, so shareable singletons arriving on
+	// separate requests share engine runs. The registry's pools should
+	// have service.Options.SharedBatch enabled (cmd/itspqd does this
+	// automatically when -coalesce is set). The waiting method has no
+	// pool and bypasses the coalescer.
+	Coalesce bool
+	// CoalesceHold is the coalescer's accumulation window; 0 means
+	// coalesce.DefaultHold. It bounds the latency a solo request can
+	// trade for sharing.
+	CoalesceHold time.Duration
+	// CoalesceMaxGroup caps one coalesced flush; 0 means
+	// coalesce.DefaultMaxGroup.
+	CoalesceMaxGroup int
+	// Logf sinks server-side log lines (client disconnects, …); nil
+	// means the standard library logger.
+	Logf func(format string, args ...any)
 }
 
 // Defaults for Options zero values.
@@ -76,6 +109,20 @@ type Server struct {
 	reg  *Registry
 	opts Options
 	mux  *http.ServeMux
+
+	// coal maps a *service.Pool to its standing coalescer, built
+	// lazily on first route (venues can hot-load after the server
+	// exists). Pool pointers are stable: schedule updates swap the
+	// graph inside a pool, never the pool itself.
+	coal sync.Map
+
+	// timeouts counts requests that hit the server-side deadline
+	// (answered 504); clientGone counts requests whose client
+	// disconnected before the answer was ready (no body written — the
+	// connection is dead). Keeping them separate is the point: a wave
+	// of impatient clients must not read as a wave of slow searches.
+	timeouts   atomic.Int64
+	clientGone atomic.Int64
 }
 
 // New builds a Server over a registry.
@@ -89,7 +136,26 @@ func New(reg *Registry, opts Options) *Server {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	// A hold window at or beyond the request deadline would 504 every
+	// lightly-loaded solo route (a singleton waits the full hold before
+	// its flush): clamp it under the deadline rather than serve a
+	// server that times out by construction.
+	var clampedHold time.Duration
+	if opts.Coalesce && opts.RequestTimeout > 0 {
+		hold := opts.CoalesceHold
+		if hold <= 0 {
+			hold = coalesce.DefaultHold
+		}
+		if hold >= opts.RequestTimeout {
+			clampedHold = hold
+			opts.CoalesceHold = opts.RequestTimeout / 2
+		}
+	}
 	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux()}
+	if clampedHold > 0 {
+		s.logf("coalesce hold %v >= request timeout %v; clamped to %v",
+			clampedHold, opts.RequestTimeout, opts.CoalesceHold)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
@@ -130,9 +196,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	resp := StatsResponse{Venues: make(map[string]VenueStatsDoc)}
+	resp := StatsResponse{
+		Venues: make(map[string]VenueStatsDoc),
+		Server: ServerStatsDoc{Timeouts: s.timeouts.Load(), ClientGone: s.clientGone.Load()},
+	}
 	for _, ve := range s.reg.Venues() {
-		resp.Venues[ve.ID()] = ve.Stats()
+		doc := ve.Stats()
+		doc.Coalesce = s.coalesceStats(ve)
+		resp.Venues[ve.ID()] = doc
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -230,14 +301,16 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, ve *Venue) 
 		writeError(w, http.StatusBadRequest, errDoc)
 		return
 	}
-	resp, ok := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() RouteResponse {
+	resp, outcome := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() RouteResponse {
 		if waiting {
 			return routeWaiting(ve, q)
 		}
+		if c := s.coalescer(ve, m); c != nil {
+			return routeCoalesced(ve, c, q)
+		}
 		return routePooled(ve, m, q)
 	})
-	if !ok {
-		writeError(w, http.StatusGatewayTimeout, &ErrorDoc{Code: "timeout", Message: "route timed out"})
+	if s.finishAborted(w, r, outcome, "route") {
 		return
 	}
 	if resp.Error != nil {
@@ -284,7 +357,7 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Ve
 		}
 		qs[i] = q
 	}
-	resp, ok := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() BatchResponse {
+	resp, outcome := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() BatchResponse {
 		pool := ve.Pool(m)
 		results, sum := pool.RouteBatchSummary(qs)
 		out := BatchResponse{Results: make([]RouteResponse, len(results))}
@@ -298,16 +371,11 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Ve
 		}
 		mv := ve.Model()
 		for i, res := range results {
-			out.Results[i] = responseOf(mv, res.Path, res.Err, &res.Stats)
-			out.Results[i].CacheHit = res.CacheHit
-			out.Results[i].Hit = string(res.Hit)
-			out.Results[i].Shared = res.Shared
-			out.Results[i].SharedRun = res.SharedRun
+			out.Results[i] = resultResponse(mv, res)
 		}
 		return out
 	})
-	if !ok {
-		writeError(w, http.StatusGatewayTimeout, &ErrorDoc{Code: "timeout", Message: "batch timed out"})
+	if s.finishAborted(w, r, outcome, "batch") {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -339,7 +407,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, ve *Venue
 		entries []core.ProfileEntry
 		err     error
 	}
-	out, ok := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() profileOut {
+	out, outcome := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() profileOut {
 		// Engines are cheap to build (lazily allocated search state);
 		// the profile walks every checkpoint slot on one fresh,
 		// goroutine-confined engine over the current graph.
@@ -347,8 +415,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, ve *Venue
 		entries, err := core.DayProfile(e, src, tgt)
 		return profileOut{entries, err}
 	})
-	if !ok {
-		writeError(w, http.StatusGatewayTimeout, &ErrorDoc{Code: "timeout", Message: "profile timed out"})
+	if s.finishAborted(w, r, outcome, "profile") {
 		return
 	}
 	if out.err != nil {
@@ -406,15 +473,25 @@ func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request, ve *Ven
 	})
 }
 
+// resultResponse maps one pool outcome — path, error, stats and every
+// provenance flag — onto the wire. The single mapping point for solo,
+// coalesced and batch-entry responses, so a new Result flag reaches
+// all three the moment it is added here.
+func resultResponse(mv *model.Venue, res service.Result) RouteResponse {
+	resp := responseOf(mv, res.Path, res.Err, &res.Stats)
+	resp.CacheHit = res.CacheHit
+	resp.Hit = string(res.Hit)
+	resp.Shared = res.Shared
+	resp.SharedRun = res.SharedRun
+	resp.Coalesced = res.Coalesced
+	return resp
+}
+
 // routePooled answers one query on the venue's method pool. Cache hits
 // carry the stats of the search that produced the cached outcome, so a
 // client sees exactly what Pool.Route reports.
 func routePooled(ve *Venue, m core.Method, q core.Query) RouteResponse {
-	res := ve.Pool(m).RouteResult(q)
-	resp := responseOf(ve.Model(), res.Path, res.Err, &res.Stats)
-	resp.CacheHit = res.CacheHit
-	resp.Hit = string(res.Hit)
-	return resp
+	return resultResponse(ve.Model(), ve.Pool(m).RouteResult(q))
 }
 
 // routeWaiting answers one query with the earliest-arrival waiting
@@ -446,24 +523,131 @@ func errorDocOf(err error) *ErrorDoc {
 	return &ErrorDoc{Code: "internal", Message: err.Error()}
 }
 
-// runWithTimeout runs fn on its own goroutine and waits for the result
-// or the deadline, whichever comes first. fn always runs to completion
-// (searches are not cancellable); on timeout its result is discarded.
-func runWithTimeout[T any](ctx context.Context, d time.Duration, fn func() T) (T, bool) {
-	if d < 0 {
-		return fn(), true
+// runOutcome says how runWithTimeout ended: with fn's result, by the
+// server-side deadline, or because the client disconnected first. The
+// two abort causes were previously conflated into one "timed out"
+// answer, which both inflated the timeout counters with impatient
+// clients and wrote 504 bodies into dead connections.
+type runOutcome uint8
+
+const (
+	// runDone: fn completed within the deadline.
+	runDone runOutcome = iota
+	// runTimeout: the server-side deadline expired (context.DeadlineExceeded).
+	runTimeout
+	// runClientGone: the client's request context was cancelled — the
+	// connection is gone and nobody is listening for an answer.
+	runClientGone
+)
+
+// runWithTimeout runs fn on its own goroutine and waits for the result,
+// the deadline, or the client hanging up, whichever comes first. fn
+// always runs to completion (searches are not cancellable); on either
+// abort its result is discarded. A client that is already gone aborts
+// before fn starts — no point burning an engine search for a dead
+// connection.
+func runWithTimeout[T any](ctx context.Context, d time.Duration, fn func() T) (T, runOutcome) {
+	var zero T
+	if ctx.Err() != nil {
+		return zero, runClientGone
 	}
-	ctx, cancel := context.WithTimeout(ctx, d)
+	if d < 0 {
+		// Timeout disabled: run inline, but still classify a client
+		// that hung up while fn ran — its result has nowhere to go.
+		v := fn()
+		if ctx.Err() != nil {
+			return zero, runClientGone
+		}
+		return v, runDone
+	}
+	tctx, cancel := context.WithTimeout(ctx, d)
 	defer cancel()
 	ch := make(chan T, 1)
 	go func() { ch <- fn() }()
 	select {
 	case v := <-ch:
-		return v, true
-	case <-ctx.Done():
-		var zero T
-		return zero, false
+		return v, runDone
+	case <-tctx.Done():
+		if errors.Is(tctx.Err(), context.Canceled) {
+			return zero, runClientGone
+		}
+		return zero, runTimeout
 	}
+}
+
+// finishAborted resolves a non-done runWithTimeout outcome: a real
+// deadline answers 504 and counts a timeout; a client disconnect is
+// counted and logged but no body is written — the connection is dead,
+// and a 504 there would only corrupt the stats. Returns true when the
+// request is finished.
+func (s *Server) finishAborted(w http.ResponseWriter, r *http.Request, outcome runOutcome, what string) bool {
+	switch outcome {
+	case runTimeout:
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, &ErrorDoc{Code: "timeout", Message: what + " timed out"})
+		return true
+	case runClientGone:
+		s.clientGone.Add(1)
+		s.logf("%s %s: client disconnected before the %s completed; result discarded", r.Method, r.URL.Path, what)
+		return true
+	}
+	return false
+}
+
+// logf writes one server log line through Options.Logf (default: the
+// standard library logger).
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf("indoorpath/server: "+format, args...)
+}
+
+// coalescer returns the standing coalescer of a venue's method pool,
+// building it on first use (venues can hot-load into a running
+// server), or nil when coalescing is disabled. Keyed by pool pointer:
+// pools are stable for the life of a venue row, one coalescer per
+// (venue, method).
+func (s *Server) coalescer(ve *Venue, m core.Method) *coalesce.Coalescer {
+	if !s.opts.Coalesce {
+		return nil
+	}
+	pool := ve.Pool(m)
+	if c, ok := s.coal.Load(pool); ok {
+		return c.(*coalesce.Coalescer)
+	}
+	c, _ := s.coal.LoadOrStore(pool, coalesce.New(pool, coalesce.Options{
+		Hold:     s.opts.CoalesceHold,
+		MaxGroup: s.opts.CoalesceMaxGroup,
+	}))
+	return c.(*coalesce.Coalescer)
+}
+
+// coalesceStats collects a venue's per-method coalescer counters (nil
+// when coalescing is off or the venue has not routed yet).
+func (s *Server) coalesceStats(ve *Venue) map[string]coalesce.Stats {
+	if !s.opts.Coalesce {
+		return nil
+	}
+	var out map[string]coalesce.Stats
+	for _, m := range pooledMethods {
+		if c, ok := s.coal.Load(ve.Pool(m)); ok {
+			if out == nil {
+				out = make(map[string]coalesce.Stats, len(pooledMethods))
+			}
+			out[methodName(m)] = c.(*coalesce.Coalescer).Stats()
+		}
+	}
+	return out
+}
+
+// routeCoalesced answers one query through the venue's standing
+// coalescer: the call blocks for at most the hold window plus one
+// flush, and the result is exactly what Pool.Route would have
+// produced, with coalescing provenance on top.
+func routeCoalesced(ve *Venue, c *coalesce.Coalescer, q core.Query) RouteResponse {
+	return resultResponse(ve.Model(), c.Route(q))
 }
 
 // decodeBody reads and strictly decodes a JSON request body.

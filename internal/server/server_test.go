@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -564,18 +566,117 @@ func TestRequestTimeout(t *testing.T) {
 
 func TestRunWithTimeout(t *testing.T) {
 	block := make(chan struct{})
-	_, ok := runWithTimeout(t.Context(), 10*time.Millisecond, func() int {
+	_, outcome := runWithTimeout(t.Context(), 10*time.Millisecond, func() int {
 		<-block
 		return 1
 	})
-	if ok {
-		t.Fatal("blocking fn should time out")
+	if outcome != runTimeout {
+		t.Fatalf("blocking fn: outcome = %v, want runTimeout", outcome)
 	}
 	close(block)
 
-	v, ok := runWithTimeout(t.Context(), -1, func() int { return 7 })
-	if !ok || v != 7 {
-		t.Fatalf("disabled timeout: %v %v", v, ok)
+	v, outcome := runWithTimeout(t.Context(), -1, func() int { return 7 })
+	if outcome != runDone || v != 7 {
+		t.Fatalf("disabled timeout: %v %v", v, outcome)
+	}
+
+	v, outcome = runWithTimeout(t.Context(), time.Second, func() int { return 9 })
+	if outcome != runDone || v != 9 {
+		t.Fatalf("fast fn: %v %v", v, outcome)
+	}
+}
+
+// TestRunWithTimeoutClientGone: a cancelled request context must read
+// as the client hanging up, not as a server-side timeout — the two
+// were previously conflated into one 504.
+func TestRunWithTimeoutClientGone(t *testing.T) {
+	// Already-gone client: aborts before fn even starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, outcome := runWithTimeout(ctx, time.Second, func() int { ran = true; return 1 })
+	if outcome != runClientGone {
+		t.Fatalf("pre-cancelled ctx: outcome = %v, want runClientGone", outcome)
+	}
+	if ran {
+		t.Fatal("fn should not run for a client that is already gone")
+	}
+
+	// Mid-flight disconnect: cancellation during fn.
+	ctx, cancel = context.WithCancel(context.Background())
+	block := make(chan struct{})
+	defer close(block)
+	go func() { cancel() }()
+	_, outcome = runWithTimeout(ctx, time.Minute, func() int {
+		<-block
+		return 1
+	})
+	if outcome != runClientGone {
+		t.Fatalf("mid-flight cancel: outcome = %v, want runClientGone", outcome)
+	}
+
+	// Disconnects are classified even with the timeout disabled
+	// (itspqd -timeout -1s): before fn starts and while it runs.
+	ctx, cancel = context.WithCancel(context.Background())
+	cancel()
+	ran = false
+	_, outcome = runWithTimeout(ctx, -1, func() int { ran = true; return 1 })
+	if outcome != runClientGone || ran {
+		t.Fatalf("disabled timeout, pre-cancelled: outcome = %v, ran = %v", outcome, ran)
+	}
+	ctx, cancel = context.WithCancel(context.Background())
+	_, outcome = runWithTimeout(ctx, -1, func() int { cancel(); return 1 })
+	if outcome != runClientGone {
+		t.Fatalf("disabled timeout, cancel during fn: outcome = %v, want runClientGone", outcome)
+	}
+}
+
+// TestRouteClientGone drives the handler with a dead client: no 504
+// body may be written and the disconnect must land in the client_gone
+// counter, not the timeout one.
+func TestRouteClientGone(t *testing.T) {
+	reg := NewRegistry(service.Options{})
+	if _, err := reg.AddPresets("hospital"); err != nil {
+		t.Fatal(err)
+	}
+	var logged bytes.Buffer
+	srv := New(reg, Options{Logf: func(format string, args ...any) {
+		fmt.Fprintf(&logged, format+"\n", args...)
+	}})
+
+	body, _ := json.Marshal(RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"})
+	req := httptest.NewRequest(http.MethodPost, "/v1/venues/hospital/route", bytes.NewReader(body))
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // the client is gone before the handler starts
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req.WithContext(ctx))
+
+	if rec.Code == http.StatusGatewayTimeout {
+		t.Fatalf("client disconnect answered 504: %s", rec.Body.String())
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("wrote a body into a dead connection: %s", rec.Body.String())
+	}
+	if got := srv.clientGone.Load(); got != 1 {
+		t.Fatalf("clientGone = %d, want 1", got)
+	}
+	if got := srv.timeouts.Load(); got != 0 {
+		t.Fatalf("timeouts = %d, want 0 (disconnects must not inflate timeouts)", got)
+	}
+	if !strings.Contains(logged.String(), "client disconnected") {
+		t.Fatalf("disconnect not logged: %q", logged.String())
+	}
+
+	// A real deadline still answers 504 and lands in the other counter.
+	srvTO := New(reg, Options{RequestTimeout: time.Nanosecond})
+	rec = httptest.NewRecorder()
+	srvTO.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/venues/hospital/route", bytes.NewReader(body)))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline status = %d, want 504", rec.Code)
+	}
+	if srvTO.timeouts.Load() != 1 || srvTO.clientGone.Load() != 0 {
+		t.Fatalf("deadline counters = timeouts %d clientGone %d, want 1/0",
+			srvTO.timeouts.Load(), srvTO.clientGone.Load())
 	}
 }
 
@@ -806,5 +907,189 @@ func TestMetricsz(t *testing.T) {
 	_, raw2 := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
 	if string(raw2) != body {
 		t.Fatal("idle metricsz scrapes differ")
+	}
+}
+
+// newCoalesceTestServer boots the hospital preset behind a coalescing
+// server whose flushes are deterministic: MaxGroup 2 and an
+// effectively-infinite hold, so a flush happens exactly when the
+// second concurrent request arrives.
+func newCoalesceTestServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	reg := NewRegistry(service.Options{SharedBatch: true})
+	if _, err := reg.AddPresets("hospital"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(reg, Options{
+		Coalesce:         true,
+		CoalesceHold:     10 * time.Second,
+		CoalesceMaxGroup: 2,
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCoalesceHoldClampedUnderTimeout: a hold window at or beyond the
+// request deadline would make every singleton solo route 504 by
+// construction; New clamps it, so a lone request is answered within
+// the deadline instead.
+func TestCoalesceHoldClampedUnderTimeout(t *testing.T) {
+	reg := NewRegistry(service.Options{SharedBatch: true})
+	if _, err := reg.AddPresets("hospital"); err != nil {
+		t.Fatal(err)
+	}
+	var logged bytes.Buffer
+	srv := New(reg, Options{
+		Coalesce:       true,
+		CoalesceHold:   time.Minute, // would exceed the deadline below
+		RequestTimeout: 500 * time.Millisecond,
+		Logf:           func(format string, args ...any) { fmt.Fprintf(&logged, format+"\n", args...) },
+	})
+	if !strings.Contains(logged.String(), "clamped") {
+		t.Fatalf("clamp not logged: %q", logged.String())
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route",
+		RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("singleton under clamped hold: status %d: %s", resp.StatusCode, raw)
+	}
+	if srv.timeouts.Load() != 0 {
+		t.Fatalf("timeouts = %d, want 0", srv.timeouts.Load())
+	}
+}
+
+// TestRouteCoalesced: two concurrent solo route requests are answered
+// out of one coalesced flush — both marked coalesced on the wire, one
+// coalesced group in /statsz and /metricsz, and the pool seeing
+// exactly two queries (the deduped member is not double-counted).
+func TestRouteCoalesced(t *testing.T) {
+	ts := newCoalesceTestServer(t)
+	url := ts.URL + "/v1/venues/hospital/route"
+	req := RouteRequest{From: &erCentre, To: &wardCentre, At: "11:00"}
+
+	var rs [2]RouteResponse
+	var wg sync.WaitGroup
+	for i := range rs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postJSON(t, url, req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			if err := json.Unmarshal(raw, &rs[i]); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	shared := 0
+	for i, r := range rs {
+		if !r.Found || r.Path == nil {
+			t.Fatalf("request %d: not found: %+v", i, r)
+		}
+		if !r.Coalesced {
+			t.Fatalf("request %d: not marked coalesced", i)
+		}
+		if r.Shared {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Fatalf("want exactly one deduped member in the identical pair, got %d", shared)
+	}
+	if rs[0].Path.LengthM != rs[1].Path.LengthM || rs[0].Path.Format != rs[1].Path.Format {
+		t.Fatalf("coalesced answers differ: %+v vs %+v", rs[0].Path, rs[1].Path)
+	}
+
+	var sr StatsResponse
+	getJSON(t, ts.URL+"/statsz", &sr)
+	st := sr.Venues["hospital"].Methods["asyn"]
+	if st.Queries != 2 || st.Deduped != 1 {
+		t.Fatalf("pool stats = %+v, want 2 queries with 1 deduped", st)
+	}
+	cs, ok := sr.Venues["hospital"].Coalesce["asyn"]
+	if !ok {
+		t.Fatalf("statsz missing coalesce stats: %+v", sr.Venues["hospital"])
+	}
+	if cs.Queries != 2 || cs.Flushes != 1 || cs.Groups != 1 || cs.Answers != 2 {
+		t.Fatalf("coalesce stats = %+v, want one 2-query flush", cs)
+	}
+	if cs.HoldSumNanos < 0 || cs.MaxHoldNanos > int64(10*time.Second) {
+		t.Fatalf("hold accounting out of range: %+v", cs)
+	}
+	if sr.Server.Timeouts != 0 || sr.Server.ClientGone != 0 {
+		t.Fatalf("server stats = %+v, want zero aborts", sr.Server)
+	}
+
+	_, raw := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE indoorpath_coalesce_groups_total counter",
+		`indoorpath_coalesce_groups_total{venue="hospital",method="asyn"} 1`,
+		`indoorpath_coalesce_answers_total{venue="hospital",method="asyn"} 2`,
+		`indoorpath_coalesce_flushes_total{venue="hospital",method="asyn"} 1`,
+		"# TYPE indoorpath_coalesce_hold_seconds histogram",
+		`indoorpath_coalesce_hold_seconds_bucket{venue="hospital",method="asyn",le="+Inf"} 2`,
+		`indoorpath_coalesce_hold_seconds_count{venue="hospital",method="asyn"} 2`,
+		"# TYPE indoorpath_server_timeouts_total counter",
+		"indoorpath_server_timeouts_total 0",
+		"indoorpath_server_client_gone_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metricsz missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestRouteCoalescedDistinctTargets: a coalesced flush of two
+// distinct same-source queries is answered by ONE shared engine run
+// (shared_run provenance on the wire, EngineSearches < queries).
+func TestRouteCoalescedDistinctTargets(t *testing.T) {
+	ts := newCoalesceTestServer(t)
+	url := ts.URL + "/v1/venues/hospital/route"
+	// Same source and departure, different in-venue targets: the
+	// batchplan shared-source group answers both with one RouteMany.
+	reqs := [2]RouteRequest{
+		{From: &erCentre, To: &wardCentre, At: "11:00"},
+		{From: &erCentre, To: &PointDoc{X: 20, Y: 14, Floor: 0}, At: "11:00"},
+	}
+	var rs [2]RouteResponse
+	var wg sync.WaitGroup
+	for i := range rs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postJSON(t, url, reqs[i])
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			if err := json.Unmarshal(raw, &rs[i]); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, r := range rs {
+		if !r.Coalesced || !r.SharedRun {
+			t.Fatalf("request %d: want coalesced+shared_run provenance, got %+v", i, r)
+		}
+	}
+	var sr StatsResponse
+	getJSON(t, ts.URL+"/statsz", &sr)
+	st := sr.Venues["hospital"].Methods["asyn"]
+	if st.Queries != 2 || st.EngineSearches != 1 || st.SharedRuns != 1 || st.SharedAnswers != 2 {
+		t.Fatalf("pool stats = %+v, want one shared run answering both", st)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"indoorpath/internal/coalesce"
 	"indoorpath/internal/core"
 	"indoorpath/internal/geom"
 	"indoorpath/internal/model"
@@ -119,7 +120,12 @@ type RouteResponse struct {
 	// SharedRun marks batch entries answered by a multi-query shared
 	// execution — one engine run serving a whole same-endpoint group
 	// (the shared-execution batch planner; itspqd -shared-batch).
-	SharedRun bool      `json:"shared_run,omitempty"`
+	SharedRun bool `json:"shared_run,omitempty"`
+	// Coalesced marks solo route answers that came out of a
+	// multi-query flush of the standing cross-batch coalescer (itspqd
+	// -coalesce): the request was held briefly and answered together
+	// with concurrently arriving ones.
+	Coalesced bool      `json:"coalesced,omitempty"`
 	Error     *ErrorDoc `json:"error,omitempty"`
 }
 
@@ -256,15 +262,27 @@ type HealthResponse struct {
 }
 
 // VenueStatsDoc holds one venue's serving counters, one service.Stats
-// per method pool.
+// per method pool; Coalesce adds the standing coalescer's counters per
+// method when coalescing is enabled (and the method has seen a route).
 type VenueStatsDoc struct {
-	Epoch   int64                    `json:"epoch"`
-	Methods map[string]service.Stats `json:"methods"`
+	Epoch    int64                     `json:"epoch"`
+	Methods  map[string]service.Stats  `json:"methods"`
+	Coalesce map[string]coalesce.Stats `json:"coalesce,omitempty"`
+}
+
+// ServerStatsDoc holds request-lifecycle counters of the server
+// itself. Timeouts and ClientGone are deliberately separate: a client
+// that hangs up is not a slow search, and counting it as one would
+// inflate the 504 rate.
+type ServerStatsDoc struct {
+	Timeouts   int64 `json:"timeouts"`
+	ClientGone int64 `json:"client_gone"`
 }
 
 // StatsResponse is the body of GET /statsz.
 type StatsResponse struct {
 	Venues map[string]VenueStatsDoc `json:"venues"`
+	Server ServerStatsDoc           `json:"server"`
 }
 
 // ErrorDoc is the structured error envelope every non-2xx response

@@ -116,6 +116,12 @@ type Result struct {
 	// group) rather than a dedicated per-query search. Requires
 	// Options.SharedBatch.
 	SharedRun bool
+	// Coalesced reports that the outcome was answered out of a
+	// multi-query flush of the standing cross-batch coalescer
+	// (internal/coalesce): the solo query was held briefly and batched
+	// with concurrently arriving ones. Set by the coalescer, never by
+	// the pool itself.
+	Coalesced bool
 }
 
 // Stats are cumulative pool counters, safe to read concurrently. The
