@@ -11,6 +11,7 @@ import (
 	"indoorpath/internal/itgraph"
 	"indoorpath/internal/model"
 	"indoorpath/internal/render"
+	"indoorpath/internal/replay"
 	"indoorpath/internal/server"
 	"indoorpath/internal/service"
 	"indoorpath/internal/synth"
@@ -302,6 +303,39 @@ func NewVenueRegistry(opts PoolOptions) *VenueRegistry { return server.NewRegist
 // result is an http.Handler; cmd/itspqd wires it into an http.Server
 // with graceful shutdown.
 func NewServer(reg *VenueRegistry, opts ServerOptions) *Server { return server.New(reg, opts) }
+
+// PresetVenue builds one built-in venue model by preset name (mall,
+// hospital, office, figure1) — the same model `itspqd -preset` serves.
+func PresetVenue(name string) (*Venue, error) { return server.PresetVenue(name) }
+
+// Workload replay types (see internal/replay and cmd/itspqreplay).
+type (
+	// ReplayScenario is a declarative replay workload: a named phase
+	// list over one preset venue plus self-check verdicts.
+	ReplayScenario = replay.Scenario
+	// ReplayOptions configure a replay run (target daemon URL, HTTP
+	// client, quick marker, progress logging).
+	ReplayOptions = replay.Options
+	// ReplayReport is the structured outcome of one replay run — the
+	// BENCH_replay.json artifact, verdicts included.
+	ReplayReport = replay.Report
+)
+
+// BuiltinReplayScenario returns a built-in replay scenario by name
+// (see ReplayScenarios); quick shrinks per-phase query counts 10x for
+// smoke runs.
+func BuiltinReplayScenario(name string, quick bool) (*ReplayScenario, error) {
+	return replay.Builtin(name, quick)
+}
+
+// ReplayScenarios lists the built-in replay scenario names.
+func ReplayScenarios() []string { return replay.Scenarios() }
+
+// RunReplay replays a scenario against a live daemon and returns the
+// report with its verdicts evaluated.
+func RunReplay(sc *ReplayScenario, opts ReplayOptions) (*ReplayReport, error) {
+	return replay.Run(sc, opts)
+}
 
 // Service-query types (indoor LBS layer).
 type (

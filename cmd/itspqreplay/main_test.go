@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	indoorpath "indoorpath"
+)
+
+func TestListScenarios(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errb.String())
+	}
+	for _, name := range indoorpath.ReplayScenarios() {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit = %d", code)
+	}
+	if code := run([]string{"-scenario", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown scenario: exit = %d", code)
+	}
+}
+
+// TestSelfHostQuickRun is the CLI end-to-end path the CI replay-smoke
+// job depends on: self-host the preset, replay the quick flash-crowd
+// day, write the report, exit 0 on all-verdicts-pass.
+func TestSelfHostQuickRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_replay.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "flash-crowd", "-quick", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep indoorpath.ReplayReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, raw)
+	}
+	if !rep.Pass || rep.Scenario != "flash-crowd" || !rep.Quick {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Phases) != 1 || rep.Phases[0].LatencyMs.P99 <= 0 {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	if rep.Fingerprint == "" {
+		t.Fatal("no stream fingerprint in report")
+	}
+	if !strings.Contains(stdout.String(), "ALL VERDICTS PASS") {
+		t.Fatalf("summary missing verdict line:\n%s", stdout.String())
+	}
+}

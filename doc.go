@@ -259,6 +259,56 @@
 // multi-target day sweep is the shared planner's showcase (itspq
 // -shared locally, itspqd -shared-batch on the daemon).
 //
+// # Workload replay
+//
+// internal/replay (exported as ReplayScenario / RunReplay; CLI
+// cmd/itspqreplay) replays a deterministic "day in the venue" against
+// a live daemon and writes BENCH_replay.json — the repo's end-to-end
+// workload evidence, where every serving optimisation is judged under
+// traffic instead of a micro-benchmark:
+//
+//	itspqreplay -scenario rush-hour -quick                    # self-hosted
+//	itspqreplay -scenario flip-storm -addr http://host:8080   # your daemon
+//
+// A scenario is a declarative phase list: query count, concurrency and
+// arrival shape (closed loop, or synchronised waves — the shape that
+// exercises the coalescer), an OD skew over named partition pairs, a
+// departure-time window, a method mix, an optional hot template set (a
+// finite set of repeated query instances — the shape of a flash
+// crowd), and optional mid-phase schedule flips (PUT /schedules racing
+// the traffic). Built-ins: steady, rush-hour (dawn → rush → flash
+// crowd → flip storm → taper), flash-crowd, flip-storm. The query
+// stream is a pure function of (scenario, seed) — wall-clock numbers
+// vary run to run, but two reports with equal stream_fingerprint
+// values replayed the identical day, so replay diffs across PRs are
+// apples-to-apples (a golden test pins each built-in's fingerprint).
+//
+// The report records, per phase: latency percentiles (p50/p95/p99/max,
+// nearest-rank over every request), error and timeout tallies, answer
+// provenance counted from response flags (exact/window hits,
+// coalesced, shared-run, deduped), the /statsz counter movement
+// (queries, engine searches, cache hits, epoch, coalescer flushes) and
+// the headline searches_per_query = engine searches / queries. A
+// "process" block scraped from /statsz (start time, uptime,
+// goroutines, GOMAXPROCS) proves both scrapes came from one
+// uninterrupted daemon.
+//
+// Verdicts are embedded self-checks — metric, operator, bound —
+// evaluated per phase or over the whole run; itspqreplay exits
+// non-zero when any fails. The built-ins assert zero errors/timeouts,
+// flash-crowd < 0.25 engine searches per query (the sharing stack must
+// absorb the crowd), flip-storm zero mixed_answers, and a generous
+// static p99 bound as the CI regression gate (job replay-smoke).
+//
+// mixed_answers is the external atomicity audit: during flip phases
+// every answer is compared against sequential-engine oracles computed
+// per schedule state, and must match one of the states the daemon
+// could legally have been in when it answered (bracketed by the flips
+// acknowledged before the query was sent and those initiated before
+// its response arrived). An answer matching no legal state would mean
+// a response mixed pre- and post-flip schedules — which the serving
+// layer's atomic-swap guarantee promises can never happen.
+//
 // See the examples directory for runnable programs and DESIGN.md for
 // the paper-to-code mapping.
 package indoorpath

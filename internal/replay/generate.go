@@ -1,0 +1,196 @@
+package replay
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"indoorpath/internal/geom"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// Query is one generated replay query: everything the driver needs to
+// form the wire request, plus the template index it was sampled from
+// (-1 for fresh random instances).
+type Query struct {
+	Method   string             `json:"method"`
+	From     geom.Point         `json:"from"`
+	To       geom.Point         `json:"to"`
+	At       temporal.TimeOfDay `json:"at"`
+	Speed    float64            `json:"speed,omitempty"`
+	Template int                `json:"template"`
+}
+
+// PhaseStream is one phase's generated query stream.
+type PhaseStream struct {
+	Phase *Phase `json:"-"`
+	// Templates holds the phase's hot set (empty when Templates == 0);
+	// Queries sample from it by index.
+	Templates []Query `json:"templates,omitempty"`
+	Queries   []Query `json:"queries"`
+}
+
+// Stream is a scenario's fully generated query stream: a pure function
+// of (scenario, seed), independent of the daemon, the clock and the
+// execution interleaving — the apples-to-apples half of a replay run.
+type Stream struct {
+	Scenario *Scenario     `json:"-"`
+	Phases   []PhaseStream `json:"phases"`
+}
+
+// Generate produces the scenario's deterministic query stream over the
+// venue model (the locally rebuilt preset). One seeded generator feeds
+// all phases in order, so any change to an earlier phase changes the
+// fingerprint — which is the point: the fingerprint identifies the
+// whole replayed day.
+func (sc *Scenario) Generate(v *model.Venue) (*Stream, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	st := &Stream{Scenario: sc, Phases: make([]PhaseStream, len(sc.Phases))}
+	for i := range sc.Phases {
+		ph := &sc.Phases[i]
+		ps, err := generatePhase(rng, v, ph)
+		if err != nil {
+			return nil, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+		}
+		st.Phases[i] = ps
+	}
+	return st, nil
+}
+
+// generatePhase samples one phase's stream.
+func generatePhase(rng *rand.Rand, v *model.Venue, ph *Phase) (PhaseStream, error) {
+	type odPair struct {
+		src, tgt model.PartitionID
+		cum      float64
+	}
+	pairs := make([]odPair, len(ph.OD))
+	total := 0.0
+	for i, od := range ph.OD {
+		src, ok := v.PartitionByName(od.Src)
+		if !ok {
+			return PhaseStream{}, fmt.Errorf("phase %q: unknown partition %q", ph.Name, od.Src)
+		}
+		tgt, ok := v.PartitionByName(od.Tgt)
+		if !ok {
+			return PhaseStream{}, fmt.Errorf("phase %q: unknown partition %q", ph.Name, od.Tgt)
+		}
+		total += od.Weight
+		pairs[i] = odPair{src: src, tgt: tgt, cum: total}
+	}
+	mix := ph.Mix.normalised()
+	mixTotal := mix.Syn + mix.Asyn + mix.Static
+	sampleMethod := func() string {
+		r := rng.Float64() * mixTotal
+		switch {
+		case r < mix.Syn:
+			return "syn"
+		case r < mix.Syn+mix.Asyn:
+			return "asyn"
+		default:
+			return "static"
+		}
+	}
+	sampleInstance := func(template int) Query {
+		r := rng.Float64() * total
+		pi := 0
+		for pi < len(pairs)-1 && r >= pairs[pi].cum {
+			pi++
+		}
+		from := interiorPoint(rng, v.Partition(pairs[pi].src).Rect)
+		to := interiorPoint(rng, v.Partition(pairs[pi].tgt).Rect)
+		// Whole seconds: the wire carries "H:MM:SS", and identical
+		// departures are what the coalescer and caches group by.
+		span := int(ph.WindowClose - ph.WindowOpen)
+		at := ph.WindowOpen + temporal.TimeOfDay(rng.Intn(span))
+		return Query{
+			Method:   sampleMethod(),
+			From:     from,
+			To:       to,
+			At:       at,
+			Speed:    ph.Speed,
+			Template: template,
+		}
+	}
+
+	ps := PhaseStream{Phase: ph, Queries: make([]Query, 0, ph.Count)}
+	if ph.Templates > 0 {
+		ps.Templates = make([]Query, ph.Templates)
+		for t := range ps.Templates {
+			ps.Templates[t] = sampleInstance(t)
+		}
+		for range ph.Count {
+			q := ps.Templates[rng.Intn(ph.Templates)]
+			ps.Queries = append(ps.Queries, q)
+		}
+	} else {
+		for range ph.Count {
+			ps.Queries = append(ps.Queries, sampleInstance(-1))
+		}
+	}
+	return ps, nil
+}
+
+// interiorPoint samples a point strictly inside the rectangle (10%
+// margin, like the paper-harness query generator in internal/synth),
+// so boundary point-location ambiguity never enters the stream.
+func interiorPoint(rng *rand.Rand, r geom.Rect) geom.Point {
+	margin := math.Min(r.Width(), r.Height()) * 0.1
+	return geom.Pt(
+		r.MinX+margin+rng.Float64()*(r.Width()-2*margin),
+		r.MinY+margin+rng.Float64()*(r.Height()-2*margin),
+		r.Floor,
+	)
+}
+
+// Fingerprint returns a stable hex digest of the full query stream —
+// methods, endpoints, departures, template structure — used by the
+// determinism golden test and recorded in the report so two
+// BENCH_replay.json artifacts can prove they replayed the same day.
+func (st *Stream) Fingerprint() string {
+	h := sha256.New()
+	wq := func(q Query) {
+		// %.17g round-trips float64 exactly; fixed field order.
+		fmt.Fprintf(h, "%s|%.17g,%.17g,%d|%.17g,%.17g,%d|%.17g|%.17g|%d\n",
+			q.Method, q.From.X, q.From.Y, q.From.Floor,
+			q.To.X, q.To.Y, q.To.Floor, float64(q.At), q.Speed, q.Template)
+	}
+	for i := range st.Phases {
+		fmt.Fprintf(h, "phase %s\n", st.Phases[i].Phase.Name)
+		for _, q := range st.Phases[i].Templates {
+			wq(q)
+		}
+		for _, q := range st.Phases[i].Queries {
+			wq(q)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fmtTime renders a whole-second TimeOfDay as the wire's "H:MM:SS".
+func fmtTime(t temporal.TimeOfDay) string {
+	total := int(t)
+	return fmt.Sprintf("%d:%02d:%02d", total/3600, (total/60)%60, total%60)
+}
+
+// TotalQueries sums the stream's per-phase counts.
+func (st *Stream) TotalQueries() int {
+	n := 0
+	for i := range st.Phases {
+		n += len(st.Phases[i].Queries)
+	}
+	return n
+}
+
+// String summarises the stream.
+func (st *Stream) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stream %s (%d phases, %d queries)", st.Scenario.Name, len(st.Phases), st.TotalQueries())
+	return sb.String()
+}

@@ -1,0 +1,231 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/itgraph"
+	"indoorpath/internal/model"
+	"indoorpath/internal/temporal"
+)
+
+// answerTolerance bounds the accepted float difference when comparing
+// a served answer against an oracle answer. Engine arithmetic is
+// deterministic and JSON round-trips float64 exactly, so matches are
+// normally exact; the epsilon only guards the comparison itself.
+const answerTolerance = 1e-6
+
+// oracleAnswer is the sequential-engine ground truth for one template
+// query under one schedule state.
+type oracleAnswer struct {
+	found  bool
+	failed string // non-empty when the engine itself errored
+	doors  []string
+	length float64
+	arrive float64 // seconds since midnight
+}
+
+// phaseOracle holds the per-state, per-template ground truth of a flip
+// phase. State 0 is the schedules the phase starts under; state k is
+// the venue after flips[0..k-1] have been applied cumulatively (a later
+// flip overrides an earlier one per door, exactly as sequential PUT
+// /schedules requests compose).
+type phaseOracle struct {
+	answers [][]oracleAnswer // answers[state][template]
+}
+
+// buildOracle computes the ground truth for every (state, template)
+// pair with fresh sequential engines over locally rebuilt graphs.
+func buildOracle(base *model.Venue, ph *Phase, templates []Query) (*phaseOracle, error) {
+	merged := make(map[model.DoorID]temporal.Schedule)
+	states := make([]*itgraph.Graph, 0, len(ph.Flips)+1)
+	g0, err := itgraph.New(base)
+	if err != nil {
+		return nil, fmt.Errorf("replay: oracle graph: %w", err)
+	}
+	states = append(states, g0)
+	for fi, f := range ph.Flips {
+		for door, atis := range f.Updates {
+			id, ok := base.DoorByName(door)
+			if !ok {
+				return nil, fmt.Errorf("replay: phase %q flip %d: unknown door %q", ph.Name, fi, door)
+			}
+			sched, err := parseATIs(atis)
+			if err != nil {
+				return nil, fmt.Errorf("replay: phase %q flip %d door %q: %w", ph.Name, fi, door, err)
+			}
+			merged[id] = sched
+		}
+		v2, err := base.WithSchedules(cloneSchedules(merged))
+		if err != nil {
+			return nil, fmt.Errorf("replay: phase %q flip %d: %w", ph.Name, fi, err)
+		}
+		g, err := itgraph.New(v2)
+		if err != nil {
+			return nil, fmt.Errorf("replay: phase %q flip %d: %w", ph.Name, fi, err)
+		}
+		states = append(states, g)
+	}
+
+	po := &phaseOracle{answers: make([][]oracleAnswer, len(states))}
+	for si, g := range states {
+		po.answers[si] = make([]oracleAnswer, len(templates))
+		engines := map[string]*core.Engine{}
+		for ti, t := range templates {
+			e, ok := engines[t.Method]
+			if !ok {
+				m, err := methodOf(t.Method)
+				if err != nil {
+					return nil, err
+				}
+				e = core.NewEngine(g, core.Options{Method: m})
+				engines[t.Method] = e
+			}
+			q := core.Query{Source: t.From, Target: t.To, At: t.At, Speed: t.Speed}
+			path, _, err := e.Route(q)
+			switch {
+			case errors.Is(err, core.ErrNoRoute):
+				po.answers[si][ti] = oracleAnswer{found: false}
+			case err != nil:
+				po.answers[si][ti] = oracleAnswer{failed: err.Error()}
+			default:
+				ans := oracleAnswer{
+					found:  true,
+					doors:  make([]string, len(path.Doors)),
+					length: path.Length,
+					arrive: float64(path.ArrivalAtTgt),
+				}
+				v := g.Venue()
+				for i, d := range path.Doors {
+					ans.doors[i] = v.Door(d).Name
+				}
+				po.answers[si][ti] = ans
+			}
+		}
+	}
+	return po, nil
+}
+
+// cloneSchedules copies the merged update map (WithSchedules takes
+// ownership semantics per call; never hand it the live accumulator).
+func cloneSchedules(m map[model.DoorID]temporal.Schedule) map[model.DoorID]temporal.Schedule {
+	out := make(map[model.DoorID]temporal.Schedule, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// parseATIs converts an ATI string list to a schedule with the wire's
+// conventions: nil = always open, empty = always closed.
+func parseATIs(atis []string) (temporal.Schedule, error) {
+	if atis == nil {
+		return nil, nil
+	}
+	ivs := make([]temporal.Interval, 0, len(atis))
+	for _, s := range atis {
+		iv, err := temporal.ParseInterval(s)
+		if err != nil {
+			return nil, err
+		}
+		ivs = append(ivs, iv)
+	}
+	return temporal.NewSchedule(ivs...)
+}
+
+// methodOf resolves a stream method name to the engine method.
+func methodOf(s string) (core.Method, error) {
+	switch s {
+	case "syn":
+		return core.MethodSyn, nil
+	case "asyn":
+		return core.MethodAsyn, nil
+	case "static":
+		return core.MethodStatic, nil
+	}
+	return 0, fmt.Errorf("replay: unknown method %q", s)
+}
+
+// servedAnswer is what the daemon actually returned for one query, in
+// oracle-comparable form.
+type servedAnswer struct {
+	found  bool
+	doors  []string
+	length float64
+	arrive float64
+}
+
+// matchResult classifies one served answer against the legal states.
+type matchResult int
+
+const (
+	// matchStrict: byte-identical to some legal state's oracle answer
+	// (doors, length and arrival all agree).
+	matchStrict matchResult = iota
+	// matchRelaxed: length and arrival agree with some legal state but
+	// the door sequence differs — the shape an exact float-length tie
+	// between equally shortest paths takes (legal under the PR 4
+	// uniqueness condition), NOT a mixed-schedule answer.
+	matchRelaxed
+	// matchMixed: no legal state produces this answer — the response
+	// mixes schedule states, which the serving invariants forbid.
+	matchMixed
+)
+
+// match classifies a served answer against oracle states lo..hi
+// (inclusive): the states the daemon could legally have answered from,
+// bracketed by the flips acknowledged before the query was sent and
+// the flips initiated before its response arrived.
+func (po *phaseOracle) match(template, lo, hi int, got servedAnswer) matchResult {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(po.answers)-1 {
+		hi = len(po.answers) - 1
+	}
+	for s := lo; s <= hi; s++ {
+		if answerEqual(po.answers[s][template], got, true) {
+			return matchStrict
+		}
+	}
+	for s := lo; s <= hi; s++ {
+		if answerEqual(po.answers[s][template], got, false) {
+			return matchRelaxed
+		}
+	}
+	return matchMixed
+}
+
+// answerEqual compares one oracle answer with a served answer; when
+// strict, the door sequences must agree too.
+func answerEqual(want oracleAnswer, got servedAnswer, strict bool) bool {
+	if want.failed != "" {
+		return false
+	}
+	if want.found != got.found {
+		return false
+	}
+	if !want.found {
+		return true
+	}
+	if math.Abs(want.length-got.length) > answerTolerance {
+		return false
+	}
+	if math.Abs(want.arrive-got.arrive) > answerTolerance {
+		return false
+	}
+	if !strict {
+		return true
+	}
+	if len(want.doors) != len(got.doors) {
+		return false
+	}
+	for i := range want.doors {
+		if want.doors[i] != got.doors[i] {
+			return false
+		}
+	}
+	return true
+}

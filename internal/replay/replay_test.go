@@ -1,0 +1,203 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"indoorpath/internal/server"
+	"indoorpath/internal/temporal"
+)
+
+// goldenFingerprints pins the generated query stream of every built-in
+// scenario (quick variant, default seed). The stream is a pure function
+// of (scenario, seed), so these only change when a scenario definition
+// or the generator itself changes — which is exactly what this test is
+// for: replay diffs across PRs are apples-to-apples only while the
+// fingerprint holds. If you change a scenario DELIBERATELY, update its
+// digest here (run `go test ./internal/replay -run TestStreamGolden -v`
+// and copy the printed got value) and say so in the PR.
+var goldenFingerprints = map[string]string{
+	ScenarioSteady:     "bd6225cb7945edf1cf8f3a6f66fd513e6fd273325f1f21497a3dc08e82f47e4a",
+	ScenarioRushHour:   "6820214ce013982bd11aab0cd09ad152937d86e78aecd5e6bad1b9252acef0ec",
+	ScenarioFlashCrowd: "c62cc045dfc0f9ced53a3ad8726c8b96222010068f27072dcba1951aa1ba36e1",
+	ScenarioFlipStorm:  "2e7093ceeb8ad8daabc70df9305f7ccc5b0dc84a49898a82e9044cd780fd9e92",
+}
+
+func generateBuiltin(t *testing.T, name string, quick bool) *Stream {
+	t.Helper()
+	sc, err := Builtin(name, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := server.PresetVenue(sc.Venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sc.Generate(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStreamGolden(t *testing.T) {
+	for name, want := range goldenFingerprints {
+		st := generateBuiltin(t, name, true)
+		if got := st.Fingerprint(); got != want {
+			t.Errorf("%s: fingerprint changed\n got %s\nwant %s\n(deliberate scenario/generator change? update goldenFingerprints)", name, got, want)
+		}
+	}
+}
+
+// TestStreamDeterminism regenerates each stream from a fresh scenario
+// copy and requires the full query streams — not just digests — to be
+// identical, for both size variants.
+func TestStreamDeterminism(t *testing.T) {
+	for _, name := range Scenarios() {
+		for _, quick := range []bool{true, false} {
+			a := generateBuiltin(t, name, quick)
+			b := generateBuiltin(t, name, quick)
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Fatalf("%s quick=%v: fingerprints differ across generations", name, quick)
+			}
+			for i := range a.Phases {
+				if !reflect.DeepEqual(a.Phases[i].Queries, b.Phases[i].Queries) {
+					t.Fatalf("%s quick=%v: phase %s queries differ", name, quick, a.Phases[i].Phase.Name)
+				}
+				if !reflect.DeepEqual(a.Phases[i].Templates, b.Phases[i].Templates) {
+					t.Fatalf("%s quick=%v: phase %s templates differ", name, quick, a.Phases[i].Phase.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	sc, err := Builtin(ScenarioSteady, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := server.PresetVenue(sc.Venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sc.Generate(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 2
+	b, err := sc.Generate(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestBuiltinShapes checks the size contract (quick is exactly 10x
+// smaller) and that every built-in validates.
+func TestBuiltinShapes(t *testing.T) {
+	for _, name := range Scenarios() {
+		quick := generateBuiltin(t, name, true)
+		full := generateBuiltin(t, name, false)
+		if got, want := full.TotalQueries(), 10*quick.TotalQueries(); got != want {
+			t.Errorf("%s: full stream has %d queries, want 10x quick = %d", name, got, want)
+		}
+		for i := range quick.Phases {
+			ps := &quick.Phases[i]
+			if ps.Phase.Templates > 0 && len(ps.Templates) != ps.Phase.Templates {
+				t.Errorf("%s phase %s: %d templates generated, want %d", name, ps.Phase.Name, len(ps.Templates), ps.Phase.Templates)
+			}
+			for qi, q := range ps.Queries {
+				if ps.Phase.Templates > 0 {
+					if q.Template < 0 || q.Template >= ps.Phase.Templates {
+						t.Fatalf("%s phase %s query %d: template %d out of range", name, ps.Phase.Name, qi, q.Template)
+					}
+					if !reflect.DeepEqual(q, ps.Templates[q.Template]) {
+						t.Fatalf("%s phase %s query %d: not a copy of template %d", name, ps.Phase.Name, qi, q.Template)
+					}
+				} else if q.Template != -1 {
+					t.Fatalf("%s phase %s query %d: fresh instance has template %d", name, ps.Phase.Name, qi, q.Template)
+				}
+				if q.At != temporal.TimeOfDay(int(q.At)) {
+					t.Fatalf("%s phase %s query %d: departure %v not a whole second", name, ps.Phase.Name, qi, q.At)
+				}
+				if q.At < ps.Phase.WindowOpen || q.At >= ps.Phase.WindowClose {
+					t.Fatalf("%s phase %s query %d: departure %v outside window", name, ps.Phase.Name, qi, q.At)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Scenario {
+		sc, err := Builtin(ScenarioSteady, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	cases := []struct {
+		name  string
+		mutil func(*Scenario)
+	}{
+		{"no phases", func(sc *Scenario) { sc.Phases = nil }},
+		{"zero count", func(sc *Scenario) { sc.Phases[0].Count = 0 }},
+		{"no OD", func(sc *Scenario) { sc.Phases[0].OD = nil }},
+		{"bad window", func(sc *Scenario) { sc.Phases[0].WindowClose = sc.Phases[0].WindowOpen }},
+		{"flip without templates", func(sc *Scenario) {
+			sc.Phases[0].Templates = 0
+			sc.Phases[0].Flips = []Flip{{After: 0.5, Updates: map[string][]string{"d": nil}}}
+		}},
+		{"flip fraction out of range", func(sc *Scenario) {
+			sc.Phases[0].Flips = []Flip{{After: 1.5, Updates: map[string][]string{"d": nil}}}
+		}},
+		{"unknown check metric", func(sc *Scenario) {
+			sc.Checks = []Check{{Metric: "nope", Op: "<", Value: 1}}
+		}},
+		{"unknown check phase", func(sc *Scenario) {
+			sc.Checks = []Check{{Phase: "nope", Metric: MetricErrors, Op: "==", Value: 0}}
+		}},
+		{"unknown check op", func(sc *Scenario) {
+			sc.Checks = []Check{{Metric: MetricErrors, Op: "!=", Value: 0}}
+		}},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mutil(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid scenario", tc.name)
+		}
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if _, err := Builtin("nope", true); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Builtin("nope", false); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {10, 1}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %v", got)
+	}
+	doc := latencyDoc([]float64{5, 1, 3, 2, 4})
+	if doc.P50 != 3 || doc.Max != 5 {
+		t.Errorf("latencyDoc = %+v", doc)
+	}
+}

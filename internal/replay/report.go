@@ -1,0 +1,308 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"indoorpath/internal/server"
+)
+
+// LatencyDoc holds the per-phase latency percentiles in milliseconds
+// (nearest-rank over every answered request, errors included — a 400
+// burns client time too).
+type LatencyDoc struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// ProvenanceDoc counts how the phase's answers were produced, from the
+// per-response wire flags (hit / coalesced / shared_run / shared).
+type ProvenanceDoc struct {
+	// Miss / Exact / Window are the "hit" provenance of each answer.
+	Miss   int `json:"miss"`
+	Exact  int `json:"exact"`
+	Window int `json:"window"`
+	// Coalesced counts answers served out of a multi-query coalescer
+	// flush; SharedRun counts answers produced by a multi-query shared
+	// engine execution; Deduped counts answers shared from an
+	// identical query in the same flush. The three overlap with the
+	// hit counts (a coalesced answer is also a miss, exact or window).
+	Coalesced int `json:"coalesced"`
+	SharedRun int `json:"shared_run"`
+	Deduped   int `json:"deduped"`
+}
+
+// StatsDeltaDoc is the /statsz movement across one phase, summed over
+// the venue's method pools: the server-side view that latency numbers
+// are judged against. SearchesPerQuery is EngineSearches / Queries.
+type StatsDeltaDoc struct {
+	Queries        int64 `json:"queries"`
+	EngineSearches int64 `json:"engine_searches"`
+	ExactHits      int64 `json:"cache_hits"`
+	WindowHits     int64 `json:"window_hits"`
+	Deduped        int64 `json:"deduped"`
+	SharedRuns     int64 `json:"shared_runs"`
+	SharedAnswers  int64 `json:"shared_answers"`
+	Epoch          int64 `json:"epoch"`
+	// CoalesceFlushes / CoalescedAnswers move only when the daemon
+	// runs with -coalesce.
+	CoalesceFlushes  int64 `json:"coalesce_flushes"`
+	CoalescedAnswers int64 `json:"coalesced_answers"`
+	// Timeouts / ClientGone are the server-wide request-lifecycle
+	// counters (not per venue, but a replay run owns the daemon).
+	Timeouts   int64 `json:"timeouts"`
+	ClientGone int64 `json:"client_gone"`
+}
+
+// PhaseReport is one phase's measured outcome.
+type PhaseReport struct {
+	Name    string `json:"name"`
+	Queries int    `json:"queries"`
+	// Found / NoRoute partition the 200 answers.
+	Found   int `json:"found"`
+	NoRoute int `json:"no_route"`
+	// Errors counts non-2xx answers other than 504; Timeouts counts
+	// 504s. ErrorSamples carries the first few error bodies verbatim.
+	Errors       int      `json:"errors"`
+	Timeouts     int      `json:"timeouts"`
+	ErrorSamples []string `json:"error_samples,omitempty"`
+	// Flips is the number of schedule updates this phase fired;
+	// MixedAnswers counts answers matching no legal schedule state
+	// (must be zero — the flip-storm verdict); TieRelaxed counts
+	// answers that matched a state on length+arrival but not doors
+	// (an exact-tie artefact, not a violation).
+	Flips        int `json:"flips,omitempty"`
+	MixedAnswers int `json:"mixed_answers"`
+	TieRelaxed   int `json:"tie_relaxed,omitempty"`
+	// MixedSamples describes the first few mixed answers.
+	MixedSamples []string `json:"mixed_samples,omitempty"`
+
+	LatencyMs  LatencyDoc    `json:"latency"`
+	Provenance ProvenanceDoc `json:"provenance"`
+	StatsDelta StatsDeltaDoc `json:"stats_delta"`
+	// SearchesPerQuery is the phase's engine-search rate from the
+	// /statsz delta: EngineSearches / Queries (0 when no queries were
+	// counted server-side).
+	SearchesPerQuery float64 `json:"searches_per_query"`
+	// DurationSec is the phase's wall-clock span.
+	DurationSec float64 `json:"duration_sec"`
+}
+
+// Verdict is one evaluated self-check.
+type Verdict struct {
+	Phase  string  `json:"phase,omitempty"`
+	Metric string  `json:"metric"`
+	Op     string  `json:"op"`
+	Value  float64 `json:"value"`
+	Actual float64 `json:"actual"`
+	Pass   bool    `json:"pass"`
+}
+
+// String renders the verdict, e.g.
+// `PASS flash-crowd searches_per_query < 0.25 (actual 0.04)`.
+func (v Verdict) String() string {
+	status := "FAIL"
+	if v.Pass {
+		status = "PASS"
+	}
+	scope := v.Phase
+	if scope == "" {
+		scope = "overall"
+	}
+	return fmt.Sprintf("%s %s %s %s %g (actual %.4g)", status, scope, v.Metric, v.Op, v.Value, v.Actual)
+}
+
+// Report is the structured outcome of one replay run — the
+// BENCH_replay.json artifact.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Venue    string `json:"venue"`
+	Seed     int64  `json:"seed"`
+	Quick    bool   `json:"quick,omitempty"`
+	// Fingerprint identifies the generated query stream: two reports
+	// with equal fingerprints replayed the same day, so their numbers
+	// are directly comparable.
+	Fingerprint string `json:"stream_fingerprint"`
+	// Target is the daemon the day was replayed against.
+	Target      string    `json:"target"`
+	Started     time.Time `json:"started"`
+	DurationSec float64   `json:"duration_sec"`
+	// Process is the daemon's process block from the final /statsz
+	// scrape (absent against daemons predating it).
+	Process *server.ProcessStatsDoc `json:"process,omitempty"`
+
+	Phases   []PhaseReport `json:"phases"`
+	Verdicts []Verdict     `json:"verdicts"`
+	// Pass is the conjunction of every verdict.
+	Pass bool `json:"pass"`
+}
+
+// WriteJSON writes the report as indented JSON (the artifact format).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders a human-readable run summary (what the CLI prints).
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "replay %s on %s (target %s, %d phases, %.1fs)\n",
+		r.Scenario, r.Venue, r.Target, len(r.Phases), r.DurationSec)
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		fmt.Fprintf(&sb, "  %-12s %5d queries  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  %0.3f searches/query",
+			ph.Name, ph.Queries, ph.LatencyMs.P50, ph.LatencyMs.P95, ph.LatencyMs.P99, ph.SearchesPerQuery)
+		if ph.Flips > 0 {
+			fmt.Fprintf(&sb, "  flips %d mixed %d", ph.Flips, ph.MixedAnswers)
+		}
+		if ph.Errors > 0 || ph.Timeouts > 0 {
+			fmt.Fprintf(&sb, "  errors %d timeouts %d", ph.Errors, ph.Timeouts)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(&sb, "  %s\n", v)
+	}
+	if r.Pass {
+		sb.WriteString("  ALL VERDICTS PASS\n")
+	} else {
+		sb.WriteString("  VERDICT FAILURE\n")
+	}
+	return sb.String()
+}
+
+// phase returns the named phase report, or nil.
+func (r *Report) phase(name string) *PhaseReport {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// metricValue reads one metric from a phase report.
+func (ph *PhaseReport) metricValue(metric string) float64 {
+	switch metric {
+	case MetricQueries:
+		return float64(ph.Queries)
+	case MetricErrors:
+		return float64(ph.Errors)
+	case MetricTimeouts:
+		return float64(ph.Timeouts)
+	case MetricMixedAnswers:
+		return float64(ph.MixedAnswers)
+	case MetricSearchesPerQuery:
+		return ph.SearchesPerQuery
+	case MetricP50Ms:
+		return ph.LatencyMs.P50
+	case MetricP95Ms:
+		return ph.LatencyMs.P95
+	case MetricP99Ms:
+		return ph.LatencyMs.P99
+	case MetricMaxMs:
+		return ph.LatencyMs.Max
+	case MetricCoalesced:
+		return float64(ph.Provenance.Coalesced)
+	case MetricExactHits:
+		return float64(ph.Provenance.Exact)
+	case MetricWindowHits:
+		return float64(ph.Provenance.Window)
+	}
+	return math.NaN()
+}
+
+// overallMetric aggregates a metric across phases. Counts sum;
+// searches/query re-derives from the summed deltas; percentile
+// metrics take the worst phase (a regression anywhere must trip a
+// bound, and per-phase latency populations are not mergeable from
+// percentiles alone).
+func (r *Report) overallMetric(metric string) float64 {
+	switch metric {
+	case MetricSearchesPerQuery:
+		var searches, queries int64
+		for i := range r.Phases {
+			searches += r.Phases[i].StatsDelta.EngineSearches
+			queries += r.Phases[i].StatsDelta.Queries
+		}
+		if queries == 0 {
+			return 0
+		}
+		return float64(searches) / float64(queries)
+	case MetricP50Ms, MetricP95Ms, MetricP99Ms, MetricMaxMs:
+		worst := 0.0
+		for i := range r.Phases {
+			if v := r.Phases[i].metricValue(metric); v > worst {
+				worst = v
+			}
+		}
+		return worst
+	default:
+		sum := 0.0
+		for i := range r.Phases {
+			sum += r.Phases[i].metricValue(metric)
+		}
+		return sum
+	}
+}
+
+// evaluate fills Verdicts and Pass from the scenario's checks.
+func (r *Report) evaluate(checks []Check) {
+	r.Pass = true
+	r.Verdicts = make([]Verdict, 0, len(checks))
+	for _, c := range checks {
+		var actual float64
+		if c.Phase == "" {
+			actual = r.overallMetric(c.Metric)
+		} else if ph := r.phase(c.Phase); ph != nil {
+			actual = ph.metricValue(c.Metric)
+		} else {
+			actual = math.NaN()
+		}
+		v := Verdict{Phase: c.Phase, Metric: c.Metric, Op: c.Op, Value: c.Value,
+			Actual: actual, Pass: !math.IsNaN(actual) && c.compare(actual)}
+		if !v.Pass {
+			r.Pass = false
+		}
+		r.Verdicts = append(r.Verdicts, v)
+	}
+}
+
+// percentile returns the nearest-rank percentile of an ascending
+// sorted sample (p in (0, 100]); 0 for an empty sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// latencyDoc summarises a latency sample (milliseconds, unsorted).
+func latencyDoc(ms []float64) LatencyDoc {
+	if len(ms) == 0 {
+		return LatencyDoc{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	return LatencyDoc{
+		P50: percentile(sorted, 50),
+		P95: percentile(sorted, 95),
+		P99: percentile(sorted, 99),
+		Max: sorted[len(sorted)-1],
+	}
+}

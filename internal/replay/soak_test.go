@@ -1,0 +1,146 @@
+package replay
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"indoorpath/internal/server"
+	"indoorpath/internal/service"
+)
+
+// newSoakServer boots an in-process daemon serving the hospital preset
+// with the full serving stack on — window cache, shared-execution
+// batch planner and request coalescing — the configuration the
+// scenarios are written to exercise (and what the CI replay-smoke job
+// boots as a real process).
+func newSoakServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	reg := server.NewRegistry(service.Options{WindowCache: true, SharedBatch: true})
+	if _, err := reg.AddPresets("hospital"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Options{Coalesce: true}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func runBuiltin(t *testing.T, name string, quick bool) *Report {
+	t.Helper()
+	sc, err := Builtin(name, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newSoakServer(t)
+	rep, err := Run(sc, Options{BaseURL: ts.URL, Quick: quick, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFlipStormSoak replays the flip-storm scenario — schedule updates
+// racing waves of syn/asyn/static traffic — against an in-process
+// server with coalescing, window cache and shared execution all
+// enabled, and asserts the PR 2/5 atomicity invariants from the
+// OUTSIDE: every answer byte-matches a sequential engine under some
+// schedule state the daemon could legally have been in, never a mix of
+// pre- and post-flip state. The short variant replays the quick
+// stream; the full run replays the 10x day.
+func TestFlipStormSoak(t *testing.T) {
+	rep := runBuiltin(t, ScenarioFlipStorm, testing.Short())
+
+	if len(rep.Phases) != 1 {
+		t.Fatalf("phases = %d", len(rep.Phases))
+	}
+	ph := &rep.Phases[0]
+	if ph.Errors != 0 {
+		t.Fatalf("errors = %d, samples %v", ph.Errors, ph.ErrorSamples)
+	}
+	if ph.Timeouts != 0 {
+		t.Fatalf("timeouts = %d", ph.Timeouts)
+	}
+	if ph.MixedAnswers != 0 {
+		t.Fatalf("MIXED-SCHEDULE ANSWERS: %d\n%v", ph.MixedAnswers, ph.MixedSamples)
+	}
+	if ph.Flips != 3 || ph.StatsDelta.Epoch != 3 {
+		t.Fatalf("flips = %d, epoch delta = %d, want 3/3", ph.Flips, ph.StatsDelta.Epoch)
+	}
+	// Every query is counted by exactly one method pool, flips add none.
+	if want := int64(ph.Queries); ph.StatsDelta.Queries != want {
+		t.Fatalf("statsz queries delta = %d, want %d", ph.StatsDelta.Queries, want)
+	}
+	// The hot set is 6 templates over (up to) 4 schedule states; with
+	// exact caching on, engine searches stay around states * templates
+	// regardless of how many queries replayed (window cache and
+	// coalescing only push the number lower). 2x slack tolerates
+	// concurrent same-template misses racing a cache fill.
+	if maxSearches := int64(2 * 4 * 6); ph.StatsDelta.EngineSearches > maxSearches {
+		t.Fatalf("engine searches = %d, want <= %d (~6 templates x 4 states)", ph.StatsDelta.EngineSearches, maxSearches)
+	}
+	if !rep.Pass {
+		t.Fatalf("verdicts failed:\n%s", rep.Summary())
+	}
+	if rep.Process == nil || rep.Process.StartTime == "" {
+		t.Fatalf("report has no process block: %+v", rep.Process)
+	}
+}
+
+// TestSteadyReplay smoke-runs the steady scenario end to end and spot
+// checks the report plumbing (latency populated, provenance counted,
+// fingerprint recorded, verdicts evaluated).
+func TestSteadyReplay(t *testing.T) {
+	rep := runBuiltin(t, ScenarioSteady, true)
+	if !rep.Pass {
+		t.Fatalf("verdicts failed:\n%s", rep.Summary())
+	}
+	if rep.Fingerprint != goldenFingerprints[ScenarioSteady] {
+		t.Fatalf("report fingerprint %s does not match the golden stream", rep.Fingerprint)
+	}
+	ph := &rep.Phases[0]
+	if ph.LatencyMs.P50 <= 0 || ph.LatencyMs.Max < ph.LatencyMs.P99 || ph.LatencyMs.P99 < ph.LatencyMs.P50 {
+		t.Fatalf("latency doc not ordered: %+v", ph.LatencyMs)
+	}
+	if ph.Found == 0 {
+		t.Fatal("no found answers")
+	}
+	// 120 queries over 16 templates: the exact cache must absorb most.
+	if got := ph.Provenance.Exact + ph.Provenance.Window; got == 0 {
+		t.Fatalf("no cache hits across a templated phase: %+v", ph.Provenance)
+	}
+	if len(rep.Verdicts) != 3 {
+		t.Fatalf("verdicts = %+v", rep.Verdicts)
+	}
+}
+
+// TestFlashCrowdSharing pins the headline sharing verdict: a flash
+// crowd (200 identical-ish queries over 8 templates in waves of 16)
+// must cost well under 0.25 engine searches per query with the serving
+// stack on.
+func TestFlashCrowdSharing(t *testing.T) {
+	rep := runBuiltin(t, ScenarioFlashCrowd, true)
+	if !rep.Pass {
+		t.Fatalf("verdicts failed:\n%s", rep.Summary())
+	}
+	ph := &rep.Phases[0]
+	if ph.SearchesPerQuery >= 0.25 {
+		t.Fatalf("searches/query = %v, want < 0.25", ph.SearchesPerQuery)
+	}
+}
+
+// TestRunRejectsMissingVenue: a daemon that does not serve the
+// scenario's venue must fail fast, before any load is generated.
+func TestRunRejectsMissingVenue(t *testing.T) {
+	reg := server.NewRegistry(service.Options{})
+	if _, err := reg.AddPresets("office"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Options{}))
+	t.Cleanup(ts.Close)
+	sc, err := Builtin(ScenarioSteady, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sc, Options{BaseURL: ts.URL}); err == nil {
+		t.Fatal("Run accepted a daemon without the scenario's venue")
+	}
+}

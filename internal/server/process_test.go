@@ -1,0 +1,52 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestStatszProcess verifies the /statsz process block: a parseable
+// start time, a sane uptime, and live goroutine / GOMAXPROCS values —
+// the fields that let two scrapes be rate-normalised (and a restart
+// between them detected).
+func TestStatszProcess(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	var st StatsResponse
+	if resp := getJSON(t, ts.URL+"/statsz", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	p := st.Process
+	if p == nil {
+		t.Fatal("no process block in /statsz")
+	}
+	start, err := time.Parse(time.RFC3339Nano, p.StartTime)
+	if err != nil {
+		t.Fatalf("start_time %q: %v", p.StartTime, err)
+	}
+	if since := time.Since(start); since < 0 || since > time.Minute {
+		t.Fatalf("start_time %v is not a recent instant (%v ago)", start, since)
+	}
+	if p.UptimeSec < 0 || p.UptimeSec > 60 {
+		t.Fatalf("uptime_sec = %v", p.UptimeSec)
+	}
+	if p.Goroutines <= 0 {
+		t.Fatalf("goroutines = %d", p.Goroutines)
+	}
+	if p.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("gomaxprocs = %d, want %d", p.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+
+	// Uptime must move between scrapes of one process, start time must
+	// not: that pair is what makes scrape deltas rate-normalisable.
+	time.Sleep(5 * time.Millisecond)
+	var st2 StatsResponse
+	getJSON(t, ts.URL+"/statsz", &st2)
+	if st2.Process.StartTime != p.StartTime {
+		t.Fatalf("start_time changed across scrapes: %q -> %q", p.StartTime, st2.Process.StartTime)
+	}
+	if st2.Process.UptimeSec <= p.UptimeSec {
+		t.Fatalf("uptime did not advance: %v -> %v", p.UptimeSec, st2.Process.UptimeSec)
+	}
+}

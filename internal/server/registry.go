@@ -132,6 +132,31 @@ func NewRegistry(opts service.Options) *Registry {
 // Presets lists the built-in venue IDs AddPresets understands.
 func Presets() []string { return []string{"mall", "hospital", "office", "figure1"} }
 
+// PresetVenue builds one preset's venue model. Presets are pure
+// functions of their name (the mall's generator seeds are fixed), so
+// every caller — AddPresets here, the replay harness rebuilding served
+// geometry client-side — gets the identical model.
+func PresetVenue(name string) (*model.Venue, error) {
+	switch name {
+	case "mall":
+		m, err := synth.GenerateMall(synth.MallConfig{
+			Seed: 42,
+			ATI:  synth.ATIConfig{CheckpointCount: 8, Seed: 43},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: preset mall: %w", err)
+		}
+		return m.Venue, nil
+	case "hospital":
+		return synth.Hospital(), nil
+	case "office":
+		return synth.Office(), nil
+	case "figure1":
+		return synth.PaperFigure1().Venue, nil
+	}
+	return nil, fmt.Errorf("server: unknown preset %q (want one of %s)", name, strings.Join(Presets(), ", "))
+}
+
 // ErrDuplicateVenue is wrapped by Add/AddGraph when the ID is taken —
 // the hot-reload endpoint maps it to HTTP 409.
 var ErrDuplicateVenue = errors.New("venue id already registered")
@@ -241,23 +266,9 @@ func (r *Registry) AddPresets(names string) ([]string, error) {
 		if r.has(name) {
 			return added, fmt.Errorf("server: venue %q: %w", name, ErrDuplicateVenue)
 		}
-		var v *model.Venue
-		switch name {
-		case "mall":
-			m, err := synth.GenerateMall(synth.MallConfig{
-				Seed: 42,
-				ATI:  synth.ATIConfig{CheckpointCount: 8, Seed: 43},
-			})
-			if err != nil {
-				return added, fmt.Errorf("server: preset mall: %w", err)
-			}
-			v = m.Venue
-		case "hospital":
-			v = synth.Hospital()
-		case "office":
-			v = synth.Office()
-		case "figure1":
-			v = synth.PaperFigure1().Venue
+		v, err := PresetVenue(name)
+		if err != nil {
+			return added, err
 		}
 		g, err := itgraph.New(v)
 		if err != nil {

@@ -43,6 +43,7 @@ import (
 	"log"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,11 @@ type Server struct {
 	// of impatient clients must not read as a wave of slow searches.
 	timeouts   atomic.Int64
 	clientGone atomic.Int64
+
+	// started stamps server construction; /statsz reports it so two
+	// scrapes of the same process can be rate-normalised (and a
+	// restart between scrapes is detectable as a start-time change).
+	started time.Time
 }
 
 // New builds a Server over a registry.
@@ -151,7 +157,7 @@ func New(reg *Registry, opts Options) *Server {
 			opts.CoalesceHold = opts.RequestTimeout / 2
 		}
 	}
-	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux()}
+	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), started: time.Now()}
 	if clampedHold > 0 {
 		s.logf("coalesce hold %v >= request timeout %v; clamped to %v",
 			clampedHold, opts.RequestTimeout, opts.CoalesceHold)
@@ -199,6 +205,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp := StatsResponse{
 		Venues: make(map[string]VenueStatsDoc),
 		Server: ServerStatsDoc{Timeouts: s.timeouts.Load(), ClientGone: s.clientGone.Load()},
+		Process: &ProcessStatsDoc{
+			StartTime:  s.started.UTC().Format(time.RFC3339Nano),
+			UptimeSec:  time.Since(s.started).Seconds(),
+			Goroutines: runtime.NumGoroutine(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
 	}
 	for _, ve := range s.reg.Venues() {
 		doc := ve.Stats()

@@ -279,10 +279,29 @@ type ServerStatsDoc struct {
 	ClientGone int64 `json:"client_gone"`
 }
 
+// ProcessStatsDoc describes the serving process itself: when it
+// started, how long it has been up, and its current concurrency
+// footprint. Two /statsz scrapes can only be rate-normalised against
+// each other when they come from one uninterrupted process — a changed
+// start time means the counters reset in between.
+type ProcessStatsDoc struct {
+	// StartTime is the server's construction instant, RFC 3339 UTC.
+	StartTime string `json:"start_time"`
+	// UptimeSec is seconds since StartTime, at scrape time.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Goroutines is the live goroutine count at scrape time.
+	Goroutines int `json:"goroutines"`
+	// GOMAXPROCS is the scheduler's processor limit.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
 // StatsResponse is the body of GET /statsz.
 type StatsResponse struct {
 	Venues map[string]VenueStatsDoc `json:"venues"`
 	Server ServerStatsDoc           `json:"server"`
+	// Process describes the serving process (start time, uptime,
+	// goroutines) so scrape pairs can be rate-normalised.
+	Process *ProcessStatsDoc `json:"process,omitempty"`
 }
 
 // ErrorDoc is the structured error envelope every non-2xx response
