@@ -358,6 +358,37 @@ func BenchmarkPoolRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolRouteTraceOverhead pins the cost of DISABLED tracing on
+// the serving hot path: RouteTraced with a nil trace must cost exactly
+// what Route costs — on a warm cache hit, zero allocations. The
+// benchmark self-checks (allocs/op of the traced entry point must not
+// exceed the untraced baseline, and the baseline must be 0) so a
+// regression fails the bench run rather than just shifting a number.
+func BenchmarkPoolRouteTraceOverhead(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	tb.graph.Snapshots().BuildAll()
+	pool := indoorpath.NewPool(tb.graph, indoorpath.PoolOptions{
+		Engine: indoorpath.Options{Method: indoorpath.MethodAsyn},
+	})
+	q := tb.queries[0]
+	if r := pool.RouteResult(q); r.Err != nil && r.Err != indoorpath.ErrNoRoute {
+		b.Fatal(r.Err) // warm the exact cache
+	}
+	base := testing.AllocsPerRun(200, func() { pool.RouteResult(q) })
+	traced := testing.AllocsPerRun(200, func() { pool.RouteTraced(nil, q) })
+	if traced > base {
+		b.Fatalf("nil-trace route allocates %v allocs/op vs %v untraced", traced, base)
+	}
+	if base != 0 {
+		b.Fatalf("warm cache-hit route allocates %v allocs/op, want 0", base)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.RouteTraced(nil, q)
+	}
+}
+
 // BenchmarkPoolRouteBatch measures the batch path: one RouteBatch call
 // fanning a mixed-time batch (with duplicates) out over the worker
 // group, with deduplication and caching enabled — the expected serving

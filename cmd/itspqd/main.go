@@ -20,11 +20,17 @@
 //
 //	GET  /healthz
 //	GET  /statsz
+//	GET  /metricsz
+//	GET  /tracez
 //	GET  /v1/venues
 //	POST /v1/venues/{id}/route
 //	POST /v1/venues/{id}/route:batch
 //	GET  /v1/venues/{id}/profile?from=x,y,floor&to=x,y,floor
 //	PUT  /v1/venues/{id}/schedules
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ — deliberately a separate mux and port, so profiling
+// never ships with the public API.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests get ShutdownGrace to finish.
@@ -38,6 +44,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		coal    = fs.Bool("coalesce", false, "coalesce concurrent solo route requests into shared engine runs (implies -shared-batch)")
 		hold    = fs.Duration("coalesce-hold", 0, "coalescer accumulation window (0 = 2ms default); solo requests wait at most this long for company")
 		timeout = fs.Duration("timeout", 0, "per-request timeout (0 = server default, negative = none)")
+		debug   = fs.String("debug-addr", "", "optional second listen address serving net/http/pprof (e.g. 127.0.0.1:6060); kept off the serving mux so profiling is never exposed with the API")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,9 +117,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "itspqd: serving %s on http://%s\n",
 		strings.Join(reg.IDs(), ", "), ln.Addr())
 
+	if *debug != "" {
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			ln.Close()
+			return fail("debug listener: %v", err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(stdout, "itspqd: debug (pprof) on http://%s/debug/pprof/\n", dln.Addr())
+		go func() { _ = http.Serve(dln, debugMux()) }()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return serve(ctx, ln, srv, stdout, stderr)
+}
+
+// debugMux builds the profiling mux for -debug-addr. The handlers are
+// registered explicitly on a dedicated mux — importing net/http/pprof
+// for its side effect would hang them on http.DefaultServeMux, which
+// the serving listener must never pick up.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // newRegistry loads the requested venues into a fresh registry.

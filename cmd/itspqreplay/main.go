@@ -49,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", "", "daemon base URL, e.g. http://127.0.0.1:8080 (empty = self-host the scenario's preset in process)")
 		out      = fs.String("out", "BENCH_replay.json", "report output path (- = stdout)")
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
-		verbose  = fs.Bool("v", false, "per-phase progress on stderr")
+		verbose  = fs.Bool("v", false, "per-phase progress on stderr, plus the server-side per-stage latency breakdown table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -119,6 +119,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "itspqreplay: wrote %s\n", *out)
 	}
 	fmt.Fprint(stdout, rep.Summary())
+	if *verbose {
+		if tbl := rep.StageTable(); tbl != "" {
+			fmt.Fprint(stdout, "itspqreplay: server-side stage breakdown\n"+tbl)
+		}
+	}
 	if !rep.Pass {
 		return 1
 	}

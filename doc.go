@@ -202,6 +202,7 @@
 //	GET  /healthz                       liveness + venue count
 //	GET  /statsz                        per-venue, per-method pool counters
 //	GET  /metricsz                      the same counters, Prometheus text format
+//	GET  /tracez                        recent request traces (slowest-K + sampled)
 //	GET  /v1/venues                     venue listing
 //	POST /v1/venues                     hot venue reload (preset / JSON dir)
 //	POST /v1/venues/{id}/route          one ITSPQ query
@@ -308,6 +309,49 @@
 // its response arrived). An answer matching no legal state would mean
 // a response mixed pre- and post-flip schedules — which the serving
 // layer's atomic-swap guarantee promises can never happen.
+//
+// # Observability
+//
+// Every request through the daemon is measured by internal/obs, a
+// dependency-free core of lock-free fixed-bucket duration histograms
+// (atomic counters; snapshots are mergeable and subtractable, so
+// deltas across scrapes are exact) and per-request span traces. A
+// request is split into stages — decode, hold (coalescer wait), probe
+// (cache lookup), plan (batch grouping), engine (the search itself),
+// store (cache fill) and render — and each stage feeds a shared
+// per-stage histogram, so "where does a millisecond go" is answerable
+// fleet-wide, not just per slow request. The buckets follow a
+// 1–2.5–5 ladder from 10µs to 10s.
+//
+// /metricsz renders two histogram families in Prometheus text format
+// on top of the existing counters:
+//
+//	indoorpath_request_seconds{venue,method,outcome}   end-to-end request latency
+//	indoorpath_stage_seconds{stage}                    per-stage time, all requests
+//
+// Outcomes are ok, no_route, error, timeout and client_gone, so tail
+// latency of failures is separable from the happy path. Every scrape
+// of /statsz or /metricsz is built from ONE consistent snapshot per
+// venue, and the counter partition invariant — cache_hits +
+// window_hits + deduped + misses == queries, engine_searches <=
+// misses — holds in every scraped body, even mid-traffic.
+//
+// GET /tracez returns recent traces from a bounded ring: the
+// slowest-K requests plus a 1-in-N uniform sample, each a span list
+// with stage, start offset and duration, plus venue/method/outcome
+// and provenance flags (hit, coalesced, shared_run). A single route
+// request can opt in with "trace": true to get the same span
+// breakdown inline in its response (solo routes only; batches read
+// /tracez). Tracing is opt-in per request and free when off: the
+// disabled path is measured at zero additional allocations per route
+// (BenchmarkPoolRouteTraceOverhead self-checks this in CI).
+//
+// cmd/itspqd takes -debug-addr to serve net/http/pprof on a second
+// listener — a separate mux and port, so profiling never ships with
+// the public API. itspqreplay -v prints a per-phase server-side stage
+// breakdown table from the histogram deltas, and BENCH_replay.json
+// records per-phase stage totals, server-side latency quantiles and a
+// client-vs-server quantile cross-check.
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the paper-to-code mapping.

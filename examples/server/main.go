@@ -95,6 +95,30 @@ func main() {
 
 	// Serving counters, per venue and method.
 	show("statsz", call(ts.URL, http.MethodGet, "/statsz", ""))
+
+	// Observability: "trace": true on a solo route returns the span
+	// breakdown inline — decode, hold (coalescer wait), probe (cache),
+	// engine, store — with per-stage durations in milliseconds.
+	traced := `{"from":{"x":30,"y":10,"floor":0},"to":{"x":5,"y":34,"floor":0},"at":"11:45","trace":true}`
+	show("route with inline trace", call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", traced))
+
+	// /tracez keeps the slowest-K requests plus a 1-in-N sample;
+	// /metricsz renders indoorpath_request_seconds{venue,method,outcome}
+	// and indoorpath_stage_seconds{stage} histograms for Prometheus.
+	show("tracez", call(ts.URL, http.MethodGet, "/tracez", ""))
+	show("metricsz (request histogram)", grepLines(
+		call(ts.URL, http.MethodGet, "/metricsz", ""), "indoorpath_request_seconds_count"))
+}
+
+// grepLines keeps only the lines of body containing substr.
+func grepLines(body, substr string) string {
+	var keep []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n  ")
 }
 
 func call(base, method, path, body string) string {

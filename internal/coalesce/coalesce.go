@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"indoorpath/internal/core"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/service"
 )
 
@@ -110,6 +111,7 @@ type waiter struct {
 	q   core.Query
 	ch  chan service.Result
 	enq time.Time
+	tr  *obs.Trace // nil unless the caller is traced
 }
 
 // Coalescer is a standing accumulator in front of one service.Pool
@@ -160,8 +162,18 @@ func (c *Coalescer) Pool() *service.Pool { return c.pool }
 // exactly what a solo Pool.Route would have returned, with Coalesced
 // set when the flush held more than one query.
 func (c *Coalescer) Route(q core.Query) service.Result {
+	return c.RouteTraced(nil, q)
+}
+
+// RouteTraced is Route recording observability spans onto tr: a hold
+// span from enqueue to flush start, then the flush's batch spans
+// (plan/probe/engine/store) adopted from the flush's shared
+// collector. Since one flush serves every waiter of a window, the
+// shared spans appear in each waiter's trace but feed the stage
+// histograms exactly once. Nil tr is the untraced fast path.
+func (c *Coalescer) RouteTraced(tr *obs.Trace, q core.Query) service.Result {
 	c.queries.Add(1)
-	w := waiter{q: q, ch: make(chan service.Result, 1), enq: time.Now()}
+	w := waiter{q: q, ch: make(chan service.Result, 1), enq: time.Now(), tr: tr}
 	c.mu.Lock()
 	c.pending = append(c.pending, w)
 	if len(c.pending) == 1 && c.maxGroup > 1 {
@@ -206,10 +218,19 @@ func (c *Coalescer) take() []waiter {
 func (c *Coalescer) flush(batch []waiter) {
 	start := time.Now()
 	qs := make([]core.Query, len(batch))
+	// The flush's work is shared by every waiter, so its spans are
+	// recorded once on a collector (built from the first traced
+	// waiter) and adopted into each waiter's trace afterwards; each
+	// waiter's hold span is its own real wait.
+	var collector *obs.Trace
 	for i, w := range batch {
 		qs[i] = w.q
+		w.tr.Add(obs.StageHold, w.enq, start.Sub(w.enq), nil)
+		if collector == nil {
+			collector = w.tr.NewCollector()
+		}
 	}
-	rs, _ := c.pool.RouteBatchSummary(qs)
+	rs, _ := c.pool.RouteBatchSummaryTraced(collector, qs)
 	// Counter write order (flushes, then answers, then groups) pairs
 	// with the Stats read order so that a concurrent snapshot always
 	// satisfies Groups <= Flushes and Answers >= 2*Groups.
@@ -223,6 +244,7 @@ func (c *Coalescer) flush(batch []waiter) {
 		c.observeHold(start.Sub(w.enq))
 		r := rs[i]
 		r.Coalesced = coalesced
+		w.tr.Adopt(collector)
 		w.ch <- r
 	}
 }

@@ -1,0 +1,226 @@
+// Package obs is the dependency-free observability core for the
+// serving stack: lock-free duration histograms with mergeable
+// snapshots, and per-request span traces carried via context.Context.
+//
+// Everything here is designed around one constraint: the *disabled*
+// path must cost nothing. All Trace/Span methods are nil-receiver
+// safe, so instrumented code threads a possibly-nil *Trace and the
+// hot path (nil trace) performs two pointer comparisons and zero
+// allocations per stage.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBounds are the default histogram bucket upper bounds in
+// seconds: a 1–2.5–5 ladder per decade from 10µs to 10s. Stage
+// timings (cache probes, engine searches) live at the small end;
+// whole requests under load at the large end. Observations above the
+// last bound land in an implicit +Inf overflow bucket.
+var DefaultBounds = []float64{
+	0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10,
+}
+
+// Histogram is a fixed-bucket duration histogram safe for concurrent
+// Observe calls without locking: each bucket is an atomic counter and
+// the running sum is atomic nanoseconds. Snapshots taken under
+// concurrent writes may be torn across buckets (sum vs counts can
+// disagree by in-flight observations) but each counter is monotone,
+// so deltas between two snapshots never go negative.
+type Histogram struct {
+	bounds []float64 // immutable after construction
+	counts []atomic.Int64
+	// len(counts) == len(bounds)+1; the final slot is the +Inf
+	// overflow bucket.
+	sumNanos atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// upper bounds (seconds). A nil bounds slice selects DefaultBounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBounds
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+// Safe for concurrent use; never allocates.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, secs) // first bound >= secs, len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Snapshot copies the current counters into an immutable value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable, shared
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumSeconds = float64(h.sumNanos.Load()) / float64(time.Second)
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, suitable
+// for JSON exposition and for delta arithmetic between scrapes.
+// Counts has len(Bounds)+1 entries; the last is the +Inf overflow
+// bucket. The zero value is an empty snapshot that Add and Sub treat
+// as the identity.
+type HistogramSnapshot struct {
+	Bounds     []float64 `json:"bounds"`
+	Counts     []int64   `json:"counts"`
+	Count      int64     `json:"count"`
+	SumSeconds float64   `json:"sum_seconds"`
+}
+
+// compatible reports whether o can be combined bucket-wise with s.
+func (s HistogramSnapshot) compatible(o HistogramSnapshot) bool {
+	if len(s.Bounds) != len(o.Bounds) || len(s.Counts) != len(o.Counts) {
+		return false
+	}
+	for i, b := range s.Bounds {
+		if o.Bounds[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Add merges o into a copy of s and returns it. Adding onto the zero
+// value yields a copy of o; snapshots with different bucket bounds do
+// not combine and s is returned unchanged.
+func (s HistogramSnapshot) Add(o HistogramSnapshot) HistogramSnapshot {
+	if s.Counts == nil {
+		return o.clone()
+	}
+	if o.Counts == nil {
+		return s.clone()
+	}
+	if !s.compatible(o) {
+		return s
+	}
+	out := s.clone()
+	for i, c := range o.Counts {
+		out.Counts[i] += c
+	}
+	out.Count += o.Count
+	out.SumSeconds += o.SumSeconds
+	return out
+}
+
+// Sub returns the bucket-wise delta s − o, clamped at zero per bucket
+// so torn scrapes never produce negative counts. Subtracting the zero
+// value yields a copy of s; incompatible bounds return s unchanged.
+func (s HistogramSnapshot) Sub(o HistogramSnapshot) HistogramSnapshot {
+	if s.Counts == nil || o.Counts == nil {
+		return s.clone()
+	}
+	if !s.compatible(o) {
+		return s
+	}
+	out := s.clone()
+	out.Count = 0
+	for i, c := range o.Counts {
+		out.Counts[i] -= c
+		if out.Counts[i] < 0 {
+			out.Counts[i] = 0
+		}
+		out.Count += out.Counts[i]
+	}
+	out.SumSeconds -= o.SumSeconds
+	if out.SumSeconds < 0 {
+		out.SumSeconds = 0
+	}
+	return out
+}
+
+func (s HistogramSnapshot) clone() HistogramSnapshot {
+	out := s
+	out.Counts = make([]int64, len(s.Counts))
+	copy(out.Counts, s.Counts)
+	return out
+}
+
+// MeanSeconds returns the average observed duration, or 0 when empty.
+func (s HistogramSnapshot) MeanSeconds() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumSeconds / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile
+// (0 < q <= 1): the upper bound of the bucket holding the
+// nearest-rank observation. Observations in the overflow bucket
+// report +Inf. Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	_, hi := s.QuantileBucket(q)
+	return hi
+}
+
+// QuantileBucket returns the (lower, upper) bound in seconds of the
+// bucket containing the q-quantile observation. The true quantile
+// value lies within [lower, upper]; upper is +Inf for the overflow
+// bucket. Returns (0, 0) for an empty snapshot.
+func (s HistogramSnapshot) QuantileBucket(q float64) (lo, hi float64) {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0, 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				lo = 0
+			} else {
+				lo = s.Bounds[i-1]
+			}
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			} else {
+				hi = math.Inf(1)
+			}
+			return lo, hi
+		}
+	}
+	// Unreachable: cum over all buckets equals Count.
+	return 0, math.Inf(1)
+}

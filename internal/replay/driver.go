@@ -440,6 +440,7 @@ func aggregatePhase(ph *Phase, results []qresult, oracle *phaseOracle, before, a
 	if phr.StatsDelta.Queries > 0 {
 		phr.SearchesPerQuery = float64(phr.StatsDelta.EngineSearches) / float64(phr.StatsDelta.Queries)
 	}
+	addObservability(phr, before, after, venue)
 	return phr
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"indoorpath/internal/obs"
 	"indoorpath/internal/server"
 )
 
@@ -61,6 +62,30 @@ type StatsDeltaDoc struct {
 	ClientGone int64 `json:"client_gone"`
 }
 
+// StageDeltaDoc is one pipeline stage's histogram movement across a
+// phase, from the daemon's /statsz stage histograms: where the
+// phase's milliseconds actually went, server-side.
+type StageDeltaDoc struct {
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	// P95Ms is the histogram-resolution p95: the upper bound of the
+	// bucket holding the nearest-rank observation (the lower bound of
+	// the overflow bucket when it lands there).
+	P95Ms float64 `json:"p95_ms"`
+}
+
+// HistQuantilesDoc holds the phase's request-latency quantiles derived
+// from the server-side histogram delta (bucket upper bounds), the
+// second, clock-independent view next to the client-side LatencyDoc.
+type HistQuantilesDoc struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
 // PhaseReport is one phase's measured outcome.
 type PhaseReport struct {
 	Name    string `json:"name"`
@@ -87,6 +112,17 @@ type PhaseReport struct {
 	LatencyMs  LatencyDoc    `json:"latency"`
 	Provenance ProvenanceDoc `json:"provenance"`
 	StatsDelta StatsDeltaDoc `json:"stats_delta"`
+	// Stages is the per-stage latency breakdown from the daemon's
+	// stage histograms (absent against daemons predating them).
+	Stages []StageDeltaDoc `json:"stage_breakdown,omitempty"`
+	// HistLatency is the server-side request-latency view of the same
+	// phase, from the venue's request histogram delta.
+	HistLatency *HistQuantilesDoc `json:"hist_latency,omitempty"`
+	// Warnings flags disagreements between the client-side nearest-rank
+	// percentiles and the server-side histogram quantiles beyond bucket
+	// resolution — clock or accounting skew worth investigating, not a
+	// verdict failure.
+	Warnings []string `json:"warnings,omitempty"`
 	// SearchesPerQuery is the phase's engine-search rate from the
 	// /statsz delta: EngineSearches / Queries (0 when no queries were
 	// counted server-side).
@@ -167,6 +203,9 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&sb, "  errors %d timeouts %d", ph.Errors, ph.Timeouts)
 		}
 		sb.WriteByte('\n')
+		for _, w := range ph.Warnings {
+			fmt.Fprintf(&sb, "    warn: %s\n", w)
+		}
 	}
 	for _, v := range r.Verdicts {
 		fmt.Fprintf(&sb, "  %s\n", v)
@@ -175,6 +214,117 @@ func (r *Report) Summary() string {
 		sb.WriteString("  ALL VERDICTS PASS\n")
 	} else {
 		sb.WriteString("  VERDICT FAILURE\n")
+	}
+	return sb.String()
+}
+
+// Cross-check thresholds: the histogram-vs-client comparison needs a
+// population for nearest ranks to be meaningful, and allows a little
+// absolute slack on top of bucket resolution (timestamps are taken at
+// different points of the request path).
+const (
+	crossCheckMinCount = 20
+	crossCheckSlackMs  = 1.0
+)
+
+// quantileMs renders a histogram quantile in milliseconds: the bucket
+// upper bound, or the lower bound when the observation lands in the
+// +Inf overflow bucket (so the value stays finite and JSON-encodable).
+func quantileMs(s obs.HistogramSnapshot, q float64) float64 {
+	lo, hi := s.QuantileBucket(q)
+	if math.IsInf(hi, 1) {
+		return lo * 1000
+	}
+	return hi * 1000
+}
+
+// addObservability fills the phase's stage breakdown and server-side
+// latency quantiles from the before/after /statsz scrapes, and
+// cross-checks the client-side percentiles against them. Both blocks
+// stay absent against daemons that don't expose the histograms.
+//
+// The cross-check is one-sided: the server measures a strict subset of
+// what the client's clock sees (no network, no client-side encode), so
+// for every request server latency <= client latency, and a server
+// histogram bucket that starts ABOVE the client-side percentile —
+// beyond slack — cannot be explained by bucket resolution.
+func addObservability(phr *PhaseReport, before, after *server.StatsResponse, venue string) {
+	for _, name := range obs.StageNames() {
+		d := after.Stages[name].Sub(before.Stages[name])
+		if d.Count == 0 {
+			continue
+		}
+		phr.Stages = append(phr.Stages, StageDeltaDoc{
+			Stage:   name,
+			Count:   d.Count,
+			TotalMs: d.SumSeconds * 1000,
+			MeanMs:  d.MeanSeconds() * 1000,
+			P95Ms:   quantileMs(d, 0.95),
+		})
+	}
+	bReq := before.Venues[venue].Requests
+	var delta obs.HistogramSnapshot
+	for m, a := range after.Venues[venue].Requests {
+		delta = delta.Add(a.Sub(bReq[m]))
+	}
+	if delta.Count == 0 {
+		return
+	}
+	phr.HistLatency = &HistQuantilesDoc{
+		Count: delta.Count,
+		P50Ms: quantileMs(delta, 0.50),
+		P95Ms: quantileMs(delta, 0.95),
+		P99Ms: quantileMs(delta, 0.99),
+	}
+	if delta.Count < crossCheckMinCount {
+		return
+	}
+	for _, c := range []struct {
+		q      float64
+		name   string
+		client float64
+	}{
+		{0.50, "p50", phr.LatencyMs.P50},
+		{0.95, "p95", phr.LatencyMs.P95},
+		{0.99, "p99", phr.LatencyMs.P99},
+	} {
+		lo, _ := delta.QuantileBucket(c.q)
+		if lo*1000 > c.client+crossCheckSlackMs {
+			phr.Warnings = append(phr.Warnings, fmt.Sprintf(
+				"server-side %s bucket starts at %.3fms, above client-side %s %.3fms + %.1fms slack — clock or accounting skew",
+				c.name, lo*1000, c.name, c.client, crossCheckSlackMs))
+		}
+	}
+}
+
+// StageTable renders the per-phase stage latency breakdown as an
+// aligned text table (what itspqreplay -v prints), with one request-
+// histogram summary line per phase. Empty when the daemon exposed no
+// stage histograms.
+func (r *Report) StageTable() string {
+	present := false
+	for i := range r.Phases {
+		if len(r.Phases[i].Stages) > 0 {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %-8s %8s %10s %10s %12s\n",
+		"phase", "stage", "count", "mean_ms", "p95_ms", "total_ms")
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		for _, sd := range ph.Stages {
+			fmt.Fprintf(&sb, "%-14s %-8s %8d %10.3f %10.3f %12.1f\n",
+				ph.Name, sd.Stage, sd.Count, sd.MeanMs, sd.P95Ms, sd.TotalMs)
+		}
+		if h := ph.HistLatency; h != nil {
+			fmt.Fprintf(&sb, "%-14s %-8s %8d  server-side request p50<=%.3fms p95<=%.3fms p99<=%.3fms\n",
+				ph.Name, "request", h.Count, h.P50Ms, h.P95Ms, h.P99Ms)
+		}
 	}
 	return sb.String()
 }

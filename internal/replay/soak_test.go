@@ -110,6 +110,35 @@ func TestSteadyReplay(t *testing.T) {
 	if len(rep.Verdicts) != 3 {
 		t.Fatalf("verdicts = %+v", rep.Verdicts)
 	}
+
+	// The stage breakdown and the server-side latency view must be
+	// populated from the daemon's histograms, and the client-vs-server
+	// quantile cross-check must not warn against an in-process server
+	// (both clocks are the same machine).
+	stages := map[string]StageDeltaDoc{}
+	for _, sd := range ph.Stages {
+		stages[sd.Stage] = sd
+	}
+	for _, want := range []string{"decode", "probe", "engine", "render"} {
+		if stages[want].Count == 0 {
+			t.Errorf("stage breakdown missing %q: %+v", want, ph.Stages)
+		}
+	}
+	if ph.HistLatency == nil {
+		t.Fatal("no server-side latency quantiles in the phase report")
+	}
+	if got, want := ph.HistLatency.Count, int64(ph.Queries); got != want {
+		t.Errorf("server-side request histogram delta count = %d, want %d", got, want)
+	}
+	if ph.HistLatency.P50Ms <= 0 || ph.HistLatency.P99Ms < ph.HistLatency.P50Ms {
+		t.Errorf("server-side quantiles not ordered: %+v", ph.HistLatency)
+	}
+	if len(ph.Warnings) != 0 {
+		t.Errorf("latency cross-check warned in-process: %v", ph.Warnings)
+	}
+	if rep.StageTable() == "" {
+		t.Error("StageTable empty despite stage breakdowns")
+	}
 }
 
 // TestFlashCrowdSharing pins the headline sharing verdict: a flash

@@ -7,13 +7,16 @@ import (
 	"strings"
 
 	"indoorpath/internal/coalesce"
+	"indoorpath/internal/obs"
 )
 
 // This file implements GET /metricsz: the pool counters of /statsz in
 // Prometheus text exposition format (version 0.0.4), hand-rolled so the
 // daemon stays dependency-free. Output is deterministic — venues sorted
 // by ID (Registry.Venues), methods in pooledMethods order — so scrapes
-// and tests see stable series ordering.
+// and tests see stable series ordering. One scrape renders one
+// snapshotStats() call: every series in a response body comes from the
+// same per-venue counter read.
 
 // metricsContentType is the Prometheus text exposition content type.
 const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
@@ -60,31 +63,30 @@ var poolMetrics = []metricDef{
 		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Epoch }},
 }
 
-// handleMetricsz renders every pool counter plus per-venue and process
-// gauges in Prometheus text format.
+// handleMetricsz renders every pool counter, the request/stage latency
+// histograms and per-venue and process gauges in Prometheus text
+// format.
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
-	venues := s.reg.Venues()
+	sn := s.snapshotStats()
 	var sb strings.Builder
 
 	fmt.Fprintf(&sb, "# HELP indoorpath_venues Venues registered in the serving registry.\n")
 	fmt.Fprintf(&sb, "# TYPE indoorpath_venues gauge\n")
-	fmt.Fprintf(&sb, "indoorpath_venues %d\n", len(venues))
+	fmt.Fprintf(&sb, "indoorpath_venues %d\n", len(sn.venues))
 
 	fmt.Fprintf(&sb, "# HELP indoorpath_venue_epoch Schedule updates applied to the venue.\n")
 	fmt.Fprintf(&sb, "# TYPE indoorpath_venue_epoch gauge\n")
-	stats := make([]VenueStatsDoc, len(venues))
-	for i, ve := range venues {
-		stats[i] = ve.Stats()
-		fmt.Fprintf(&sb, "indoorpath_venue_epoch{venue=%q} %d\n", ve.ID(), ve.Epoch())
+	for i, ve := range sn.venues {
+		fmt.Fprintf(&sb, "indoorpath_venue_epoch{venue=%q} %d\n", ve.ID(), sn.docs[i].Epoch)
 	}
 
 	for _, md := range poolMetrics {
 		fmt.Fprintf(&sb, "# HELP %s %s\n", md.name, md.help)
 		fmt.Fprintf(&sb, "# TYPE %s %s\n", md.name, md.kind)
-		for i, ve := range venues {
+		for i, ve := range sn.venues {
 			for _, m := range pooledMethods {
 				fmt.Fprintf(&sb, "%s{venue=%q,method=%q} %d\n",
-					md.name, ve.ID(), methodName(m), md.value(stats[i], methodName(m)))
+					md.name, ve.ID(), methodName(m), md.value(sn.docs[i], methodName(m)))
 			}
 		}
 	}
@@ -94,18 +96,55 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	// searches).
 	fmt.Fprintf(&sb, "# HELP indoorpath_server_timeouts_total Requests that hit the server-side deadline and answered 504.\n")
 	fmt.Fprintf(&sb, "# TYPE indoorpath_server_timeouts_total counter\n")
-	fmt.Fprintf(&sb, "indoorpath_server_timeouts_total %d\n", s.timeouts.Load())
+	fmt.Fprintf(&sb, "indoorpath_server_timeouts_total %d\n", sn.server.Timeouts)
 	fmt.Fprintf(&sb, "# HELP indoorpath_server_client_gone_total Requests whose client disconnected before the answer was ready (no 504 emitted).\n")
 	fmt.Fprintf(&sb, "# TYPE indoorpath_server_client_gone_total counter\n")
-	fmt.Fprintf(&sb, "indoorpath_server_client_gone_total %d\n", s.clientGone.Load())
+	fmt.Fprintf(&sb, "indoorpath_server_client_gone_total %d\n", sn.server.ClientGone)
 
 	if s.opts.Coalesce {
-		s.writeCoalesceMetrics(&sb, venues)
+		writeCoalesceMetrics(&sb, sn)
 	}
+	writeLatencyMetrics(&sb, sn)
 
 	w.Header().Set("Content-Type", metricsContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(sb.String()))
+}
+
+// writeLatencyMetrics renders the whole-request and per-stage latency
+// histogram families. Request series appear per (venue, method,
+// outcome) once touched, in deterministic key order; stage series
+// always appear, in stage-pipeline order.
+func writeLatencyMetrics(sb *strings.Builder, sn statsSnapshot) {
+	fmt.Fprintf(sb, "# HELP indoorpath_request_seconds End-to-end request latency per venue, engine method and outcome.\n")
+	fmt.Fprintf(sb, "# TYPE indoorpath_request_seconds histogram\n")
+	for _, k := range obs.SortedRequestKeys(sn.requests) {
+		labels := fmt.Sprintf("venue=%q,method=%q,outcome=%q", k.Venue, k.Method, k.Outcome)
+		writeHistogramSeries(sb, "indoorpath_request_seconds", labels, sn.requests[k])
+	}
+	fmt.Fprintf(sb, "# HELP indoorpath_stage_seconds Time spent per request-pipeline stage, process-wide.\n")
+	fmt.Fprintf(sb, "# TYPE indoorpath_stage_seconds histogram\n")
+	for _, stage := range obs.StageNames() {
+		writeHistogramSeries(sb, "indoorpath_stage_seconds", fmt.Sprintf("stage=%q", stage), sn.stages[stage])
+	}
+}
+
+// writeHistogramSeries renders one histogram in Prometheus text
+// format: cumulative _bucket lines, the +Inf bucket, _sum and _count.
+// labels is the pre-rendered label list without a trailing comma.
+func writeHistogramSeries(sb *strings.Builder, name, labels string, snap obs.HistogramSnapshot) {
+	cum := int64(0)
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(sb, "%s_bucket{%s,le=%q} %d\n",
+			name, labels, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	if len(snap.Counts) > len(snap.Bounds) {
+		cum += snap.Counts[len(snap.Bounds)]
+	}
+	fmt.Fprintf(sb, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(sb, "%s_sum{%s} %g\n", name, labels, snap.SumSeconds)
+	fmt.Fprintf(sb, "%s_count{%s} %d\n", name, labels, cum)
 }
 
 // coalesceMetrics are the counter families over the standing
@@ -130,20 +169,20 @@ var coalesceMetrics = []struct {
 }
 
 // writeCoalesceMetrics renders the coalescer counters and the
-// hold-time histogram in Prometheus text format. Series appear for
-// every (venue, pooled method) whose coalescer exists — i.e. that has
-// routed at least once — in the same deterministic order as the pool
-// metrics.
-func (s *Server) writeCoalesceMetrics(sb *strings.Builder, venues []*Venue) {
+// hold-time histogram in Prometheus text format, from the same
+// snapshot the rest of the scrape uses. Series appear for every
+// (venue, pooled method) whose coalescer exists — i.e. that has routed
+// at least once — in the same deterministic order as the pool metrics.
+func writeCoalesceMetrics(sb *strings.Builder, sn statsSnapshot) {
 	type row struct {
 		venue, method string
 		st            coalesce.Stats
 	}
 	var rows []row
-	for _, ve := range venues {
+	for i, ve := range sn.venues {
 		for _, m := range pooledMethods {
-			if c, ok := s.coal.Load(ve.Pool(m)); ok {
-				rows = append(rows, row{ve.ID(), methodName(m), c.(*coalesce.Coalescer).Stats()})
+			if st, ok := sn.docs[i].Coalesce[methodName(m)]; ok {
+				rows = append(rows, row{ve.ID(), methodName(m), st})
 			}
 		}
 	}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+
+	"indoorpath/internal/obs"
+)
+
+// This file is the server side of the observability surface: GET
+// /tracez and the consistent stats snapshot shared by /statsz and
+// /metricsz.
+
+// handleTracez serves the retained recent traces: the slowest-K first
+// (descending duration), then the 1-in-N sampled population newest
+// first. The ring is bounded, so the response is too.
+func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
+	traces := s.obsv.Traces()
+	if traces == nil {
+		traces = []*obs.TraceDoc{}
+	}
+	writeJSON(w, http.StatusOK, TracezResponse{Count: len(traces), Traces: traces})
+}
+
+// statsSnapshot is one scrape's view of every counter the server
+// exposes. /statsz and /metricsz render the same snapshot, so the two
+// endpoints cannot disagree within one scrape, and each venue's
+// counters are read exactly once per scrape (one ve.Stats() call per
+// venue — epoch and pool counters come from the same read).
+type statsSnapshot struct {
+	venues   []*Venue
+	docs     []VenueStatsDoc // aligned with venues
+	requests map[obs.RequestKey]obs.HistogramSnapshot
+	stages   map[string]obs.HistogramSnapshot
+	server   ServerStatsDoc
+}
+
+// snapshotStats collects one consistent scrape. Individual counters
+// are independent atomics, so a snapshot taken under concurrent
+// traffic can be torn between counters — but the per-pool read order
+// inside service.Stats guarantees the serving-partition invariant
+// (cache_hits + window_hits + deduped + misses == queries, misses >=
+// engine-run lower bound) holds in every snapshot regardless.
+func (s *Server) snapshotStats() statsSnapshot {
+	venues := s.reg.Venues()
+	sn := statsSnapshot{
+		venues:   venues,
+		docs:     make([]VenueStatsDoc, len(venues)),
+		requests: s.obsv.RequestSnapshots(),
+		stages:   s.obsv.StageSnapshots(),
+		server:   ServerStatsDoc{Timeouts: s.timeouts.Load(), ClientGone: s.clientGone.Load()},
+	}
+	for i, ve := range venues {
+		doc := ve.Stats()
+		doc.Coalesce = s.coalesceStats(ve)
+		doc.Requests = venueRequestSnapshots(sn.requests, ve.ID())
+		sn.docs[i] = doc
+	}
+	return sn
+}
+
+// venueRequestSnapshots extracts one venue's request-latency
+// histograms from the full per-(venue, method, outcome) map, merged
+// over outcomes so /statsz clients (internal/replay) see one
+// histogram per method. Nil when the venue has not served a request.
+func venueRequestSnapshots(all map[obs.RequestKey]obs.HistogramSnapshot, venueID string) map[string]obs.HistogramSnapshot {
+	var out map[string]obs.HistogramSnapshot
+	for k, snap := range all {
+		if k.Venue != venueID {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]obs.HistogramSnapshot)
+		}
+		out[k.Method] = out[k.Method].Add(snap)
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"indoorpath/internal/obs"
+)
+
+// routeAt posts one hospital route (ER centre to ward centre) at the
+// given departure time and returns the decoded response.
+func routeAt(t testing.TB, base, at string, trace bool) RouteResponse {
+	t.Helper()
+	body := map[string]any{"from": erCentre, "to": wardCentre, "at": at}
+	if trace {
+		body["trace"] = true
+	}
+	resp, raw := postJSON(t, base+"/v1/venues/hospital/route", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("route status = %d: %s", resp.StatusCode, raw)
+	}
+	var out RouteResponse
+	decodeInto(t, raw, &out)
+	return out
+}
+
+// TestTracezAfterTraffic checks that served requests land in /tracez
+// with the expected stage spans and that span durations are consistent
+// with the recorded request latency.
+func TestTracezAfterTraffic(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	routeAt(t, ts.URL, "10:30", false)
+
+	var tz TracezResponse
+	resp := getJSON(t, ts.URL+"/tracez", &tz)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tracez status = %d", resp.StatusCode)
+	}
+	if tz.Count != 1 || len(tz.Traces) != 1 {
+		t.Fatalf("tracez count = %d, traces = %d, want 1", tz.Count, len(tz.Traces))
+	}
+	tr := tz.Traces[0]
+	if tr.Venue != "hospital" || tr.Method != "asyn" || tr.Outcome != obs.OutcomeOK {
+		t.Fatalf("trace labels = %s/%s/%s", tr.Venue, tr.Method, tr.Outcome)
+	}
+	if !tr.Slow {
+		t.Fatal("first trace not in the slow population")
+	}
+	stages := map[string]int{}
+	var sumMs float64
+	for _, sp := range tr.Spans {
+		stages[sp.Stage]++
+		sumMs += sp.DurationMs
+		if sp.StartMs < 0 || sp.DurationMs < 0 {
+			t.Fatalf("negative span offsets: %+v", sp)
+		}
+	}
+	for _, want := range []string{"decode", "probe", "engine", "store", "render"} {
+		if stages[want] != 1 {
+			t.Fatalf("stage %q spans = %d, want 1 (%v)", want, stages[want], stages)
+		}
+	}
+	// The solo-route stages run back to back inside the request, so
+	// their durations must account for (and never exceed) the request
+	// latency, up to clock-reading slack.
+	if sumMs <= 0 {
+		t.Fatal("span durations sum to zero")
+	}
+	if sumMs > tr.DurationMs+1.0 {
+		t.Fatalf("span durations sum to %.3fms > request latency %.3fms", sumMs, tr.DurationMs)
+	}
+}
+
+// TestInlineTrace checks the per-request "trace": true opt-in: the
+// trace rides inline in the response (without the render span, which
+// has not happened yet at encode time) and is absent otherwise.
+func TestInlineTrace(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	if out := routeAt(t, ts.URL, "10:30", false); out.Trace != nil {
+		t.Fatal("trace present without the opt-in")
+	}
+	out := routeAt(t, ts.URL, "10:40", true)
+	if out.Trace == nil {
+		t.Fatal("no inline trace with \"trace\": true")
+	}
+	stages := map[string]int{}
+	for _, sp := range out.Trace.Spans {
+		stages[sp.Stage]++
+	}
+	if stages["decode"] != 1 || stages["probe"] != 1 {
+		t.Fatalf("inline trace stages = %v", stages)
+	}
+	if stages["render"] != 0 {
+		t.Fatal("inline trace contains its own render span")
+	}
+	if out.Trace.DurationMs <= 0 {
+		t.Fatalf("inline trace duration = %v", out.Trace.DurationMs)
+	}
+}
+
+// TestBatchTraceRejected checks that per-query inline traces are
+// rejected inside a batch, like per-query methods.
+func TestBatchTraceRejected(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route:batch", map[string]any{
+		"queries": []map[string]any{
+			{"from": erCentre, "to": wardCentre, "at": "10:30", "trace": true},
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, raw) != "bad_request" {
+		t.Fatalf("status = %d body = %s", resp.StatusCode, raw)
+	}
+}
+
+// TestTracezRingBounds drives more requests than the ring holds and
+// checks retention stays bounded with both populations flagged.
+func TestTracezRingBounds(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	for i := 0; i < 100; i++ {
+		routeAt(t, ts.URL, fmt.Sprintf("10:00:%02d", i%60), false)
+	}
+	var tz TracezResponse
+	getJSON(t, ts.URL+"/tracez", &tz)
+	if tz.Count > 64 {
+		t.Fatalf("tracez retained %d traces, ring capacity is 64", tz.Count)
+	}
+	if tz.Count == 0 {
+		t.Fatal("tracez empty after 100 requests")
+	}
+	for _, tr := range tz.Traces {
+		if tr.Slow == tr.Sampled {
+			t.Fatalf("trace in %v populations (slow=%v sampled=%v)", map[bool]string{true: "both", false: "neither"}[tr.Slow], tr.Slow, tr.Sampled)
+		}
+	}
+}
+
+// TestTracezJSONFieldSet pins the /tracez wire format: the field set
+// of trace and span objects is closed, so dashboards parsing it don't
+// silently break when fields move.
+func TestTracezJSONFieldSet(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	routeAt(t, ts.URL, "10:30", false)
+
+	var generic struct {
+		Count  int              `json:"count"`
+		Traces []map[string]any `json:"traces"`
+	}
+	getJSON(t, ts.URL+"/tracez", &generic)
+	if len(generic.Traces) == 0 {
+		t.Fatal("no traces")
+	}
+	traceKeys := map[string]bool{
+		"venue": true, "method": true, "outcome": true, "hit": true,
+		"coalesced": true, "shared_run": true, "start": true,
+		"duration_ms": true, "slow": true, "sampled": true,
+		"dropped_spans": true, "spans": true,
+	}
+	spanKeys := map[string]bool{"stage": true, "start_ms": true, "duration_ms": true, "attrs": true}
+	for _, tr := range generic.Traces {
+		for k := range tr {
+			if !traceKeys[k] {
+				t.Fatalf("unexpected trace field %q", k)
+			}
+		}
+		for _, req := range []string{"venue", "method", "outcome", "start", "duration_ms", "spans"} {
+			if _, ok := tr[req]; !ok {
+				t.Fatalf("trace missing required field %q: %v", req, tr)
+			}
+		}
+		for _, sp := range tr["spans"].([]any) {
+			for k := range sp.(map[string]any) {
+				if !spanKeys[k] {
+					t.Fatalf("unexpected span field %q", k)
+				}
+			}
+		}
+	}
+}
+
+// metricValue extracts one un-suffixed series value from a Prometheus
+// text body, e.g. metricValue(body, `indoorpath_pool_queries_total{venue="hospital",method="asyn"}`).
+func metricValue(t testing.TB, body, series string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found", series)
+	return 0
+}
+
+// checkPartition asserts the serving-partition invariant on one set of
+// pool counters: every query is a cache hit, a window hit, a batch
+// dedup or a miss, and engine runs never exceed misses. Guaranteed
+// even in torn snapshots by the pool's counter read order.
+func checkPartition(t testing.TB, where string, queries, cacheHits, windowHits, deduped, engineSearches int64) {
+	t.Helper()
+	misses := queries - cacheHits - windowHits - deduped
+	if misses < 0 {
+		t.Errorf("%s: misses = %d - %d - %d - %d = %d < 0", where, queries, cacheHits, windowHits, deduped, misses)
+	}
+	if engineSearches > misses {
+		t.Errorf("%s: engine_searches %d > misses %d", where, engineSearches, misses)
+	}
+}
+
+// TestScrapeConsistencyHammer hammers the server with concurrent
+// route traffic while scraping /statsz, /metricsz and /tracez, and
+// asserts the partition invariant in every scraped body — i.e. a
+// scrape landing mid-request never shows torn counters that violate
+// it, and one body is one consistent snapshot.
+func TestScrapeConsistencyHammer(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	const writers, perWriter = 6, 25
+
+	var writeWG, scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				// Mix repeats (cache hits) with distinct departures
+				// (misses / window hits).
+				routeAt(t, ts.URL, fmt.Sprintf("10:%02d", (w*7+i)%30), false)
+			}
+		}(w)
+	}
+	for sc := 0; sc < 2; sc++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var st StatsResponse
+				getJSON(t, ts.URL+"/statsz", &st)
+				for id, doc := range st.Venues {
+					for m, ms := range doc.Methods {
+						checkPartition(t, fmt.Sprintf("statsz %s/%s", id, m),
+							ms.Queries, ms.CacheHits, ms.WindowHits, ms.Deduped, ms.EngineSearches)
+					}
+				}
+				resp, raw := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("metricsz status = %d", resp.StatusCode)
+					return
+				}
+				body := string(raw)
+				labels := `{venue="hospital",method="asyn"}`
+				checkPartition(t, "metricsz hospital/asyn",
+					metricValue(t, body, "indoorpath_pool_queries_total"+labels),
+					metricValue(t, body, "indoorpath_pool_exact_hits_total"+labels),
+					metricValue(t, body, "indoorpath_pool_window_hits_total"+labels),
+					metricValue(t, body, "indoorpath_pool_deduped_total"+labels),
+					metricValue(t, body, "indoorpath_pool_engine_searches_total"+labels))
+				var tz TracezResponse
+				getJSON(t, ts.URL+"/tracez", &tz)
+				if tz.Count > 64 {
+					t.Errorf("tracez retained %d traces", tz.Count)
+					return
+				}
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	// Final quiescent check: both histogram families present with a
+	// matching total request count.
+	resp, raw := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz status = %d", resp.StatusCode)
+	}
+	body := string(raw)
+	reqCount := metricValue(t, body, `indoorpath_request_seconds_count{venue="hospital",method="asyn",outcome="ok"}`)
+	if want := int64(writers * perWriter); reqCount != want {
+		t.Fatalf("request histogram count = %d, want %d", reqCount, want)
+	}
+	if !strings.Contains(body, `indoorpath_stage_seconds_bucket{stage="engine",le="+Inf"}`) {
+		t.Fatal("stage histogram family missing from /metricsz")
+	}
+	if engines := metricValue(t, body, `indoorpath_stage_seconds_count{stage="engine"}`); engines == 0 {
+		t.Fatal("engine stage histogram empty after traffic")
+	}
+}

@@ -51,7 +51,9 @@ import (
 
 	"indoorpath/internal/coalesce"
 	"indoorpath/internal/core"
+	"indoorpath/internal/geom"
 	"indoorpath/internal/model"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/service"
 )
 
@@ -129,6 +131,12 @@ type Server struct {
 	// scrapes of the same process can be rate-normalised (and a
 	// restart between scrapes is detectable as a start-time change).
 	started time.Time
+
+	// obsv owns the request/stage latency histograms and the /tracez
+	// trace ring. Every route, batch and profile request carries a
+	// trace; the pool and coalescer layers below only pay for it
+	// when the server hands one down.
+	obsv *obs.Observer
 }
 
 // New builds a Server over a registry.
@@ -157,7 +165,10 @@ func New(reg *Registry, opts Options) *Server {
 			opts.CoalesceHold = opts.RequestTimeout / 2
 		}
 	}
-	s := &Server{reg: reg, opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{
+		reg: reg, opts: opts, mux: http.NewServeMux(), started: time.Now(),
+		obsv: obs.NewObserver(obs.ObserverOptions{}),
+	}
 	if clampedHold > 0 {
 		s.logf("coalesce hold %v >= request timeout %v; clamped to %v",
 			clampedHold, opts.RequestTimeout, opts.CoalesceHold)
@@ -165,6 +176,7 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
 	s.mux.HandleFunc("POST /v1/venues", s.handleVenuesLoad)
 	s.mux.HandleFunc("POST /v1/venues/{id}/route", s.venueHandler(s.handleRoute))
@@ -202,9 +214,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	sn := s.snapshotStats()
 	resp := StatsResponse{
-		Venues: make(map[string]VenueStatsDoc),
-		Server: ServerStatsDoc{Timeouts: s.timeouts.Load(), ClientGone: s.clientGone.Load()},
+		Venues: make(map[string]VenueStatsDoc, len(sn.venues)),
+		Server: sn.server,
+		Stages: sn.stages,
 		Process: &ProcessStatsDoc{
 			StartTime:  s.started.UTC().Format(time.RFC3339Nano),
 			UptimeSec:  time.Since(s.started).Seconds(),
@@ -212,10 +226,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 	}
-	for _, ve := range s.reg.Venues() {
-		doc := ve.Stats()
-		doc.Coalesce = s.coalesceStats(ve)
-		resp.Venues[ve.ID()] = doc
+	for i, ve := range sn.venues {
+		resp.Venues[ve.ID()] = sn.docs[i]
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -298,80 +310,105 @@ func (s *Server) checkVenueDir(dir string) *ErrorDoc {
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, ve *Venue) {
+	tr := s.obsv.NewTrace()
+	info := obs.RequestInfo{Venue: ve.ID(), Method: methodAsyn}
+
+	sp := tr.Start(obs.StageDecode)
 	var req RouteRequest
-	if errDoc := s.decodeBody(w, r, &req); errDoc != nil {
-		writeError(w, statusOf(errDoc), errDoc)
-		return
+	errDoc := s.decodeBody(w, r, &req)
+	var q core.Query
+	var m core.Method
+	var waiting bool
+	if errDoc == nil {
+		q, errDoc = req.query()
 	}
-	q, errDoc := req.query()
+	if errDoc == nil {
+		if m, waiting, errDoc = parseMethod(req.Method, true); errDoc == nil {
+			if waiting {
+				info.Method = methodWaiting
+			} else {
+				info.Method = methodName(m)
+			}
+		}
+	}
+	sp.End()
 	if errDoc != nil {
-		writeError(w, http.StatusBadRequest, errDoc)
+		s.finishError(w, tr, info, errDoc)
 		return
 	}
-	m, waiting, errDoc := parseMethod(req.Method, true)
-	if errDoc != nil {
-		writeError(w, http.StatusBadRequest, errDoc)
-		return
-	}
+
 	resp, outcome := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() RouteResponse {
 		if waiting {
 			return routeWaiting(ve, q)
 		}
 		if c := s.coalescer(ve, m); c != nil {
-			return routeCoalesced(ve, c, q)
+			return routeCoalesced(ve, c, tr, q)
 		}
-		return routePooled(ve, m, q)
+		return routePooled(ve, m, tr, q)
 	})
 	if s.finishAborted(w, r, outcome, "route") {
+		s.finishAbortedTrace(tr, info, outcome)
 		return
 	}
+	info.Hit, info.Coalesced, info.SharedRun = resp.Hit, resp.Coalesced, resp.SharedRun
 	if resp.Error != nil {
-		writeError(w, statusOf(resp.Error), resp.Error)
+		s.finishError(w, tr, info, resp.Error)
 		return
 	}
+	if resp.Found {
+		info.Outcome = obs.OutcomeOK
+	} else {
+		info.Outcome = obs.OutcomeNoRoute
+	}
+	if req.Trace {
+		resp.Trace = tr.Doc(info)
+	}
+	sp = tr.Start(obs.StageRender)
 	writeJSON(w, http.StatusOK, resp)
+	sp.End()
+	s.obsv.FinishRequest(tr, info)
+}
+
+// finishError answers an error response with its render span recorded
+// and the request's latency observed under the "error" outcome.
+func (s *Server) finishError(w http.ResponseWriter, tr *obs.Trace, info obs.RequestInfo, e *ErrorDoc) {
+	info.Outcome = obs.OutcomeError
+	sp := tr.Start(obs.StageRender)
+	writeError(w, statusOf(e), e)
+	sp.End()
+	s.obsv.FinishRequest(tr, info)
+}
+
+// finishAbortedTrace closes out the trace of a timed-out or
+// client-abandoned request. The search may still be running on its
+// orphaned goroutine; its spans keep feeding the stage histograms
+// after this trace is published, they just no longer appear in it.
+func (s *Server) finishAbortedTrace(tr *obs.Trace, info obs.RequestInfo, outcome runOutcome) {
+	if outcome == runTimeout {
+		info.Outcome = obs.OutcomeTimeout
+	} else {
+		info.Outcome = obs.OutcomeClientGone
+	}
+	s.obsv.FinishRequest(tr, info)
 }
 
 func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Venue) {
-	var req BatchRequest
-	if errDoc := s.decodeBody(w, r, &req); errDoc != nil {
-		writeError(w, statusOf(errDoc), errDoc)
-		return
+	tr := s.obsv.NewTrace()
+	info := obs.RequestInfo{Venue: ve.ID(), Method: methodAsyn}
+
+	sp := tr.Start(obs.StageDecode)
+	m, qs, errDoc := s.decodeBatch(w, r)
+	if errDoc == nil {
+		info.Method = methodName(m)
 	}
-	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, badRequest("empty \"queries\""))
-		return
-	}
-	if len(req.Queries) > s.opts.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge, &ErrorDoc{
-			Code:    "too_large",
-			Message: fmt.Sprintf("batch of %d queries exceeds the %d-query limit", len(req.Queries), s.opts.MaxBatch),
-		})
-		return
-	}
-	m, _, errDoc := parseMethod(req.Method, false)
+	sp.End()
 	if errDoc != nil {
-		writeError(w, http.StatusBadRequest, errDoc)
+		s.finishError(w, tr, info, errDoc)
 		return
-	}
-	qs := make([]core.Query, len(req.Queries))
-	for i := range req.Queries {
-		if req.Queries[i].Method != "" {
-			writeError(w, http.StatusBadRequest,
-				badRequest("queries[%d]: per-query methods are not allowed in a batch (set the batch-level \"method\")", i))
-			return
-		}
-		q, errDoc := req.Queries[i].query()
-		if errDoc != nil {
-			errDoc.Message = fmt.Sprintf("queries[%d]: %s", i, errDoc.Message)
-			writeError(w, http.StatusBadRequest, errDoc)
-			return
-		}
-		qs[i] = q
 	}
 	resp, outcome := runWithTimeout(r.Context(), s.opts.RequestTimeout, func() BatchResponse {
 		pool := ve.Pool(m)
-		results, sum := pool.RouteBatchSummary(qs)
+		results, sum := pool.RouteBatchSummaryTraced(tr, qs)
 		out := BatchResponse{Results: make([]RouteResponse, len(results))}
 		out.Cache = BatchCacheDoc{
 			Queries:       sum.Queries,
@@ -388,31 +425,64 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Ve
 		return out
 	})
 	if s.finishAborted(w, r, outcome, "batch") {
+		s.finishAbortedTrace(tr, info, outcome)
 		return
 	}
+	info.Outcome = obs.OutcomeOK
+	sp = tr.Start(obs.StageRender)
 	writeJSON(w, http.StatusOK, resp)
+	sp.End()
+	s.obsv.FinishRequest(tr, info)
+}
+
+// decodeBatch reads and validates a batch request body. It returns
+// the batch method and queries, or the error to answer with (status
+// via statusOf).
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) (core.Method, []core.Query, *ErrorDoc) {
+	var req BatchRequest
+	if errDoc := s.decodeBody(w, r, &req); errDoc != nil {
+		return 0, nil, errDoc
+	}
+	if len(req.Queries) == 0 {
+		return 0, nil, badRequest("empty \"queries\"")
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		return 0, nil, &ErrorDoc{
+			Code:    "too_large",
+			Message: fmt.Sprintf("batch of %d queries exceeds the %d-query limit", len(req.Queries), s.opts.MaxBatch),
+		}
+	}
+	m, _, errDoc := parseMethod(req.Method, false)
+	if errDoc != nil {
+		return 0, nil, errDoc
+	}
+	qs := make([]core.Query, len(req.Queries))
+	for i := range req.Queries {
+		if req.Queries[i].Method != "" {
+			return 0, nil, badRequest("queries[%d]: per-query methods are not allowed in a batch (set the batch-level \"method\")", i)
+		}
+		if req.Queries[i].Trace {
+			return 0, nil, badRequest("queries[%d]: inline traces are not available in a batch (trace solo routes, or read /tracez)", i)
+		}
+		q, errDoc := req.Queries[i].query()
+		if errDoc != nil {
+			errDoc.Message = fmt.Sprintf("queries[%d]: %s", i, errDoc.Message)
+			return 0, nil, errDoc
+		}
+		qs[i] = q
+	}
+	return m, qs, nil
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, ve *Venue) {
-	fromStr := r.URL.Query().Get("from")
-	toStr := r.URL.Query().Get("to")
-	if fromStr == "" || toStr == "" {
-		writeError(w, http.StatusBadRequest, badRequest("missing \"from\" / \"to\" query parameters (x,y,floor)"))
-		return
-	}
-	src, err := ParsePoint(fromStr)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, badRequest("bad \"from\": %v", err))
-		return
-	}
-	tgt, err := ParsePoint(toStr)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, badRequest("bad \"to\": %v", err))
-		return
-	}
-	m, _, errDoc := parseMethod(r.URL.Query().Get("method"), false)
+	tr := s.obsv.NewTrace()
+	info := obs.RequestInfo{Venue: ve.ID(), Method: "profile"}
+
+	sp := tr.Start(obs.StageDecode)
+	src, tgt, m, errDoc := parseProfileParams(r)
+	sp.End()
 	if errDoc != nil {
-		writeError(w, http.StatusBadRequest, errDoc)
+		s.finishError(w, tr, info, errDoc)
 		return
 	}
 	type profileOut struct {
@@ -423,16 +493,18 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, ve *Venue
 		// Engines are cheap to build (lazily allocated search state);
 		// the profile walks every checkpoint slot on one fresh,
 		// goroutine-confined engine over the current graph.
+		sp := tr.Start(obs.StageEngine)
+		defer sp.End()
 		e := core.NewEngine(ve.Graph(), core.Options{Method: m})
 		entries, err := core.DayProfile(e, src, tgt)
 		return profileOut{entries, err}
 	})
 	if s.finishAborted(w, r, outcome, "profile") {
+		s.finishAbortedTrace(tr, info, outcome)
 		return
 	}
 	if out.err != nil {
-		errDoc := errorDocOf(out.err)
-		writeError(w, statusOf(errDoc), errDoc)
+		s.finishError(w, tr, info, errorDocOf(out.err))
 		return
 	}
 	resp := ProfileResponse{
@@ -452,7 +524,29 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, ve *Venue
 			Hops:      e.Hops,
 		})
 	}
+	info.Outcome = obs.OutcomeOK
+	sp = tr.Start(obs.StageRender)
 	writeJSON(w, http.StatusOK, resp)
+	sp.End()
+	s.obsv.FinishRequest(tr, info)
+}
+
+// parseProfileParams extracts the profile endpoint's query parameters.
+func parseProfileParams(r *http.Request) (src, tgt geom.Point, m core.Method, errDoc *ErrorDoc) {
+	fromStr := r.URL.Query().Get("from")
+	toStr := r.URL.Query().Get("to")
+	if fromStr == "" || toStr == "" {
+		return src, tgt, 0, badRequest("missing \"from\" / \"to\" query parameters (x,y,floor)")
+	}
+	var err error
+	if src, err = ParsePoint(fromStr); err != nil {
+		return src, tgt, 0, badRequest("bad \"from\": %v", err)
+	}
+	if tgt, err = ParsePoint(toStr); err != nil {
+		return src, tgt, 0, badRequest("bad \"to\": %v", err)
+	}
+	m, _, errDoc = parseMethod(r.URL.Query().Get("method"), false)
+	return src, tgt, m, errDoc
 }
 
 func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request, ve *Venue) {
@@ -502,8 +596,8 @@ func resultResponse(mv *model.Venue, res service.Result) RouteResponse {
 // routePooled answers one query on the venue's method pool. Cache hits
 // carry the stats of the search that produced the cached outcome, so a
 // client sees exactly what Pool.Route reports.
-func routePooled(ve *Venue, m core.Method, q core.Query) RouteResponse {
-	return resultResponse(ve.Model(), ve.Pool(m).RouteResult(q))
+func routePooled(ve *Venue, m core.Method, tr *obs.Trace, q core.Query) RouteResponse {
+	return resultResponse(ve.Model(), ve.Pool(m).RouteTraced(tr, q))
 }
 
 // routeWaiting answers one query with the earliest-arrival waiting
@@ -658,8 +752,8 @@ func (s *Server) coalesceStats(ve *Venue) map[string]coalesce.Stats {
 // coalescer: the call blocks for at most the hold window plus one
 // flush, and the result is exactly what Pool.Route would have
 // produced, with coalescing provenance on top.
-func routeCoalesced(ve *Venue, c *coalesce.Coalescer, q core.Query) RouteResponse {
-	return resultResponse(ve.Model(), c.Route(q))
+func routeCoalesced(ve *Venue, c *coalesce.Coalescer, tr *obs.Trace, q core.Query) RouteResponse {
+	return resultResponse(ve.Model(), c.RouteTraced(tr, q))
 }
 
 // decodeBody reads and strictly decodes a JSON request body.

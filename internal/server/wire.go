@@ -10,6 +10,7 @@ import (
 	"indoorpath/internal/core"
 	"indoorpath/internal/geom"
 	"indoorpath/internal/model"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/service"
 	"indoorpath/internal/temporal"
 )
@@ -42,6 +43,9 @@ type RouteRequest struct {
 	Method string `json:"method,omitempty"`
 	// Speed is the walking speed in m/s; 0 means 5 km/h.
 	Speed float64 `json:"speed,omitempty"`
+	// Trace opts into returning the request's span trace inline in
+	// the response (solo routes only; rejected inside a batch).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // query validates the request and converts it to a core query. The
@@ -127,6 +131,11 @@ type RouteResponse struct {
 	// with concurrently arriving ones.
 	Coalesced bool      `json:"coalesced,omitempty"`
 	Error     *ErrorDoc `json:"error,omitempty"`
+	// Trace is the request's span trace, present only when the
+	// request set "trace": true. Snapshotted just before the response
+	// is encoded, so the render span itself is not included (the full
+	// trace, render included, lands in /tracez).
+	Trace *obs.TraceDoc `json:"trace,omitempty"`
 }
 
 // BatchCacheDoc summarises how one batch was served — the fields
@@ -268,6 +277,12 @@ type VenueStatsDoc struct {
 	Epoch    int64                     `json:"epoch"`
 	Methods  map[string]service.Stats  `json:"methods"`
 	Coalesce map[string]coalesce.Stats `json:"coalesce,omitempty"`
+	// Requests are the server-side request-latency histograms per
+	// method (merged over outcomes), present once the method has
+	// served a request. internal/replay subtracts two scrapes of
+	// these to derive per-phase latency quantiles independently of
+	// its own client-side clock.
+	Requests map[string]obs.HistogramSnapshot `json:"request_seconds,omitempty"`
 }
 
 // ServerStatsDoc holds request-lifecycle counters of the server
@@ -302,6 +317,18 @@ type StatsResponse struct {
 	// Process describes the serving process (start time, uptime,
 	// goroutines) so scrape pairs can be rate-normalised.
 	Process *ProcessStatsDoc `json:"process,omitempty"`
+	// Stages are the process-wide per-stage duration histograms
+	// (decode, hold, probe, plan, engine, store, render), keyed by
+	// stage name.
+	Stages map[string]obs.HistogramSnapshot `json:"stage_seconds,omitempty"`
+}
+
+// TracezResponse is the body of GET /tracez: the retained recent
+// traces, slowest first, then the 1-in-N sampled population newest
+// first.
+type TracezResponse struct {
+	Count  int             `json:"count"`
+	Traces []*obs.TraceDoc `json:"traces"`
 }
 
 // ErrorDoc is the structured error envelope every non-2xx response

@@ -302,7 +302,7 @@ func TestRaceWindowPoolSweepByteIdentical(t *testing.T) {
 				k := rng.Intn(len(wantA))
 				q := q0
 				q.At = temporal.TimeOfDay(k * stepSec)
-				r := pool.route(q)
+				r := pool.route(nil, q)
 				if r.Err != nil {
 					select {
 					case errc <- r.Err:
@@ -338,7 +338,7 @@ func TestRaceWindowPoolSweepByteIdentical(t *testing.T) {
 	for k := range wantA {
 		q := q0
 		q.At = temporal.TimeOfDay(k * stepSec)
-		r := pool.route(q)
+		r := pool.route(nil, q)
 		if r.Err != nil || !reflect.DeepEqual(r.Path, wantA[k]) {
 			t.Fatalf("epilogue departure %v (hit=%q): %v / path mismatch", q.At, r.Hit, r.Err)
 		}

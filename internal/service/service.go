@@ -33,6 +33,7 @@ import (
 	"indoorpath/internal/geom"
 	"indoorpath/internal/itgraph"
 	"indoorpath/internal/model"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/tcache"
 	"indoorpath/internal/temporal"
 )
@@ -296,39 +297,60 @@ func (p *Pool) workers() int {
 // using a pooled engine and the result cache. Safe to call from any
 // number of goroutines.
 func (p *Pool) Route(q core.Query) (*core.Path, core.SearchStats, error) {
-	r := p.route(q)
+	r := p.route(nil, q)
 	return r.Path, r.Stats, r.Err
 }
 
 // RouteResult is Route returning the full Result, including the
 // CacheHit flag — the form servers want for per-response provenance.
 func (p *Pool) RouteResult(q core.Query) Result {
-	return p.route(q)
+	return p.route(nil, q)
+}
+
+// RouteTraced is RouteResult recording observability spans — cache
+// probe, engine run (with the search's SearchStats attached) and
+// cache store — onto tr. A nil tr selects the untraced fast path:
+// identical behaviour, no clock reads, no allocations.
+func (p *Pool) RouteTraced(tr *obs.Trace, q core.Query) Result {
+	return p.route(tr, q)
 }
 
 // route is Route returning the full Result (cache-hit flag included).
-func (p *Pool) route(q core.Query) Result {
+func (p *Pool) route(tr *obs.Trace, q core.Query) Result {
 	b := p.backend.Load()
 	key, ekey, cacheable := keysFor(b, q)
-	return p.routeKeyed(b, q, key, ekey, cacheable)
+	return p.routeKeyed(tr, b, q, key, ekey, cacheable)
 }
 
 // routeKeyed is route with the backend pinned and the cache keys
 // already derived (RouteBatch computes them once for deduplication and
 // reuses them here). Lookup order: exact cache, then validity-window
 // cache, then an engine search whose outcome feeds both.
-func (p *Pool) routeKeyed(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) Result {
+func (p *Pool) routeKeyed(tr *obs.Trace, b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) Result {
 	p.queries.Add(1)
+	sp := tr.Start(obs.StageProbe)
 	r, ok, epoch, wepoch := p.lookupCaches(b, q, key, ekey, cacheable)
+	sp.End()
 	if ok {
 		return r
 	}
+	sp = tr.Start(obs.StageEngine)
 	p.engineSearches.Add(1)
 	e := b.engines.Get().(*core.Engine)
 	path, stats, err := e.Route(q)
+	if tr == nil {
+		sp.End()
+	} else {
+		// Copy under the guard: taking stats' address unconditionally
+		// would make it escape and heap-allocate on the untraced path.
+		attach := stats
+		sp.EndWith(&attach)
+	}
 	r = Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
+	sp = tr.Start(obs.StageStore)
 	p.storeOutcome(b, e, q, key, ekey, cacheable, r, epoch, wepoch)
 	b.engines.Put(e)
+	sp.End()
 	return r
 }
 
@@ -511,12 +533,23 @@ func (p *Pool) RouteBatch(qs []core.Query) []Result {
 // summary alongside the results — the form the HTTP batch endpoint and
 // the CLI sweep report from.
 func (p *Pool) RouteBatchSummary(qs []core.Query) ([]Result, BatchSummary) {
+	return p.RouteBatchSummaryTraced(nil, qs)
+}
+
+// RouteBatchSummaryTraced is RouteBatchSummary recording spans onto
+// tr: one plan span covering dedup and batchplan grouping, then
+// probe/engine/store spans from the work units (batch workers record
+// concurrently; the trace is internally synchronised). Nil tr is the
+// untraced fast path.
+func (p *Pool) RouteBatchSummaryTraced(tr *obs.Trace, qs []core.Query) ([]Result, BatchSummary) {
 	p.batches.Add(1)
 	out := make([]Result, len(qs))
 	sum := BatchSummary{Queries: len(qs)}
 	if len(qs) == 0 {
 		return out, sum
 	}
+
+	planSpan := tr.Start(obs.StagePlan)
 
 	// Shared-query deduplication: collapse identical (ps, pt, t, v)
 	// requests onto one canonical search each. The derived keys are
@@ -587,13 +620,14 @@ func (p *Pool) RouteBatchSummary(qs []core.Query) ([]Result, BatchSummary) {
 	for _, i := range uncacheable {
 		units = append(units, unit{solo: i})
 	}
+	planSpan.End()
 
 	runUnit := func(u unit) {
 		if u.grp == nil {
-			out[u.solo] = p.routeKeyed(b, qs[u.solo], keys[u.solo], ekeys[u.solo], cacheable[u.solo])
+			out[u.solo] = p.routeKeyed(tr, b, qs[u.solo], keys[u.solo], ekeys[u.solo], cacheable[u.solo])
 			return
 		}
-		p.routeGroup(b, qs, items, u.grp, keys, ekeys, out, &sharedRuns)
+		p.routeGroup(tr, b, qs, items, u.grp, keys, ekeys, out, &sharedRuns)
 	}
 
 	w := p.workers()
@@ -667,13 +701,13 @@ func (p *Pool) RouteBatchSummary(qs []core.Query) ([]Result, BatchSummary) {
 // epoch-guarded cache inserts a solo search uses. Static groups may
 // mix departure instants; those answers are restated per member by a
 // bit-identical departure rebase before caching and delivery.
-func (p *Pool) routeGroup(b *poolBackend, qs []core.Query, items []batchplan.Item, grp *batchplan.Group,
+func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items []batchplan.Item, grp *batchplan.Group,
 	keys []cacheKey, ekeys []entryKey, out []Result, sharedRuns *atomic.Int64) {
 
 	if grp.Kind == batchplan.Solo || len(grp.Members) == 1 {
 		for _, m := range grp.Members {
 			i := items[m].Index
-			out[i] = p.routeKeyed(b, qs[i], keys[i], ekeys[i], true)
+			out[i] = p.routeKeyed(tr, b, qs[i], keys[i], ekeys[i], true)
 		}
 		return
 	}
@@ -685,6 +719,9 @@ func (p *Pool) routeGroup(b *poolBackend, qs []core.Query, items []batchplan.Ite
 	}
 	var rem []pending
 	var pts []geom.Point
+	// One probe span for the whole member cache pass: per-member spans
+	// would blow the trace's span budget on a 64-query group.
+	sp := tr.Start(obs.StageProbe)
 	for _, m := range grp.Members {
 		i := items[m].Index
 		p.queries.Add(1)
@@ -700,6 +737,7 @@ func (p *Pool) routeGroup(b *poolBackend, qs []core.Query, items []batchplan.Ite
 			pts = append(pts, qs[i].Source)
 		}
 	}
+	sp.End()
 	if len(rem) == 0 {
 		return
 	}
@@ -710,19 +748,38 @@ func (p *Pool) routeGroup(b *poolBackend, qs []core.Query, items []batchplan.Ite
 		// The caches absorbed the fan-out: a single miss is a plain
 		// solo search.
 		pm := rem[0]
+		sp = tr.Start(obs.StageEngine)
 		p.engineSearches.Add(1)
 		path, stats, err := e.Route(qs[pm.i])
+		if tr == nil {
+			sp.End()
+		} else {
+			attach := stats
+			sp.EndWith(&attach)
+		}
 		r := Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
+		sp = tr.Start(obs.StageStore)
 		p.storeOutcome(b, e, qs[pm.i], keys[pm.i], ekeys[pm.i], true, r, pm.epoch, pm.wepoch)
+		sp.End()
 		out[pm.i] = r
 		return
 	}
 
+	sp = tr.Start(obs.StageEngine)
 	var outs []core.ManyOutcome
 	if grp.Kind == batchplan.SharedSource {
 		outs = e.RouteMany(grp.Source, pts, grp.At, grp.Speed)
 	} else {
 		outs = e.RouteManyTo(pts, grp.Target, grp.At, grp.Speed)
+	}
+	if tr == nil {
+		sp.End()
+	} else {
+		// The shared run's frontier stats: every non-solo outcome
+		// carries the same search's numbers, so the first one stands
+		// for the run.
+		attach := outs[0].Stats
+		sp.EndWith(&attach)
 	}
 	nShared := 0
 	for _, o := range outs {
@@ -741,6 +798,8 @@ func (p *Pool) routeGroup(b *poolBackend, qs []core.Query, items []batchplan.Ite
 		p.sharedRuns.Add(1)
 		p.sharedAnswers.Add(int64(nShared))
 	}
+	sp = tr.Start(obs.StageStore)
+	defer sp.End()
 	for k, pm := range rem {
 		o := outs[k]
 		path := o.Path

@@ -128,11 +128,11 @@ func TestPoolCacheHitsAndExactness(t *testing.T) {
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}})
 
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(35, 35, 0), At: temporal.Clock(12, 0, 0)}
-	r1 := pool.route(q)
+	r1 := pool.route(nil, q)
 	if r1.CacheHit {
 		t.Fatal("first route reported a cache hit")
 	}
-	r2 := pool.route(q)
+	r2 := pool.route(nil, q)
 	if !r2.CacheHit {
 		t.Fatal("identical repeat was not served from cache")
 	}
@@ -143,20 +143,20 @@ func TestPoolCacheHitsAndExactness(t *testing.T) {
 	// A 24h-shifted time normalises to the same instant and must hit.
 	qShift := q
 	qShift.At = q.At + temporal.DaySeconds
-	if r := pool.route(qShift); !r.CacheHit {
+	if r := pool.route(nil, qShift); !r.CacheHit {
 		t.Fatal("day-wrapped identical query missed the cache")
 	}
 
 	// Same partitions, different point: must MISS (exact semantics).
 	qMoved := q
 	qMoved.Source = geom.Pt(6, 6, 0)
-	if r := pool.route(qMoved); r.CacheHit {
+	if r := pool.route(nil, qMoved); r.CacheHit {
 		t.Fatal("different source point wrongly hit the cache")
 	}
 	// Same points, different slot: must miss.
 	qLate := q
 	qLate.At = temporal.Clock(23, 30, 0)
-	if r := pool.route(qLate); r.CacheHit {
+	if r := pool.route(nil, qLate); r.CacheHit {
 		t.Fatal("different time wrongly hit the cache")
 	}
 
@@ -182,16 +182,16 @@ func TestPoolCacheInvalidation(t *testing.T) {
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodSyn}})
 
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(12, 0, 0)}
-	pool.route(q)
+	pool.route(nil, q)
 	slot := g.Checkpoints().SlotOf(q.At) // the walk starts and ends inside this slot
 	// Invalidating an unrelated slot keeps the entry.
 	pool.InvalidateSlot(slot - 1)
-	if r := pool.route(q); !r.CacheHit {
+	if r := pool.route(nil, q); !r.CacheHit {
 		t.Fatal("unrelated slot invalidation dropped the found-path entry")
 	}
 	// Invalidating a slot the walk spans drops it.
 	pool.InvalidateSlot(slot)
-	if r := pool.route(q); r.CacheHit {
+	if r := pool.route(nil, q); r.CacheHit {
 		t.Fatal("query hit the cache after its slot was invalidated")
 	}
 
@@ -199,14 +199,14 @@ func TestPoolCacheInvalidation(t *testing.T) {
 	// could create a route), so any slot invalidation drops it.
 	night := q
 	night.At = temporal.Clock(20, 0, 0)
-	if r := pool.route(night); !errors.Is(r.Err, core.ErrNoRoute) {
+	if r := pool.route(nil, night); !errors.Is(r.Err, core.ErrNoRoute) {
 		t.Fatalf("night route err = %v, want ErrNoRoute", r.Err)
 	}
-	if r := pool.route(night); !r.CacheHit {
+	if r := pool.route(nil, night); !r.CacheHit {
 		t.Fatal("no-route outcome was not cached")
 	}
 	pool.InvalidateSlot(slot - 1)
-	if r := pool.route(night); r.CacheHit {
+	if r := pool.route(nil, night); r.CacheHit {
 		t.Fatal("no-route entry survived a slot invalidation")
 	}
 
@@ -231,10 +231,10 @@ func TestPoolUpdateSchedules(t *testing.T) {
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}})
 
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(12, 0, 0)}
-	if r := pool.route(q); r.Err != nil {
+	if r := pool.route(nil, q); r.Err != nil {
 		t.Fatalf("route before swap: %v", r.Err)
 	}
-	pool.route(q) // populate the cache
+	pool.route(nil, q) // populate the cache
 
 	did, _ := v.DoorByName("d")
 	night := temporal.MustSchedule(temporal.MustInterval(temporal.Clock(2, 0, 0), temporal.Clock(3, 0, 0)))
@@ -244,7 +244,7 @@ func TestPoolUpdateSchedules(t *testing.T) {
 	if pool.CacheLen() != 0 {
 		t.Fatalf("CacheLen = %d after schedule swap", pool.CacheLen())
 	}
-	r := pool.route(q)
+	r := pool.route(nil, q)
 	if !errors.Is(r.Err, core.ErrNoRoute) {
 		t.Fatalf("route after closing the door: err = %v, want ErrNoRoute", r.Err)
 	}
@@ -255,7 +255,7 @@ func TestPoolUpdateSchedules(t *testing.T) {
 	q2 := q
 	q2.At = temporal.Clock(2, 30, 0)
 	wantPath, _, wantErr := core.NewEngine(pool.Graph(), core.Options{Method: core.MethodAsyn}).Route(q2)
-	got := pool.route(q2)
+	got := pool.route(nil, q2)
 	sameOutcome(t, "post-swap", got.Path, got.Err, wantPath, wantErr)
 	if err := pool.UpdateSchedules(map[model.DoorID]temporal.Schedule{model.DoorID(99): nil}); err == nil {
 		t.Fatal("UpdateSchedules accepted an unknown door")
@@ -278,11 +278,11 @@ func TestPoolCacheHotBucketEviction(t *testing.T) {
 			Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0),
 			At: temporal.Clock(12, 0, i), // distinct seconds, same slot
 		}
-		pool.route(q)
+		pool.route(nil, q)
 		if n := pool.CacheLen(); n > 4 {
 			t.Fatalf("cache grew to %d entries, capacity 4", n)
 		}
-		if r := pool.route(q); !r.CacheHit {
+		if r := pool.route(nil, q); !r.CacheHit {
 			t.Fatalf("iteration %d: just-computed entry was evicted", i)
 		}
 	}
@@ -294,7 +294,7 @@ func TestPoolCacheEviction(t *testing.T) {
 	g := itgraph.MustNew(v)
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodSyn}, CacheCapacity: 8})
 	for _, q := range randomQueries(rng, 200, 50, 50) {
-		pool.route(q)
+		pool.route(nil, q)
 		if n := pool.CacheLen(); n > 8 {
 			t.Fatalf("cache grew to %d entries, capacity 8", n)
 		}
@@ -307,8 +307,8 @@ func TestPoolCacheDisabled(t *testing.T) {
 	g := itgraph.MustNew(v)
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodSyn}, CacheCapacity: -1})
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(25, 25, 0), At: temporal.Clock(12, 0, 0)}
-	pool.route(q)
-	if r := pool.route(q); r.CacheHit {
+	pool.route(nil, q)
+	if r := pool.route(nil, q); r.CacheHit {
 		t.Fatal("cache hit with caching disabled")
 	}
 	if pool.CacheLen() != 0 {

@@ -34,7 +34,7 @@ func TestWindowPoolProvenance(t *testing.T) {
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}, WindowCache: true})
 
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(12, 0, 0)}
-	r1 := pool.route(q)
+	r1 := pool.route(nil, q)
 	if r1.Err != nil {
 		t.Fatal(r1.Err)
 	}
@@ -49,7 +49,7 @@ func TestWindowPoolProvenance(t *testing.T) {
 	// byte-identical to a fresh engine run at the shifted time.
 	q2 := q
 	q2.At = temporal.Clock(13, 30, 0)
-	r2 := pool.route(q2)
+	r2 := pool.route(nil, q2)
 	if r2.Hit != HitWindow || !r2.CacheHit {
 		t.Fatalf("shifted route: hit=%q cacheHit=%v, want window", r2.Hit, r2.CacheHit)
 	}
@@ -69,14 +69,14 @@ func TestWindowPoolProvenance(t *testing.T) {
 	// hits are deliberately not promoted into the exact cache — a sweep
 	// would flood it with one-shot entries); the engine-computed
 	// original, however, is an exact hit.
-	r3 := pool.route(q2)
+	r3 := pool.route(nil, q2)
 	if r3.Hit != HitWindow || !r3.CacheHit {
 		t.Fatalf("repeat: hit=%q, want window", r3.Hit)
 	}
 	if !reflect.DeepEqual(r3.Path, wantPath) {
 		t.Fatal("repeated window answer differs from engine")
 	}
-	if r := pool.route(q); r.Hit != HitExact || !r.CacheHit {
+	if r := pool.route(nil, q); r.Hit != HitExact || !r.CacheHit {
 		t.Fatalf("original repeat: hit=%q, want exact", r.Hit)
 	}
 
@@ -94,7 +94,7 @@ func TestWindowPoolProvenance(t *testing.T) {
 	// A departure in another slot must not hit the window.
 	q4 := q
 	q4.At = temporal.Clock(7, 0, 0)
-	if r := pool.route(q4); r.Hit != HitMiss {
+	if r := pool.route(nil, q4); r.Hit != HitMiss {
 		t.Fatalf("other-slot departure: hit=%q, want miss", r.Hit)
 	}
 }
@@ -103,7 +103,7 @@ func TestWindowPoolKeyIsolation(t *testing.T) {
 	g, _ := windowDemoVenue(t)
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}, WindowCache: true})
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(12, 0, 0)}
-	if r := pool.route(q); r.Err != nil {
+	if r := pool.route(nil, q); r.Err != nil {
 		t.Fatal(r.Err)
 	}
 
@@ -111,21 +111,21 @@ func TestWindowPoolKeyIsolation(t *testing.T) {
 	qMoved := q
 	qMoved.Source = geom.Pt(6, 5, 0)
 	qMoved.At = temporal.Clock(12, 30, 0)
-	if r := pool.route(qMoved); r.Hit != HitMiss {
+	if r := pool.route(nil, qMoved); r.Hit != HitMiss {
 		t.Fatalf("moved point: hit=%q, want miss", r.Hit)
 	}
 	// Same points, different speed: windows are per-speed.
 	qFast := q
 	qFast.Speed = 3.0
 	qFast.At = temporal.Clock(12, 30, 0)
-	if r := pool.route(qFast); r.Hit != HitMiss {
+	if r := pool.route(nil, qFast); r.Hit != HitMiss {
 		t.Fatalf("different speed: hit=%q, want miss", r.Hit)
 	}
 	// The default speed spelled explicitly is the same query family.
 	qExplicit := q
 	qExplicit.Speed = core.WalkingSpeedMPS
 	qExplicit.At = temporal.Clock(13, 0, 0)
-	if r := pool.route(qExplicit); r.Hit != HitWindow {
+	if r := pool.route(nil, qExplicit); r.Hit != HitWindow {
 		t.Fatalf("explicit default speed: hit=%q, want window", r.Hit)
 	}
 }
@@ -134,21 +134,21 @@ func TestWindowPoolNoRouteNotWindowCached(t *testing.T) {
 	g, _ := windowDemoVenue(t)
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}, WindowCache: true})
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(20, 0, 0)}
-	if r := pool.route(q); !errors.Is(r.Err, core.ErrNoRoute) {
+	if r := pool.route(nil, q); !errors.Is(r.Err, core.ErrNoRoute) {
 		t.Fatalf("err = %v, want ErrNoRoute", r.Err)
 	}
 	if pool.WindowLen() != 0 {
 		t.Fatalf("WindowLen = %d, want 0 (no-route outcomes have no window)", pool.WindowLen())
 	}
 	// The exact cache still covers the identical repeat.
-	if r := pool.route(q); r.Hit != HitExact {
+	if r := pool.route(nil, q); r.Hit != HitExact {
 		t.Fatalf("repeat: hit=%q, want exact", r.Hit)
 	}
 	// A same-slot shifted no-route query is a plain miss — never a false
 	// window answer.
 	q2 := q
 	q2.At = temporal.Clock(21, 0, 0)
-	if r := pool.route(q2); r.Hit != HitMiss || !errors.Is(r.Err, core.ErrNoRoute) {
+	if r := pool.route(nil, q2); r.Hit != HitMiss || !errors.Is(r.Err, core.ErrNoRoute) {
 		t.Fatalf("shifted no-route: hit=%q err=%v", r.Hit, r.Err)
 	}
 }
@@ -157,7 +157,7 @@ func TestWindowPoolSwapDropsStore(t *testing.T) {
 	g, v := windowDemoVenue(t)
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}, WindowCache: true})
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(12, 0, 0)}
-	if r := pool.route(q); r.Err != nil {
+	if r := pool.route(nil, q); r.Err != nil {
 		t.Fatal(r.Err)
 	}
 	if pool.WindowLen() != 1 {
@@ -176,7 +176,7 @@ func TestWindowPoolSwapDropsStore(t *testing.T) {
 	}
 	q2 := q
 	q2.At = temporal.Clock(12, 30, 0)
-	r := pool.route(q2)
+	r := pool.route(nil, q2)
 	if r.Hit != HitMiss || !errors.Is(r.Err, core.ErrNoRoute) {
 		t.Fatalf("post-swap: hit=%q err=%v, want a fresh no-route", r.Hit, r.Err)
 	}
@@ -187,10 +187,10 @@ func TestWindowPoolInvalidateSlot(t *testing.T) {
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}, WindowCache: true})
 	qOpen := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(12, 0, 0)}
 	qSame := core.Query{Source: geom.Pt(2, 5, 0), Target: geom.Pt(8, 5, 0), At: temporal.Clock(20, 0, 0)}
-	if r := pool.route(qOpen); r.Err != nil {
+	if r := pool.route(nil, qOpen); r.Err != nil {
 		t.Fatal(r.Err)
 	}
-	if r := pool.route(qSame); r.Err != nil { // same-partition path, slot [16,24)
+	if r := pool.route(nil, qSame); r.Err != nil { // same-partition path, slot [16,24)
 		t.Fatal(r.Err)
 	}
 	if pool.WindowLen() != 2 {
@@ -209,7 +209,7 @@ func TestWindowPoolInvalidateSlot(t *testing.T) {
 	}
 	q2 := qOpen
 	q2.At = temporal.Clock(13, 0, 0)
-	if r := pool.route(q2); r.Hit != HitMiss {
+	if r := pool.route(nil, q2); r.Hit != HitMiss {
 		t.Fatalf("post-invalidation: hit=%q, want miss", r.Hit)
 	}
 	pool.InvalidateCache()
@@ -280,7 +280,7 @@ func TestWindowPoolSweepByteIdentical(t *testing.T) {
 					q := od
 					q.At = at
 					wantPath, _, wantErr := seq.Route(q)
-					got := pool.route(q)
+					got := pool.route(nil, q)
 					if (got.Err == nil) != (wantErr == nil) {
 						t.Fatalf("%s/%v at %v: err %v vs %v (hit=%q)", fx.name, method, at, got.Err, wantErr, got.Hit)
 					}
@@ -381,10 +381,10 @@ func TestWindowPoolDisabledByDefault(t *testing.T) {
 	g, _ := windowDemoVenue(t)
 	pool := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}})
 	q := core.Query{Source: geom.Pt(5, 5, 0), Target: geom.Pt(15, 5, 0), At: temporal.Clock(12, 0, 0)}
-	pool.route(q)
+	pool.route(nil, q)
 	q2 := q
 	q2.At = temporal.Clock(13, 0, 0)
-	if r := pool.route(q2); r.Hit != HitMiss {
+	if r := pool.route(nil, q2); r.Hit != HitMiss {
 		t.Fatalf("default pool served hit=%q for a shifted departure, want miss", r.Hit)
 	}
 	if pool.WindowLen() != 0 {
@@ -394,8 +394,8 @@ func TestWindowPoolDisabledByDefault(t *testing.T) {
 	// Negative WindowCapacity disables the store even with WindowCache
 	// set, mirroring the CacheCapacity convention.
 	off := New(g, Options{Engine: core.Options{Method: core.MethodAsyn}, WindowCache: true, WindowCapacity: -1})
-	off.route(q)
-	if r := off.route(q2); r.Hit != HitMiss {
+	off.route(nil, q)
+	if r := off.route(nil, q2); r.Hit != HitMiss {
 		t.Fatalf("disabled window store served hit=%q", r.Hit)
 	}
 	if off.WindowLen() != 0 {
