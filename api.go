@@ -10,6 +10,7 @@ import (
 	"indoorpath/internal/geom"
 	"indoorpath/internal/itgraph"
 	"indoorpath/internal/model"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/render"
 	"indoorpath/internal/replay"
 	"indoorpath/internal/server"
@@ -276,6 +277,31 @@ type (
 // answered via RouteBatchSummary, and the batch planner's grouping is
 // what turns held singletons into shared engine runs.
 func NewCoalescer(p *ServicePool, opts CoalescerOptions) *Coalescer { return coalesce.New(p, opts) }
+
+// Observability types (see internal/obs; served by GET /loadz and the
+// "explain" / reasons surfaces).
+type (
+	// LoadRing is the lock-free rolling ring of per-second load
+	// buckets every ServicePool feeds; LoadRing.Windows reads the
+	// trailing windowed view (queries, hits, shareability, hold
+	// utilization) in one pass.
+	LoadRing = obs.LoadRing
+	// LoadSample is one windowed (or per-operation) set of load
+	// signals — the unit both fed into and read out of a LoadRing.
+	LoadSample = obs.LoadSample
+	// DecisionReason is a compact provenance code: why a query missed
+	// the caches or why a plan member ran a dedicated engine search.
+	// Its String form is the wire vocabulary ("no_exact_entry",
+	// "outside_windows", "private_partition", ...).
+	DecisionReason = obs.Reason
+	// ReasonStats are cumulative per-reason counters (part of
+	// PoolStats and the /statsz body).
+	ReasonStats = service.ReasonStats
+)
+
+// LoadWindows are the trailing spans, in seconds, every windowed load
+// view reports (10s, 1m, 5m).
+var LoadWindows = obs.LoadWindows
 
 // HTTP serving types (see internal/server and cmd/itspqd).
 type (

@@ -19,9 +19,11 @@
 // and response bodies):
 //
 //	GET  /healthz
+//	GET  /buildz
 //	GET  /statsz
 //	GET  /metricsz
-//	GET  /tracez
+//	GET  /tracez    (filters: ?venue= ?method= ?min_ms= ?outcome=)
+//	GET  /loadz
 //	GET  /v1/venues
 //	POST /v1/venues/{id}/route
 //	POST /v1/venues/{id}/route:batch

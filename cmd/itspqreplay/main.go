@@ -49,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", "", "daemon base URL, e.g. http://127.0.0.1:8080 (empty = self-host the scenario's preset in process)")
 		out      = fs.String("out", "BENCH_replay.json", "report output path (- = stdout)")
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
-		verbose  = fs.Bool("v", false, "per-phase progress on stderr, plus the server-side per-stage latency breakdown table")
+		verbose  = fs.Bool("v", false, "per-phase progress on stderr, plus the server-side per-stage latency breakdown and decision-provenance reason tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -122,6 +122,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		if tbl := rep.StageTable(); tbl != "" {
 			fmt.Fprint(stdout, "itspqreplay: server-side stage breakdown\n"+tbl)
+		}
+		if tbl := rep.ReasonsTable(); tbl != "" {
+			fmt.Fprint(stdout, "itspqreplay: decision provenance (miss / solo reasons per phase)\n"+tbl)
 		}
 	}
 	if !rep.Pass {

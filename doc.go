@@ -199,10 +199,13 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                       liveness + venue count
+//	GET  /healthz                       liveness + venue count + start time + build
+//	GET  /buildz                        build provenance (go version, VCS revision) + uptime
 //	GET  /statsz                        per-venue, per-method pool counters
 //	GET  /metricsz                      the same counters, Prometheus text format
-//	GET  /tracez                        recent request traces (slowest-K + sampled)
+//	GET  /tracez                        recent request traces (slowest-K + sampled);
+//	                                    filters ?venue= ?method= ?min_ms= ?outcome=
+//	GET  /loadz                         rolling windowed load signals (10s/1m/5m)
 //	GET  /v1/venues                     venue listing
 //	POST /v1/venues                     hot venue reload (preset / JSON dir)
 //	POST /v1/venues/{id}/route          one ITSPQ query
@@ -352,6 +355,39 @@
 // breakdown table from the histogram deltas, and BENCH_replay.json
 // records per-phase stage totals, server-side latency quantiles and a
 // client-vs-server quantile cross-check.
+//
+// # Load signals and decision provenance
+//
+// On top of the cumulative counters, every serving pool feeds a
+// lock-free ring of per-second buckets (obs.LoadRing — always on,
+// allocation-free per operation; BenchmarkLoadRingFeed self-checks
+// this in CI). GET /loadz reads each ring ONCE per scrape and reports
+// trailing 10s / 1m / 5m windows per venue and method: arrival rate,
+// exact and window hit rates, shareability (deduped + shared answers
+// per query), engine searches per query, coalescer hold utilization
+// (actual held time vs the configured hold — the headroom an adaptive
+// hold policy would steer by) and flush fan-out. The same derived
+// rates are exported as indoorpath_load_*{venue,method,window} gauges
+// on /metricsz. Within every windowed view the partition invariant
+// exact_hits + window_hits + deduped <= queries holds even while
+// buckets rotate under concurrent feeders: a query's whole outcome is
+// committed to one bucket, queries are written first and read last,
+// and a bucket observed mid-rotation is dropped whole.
+//
+// Decision provenance answers WHY, not just how often: every cache
+// miss carries a compact reason code — uncacheable, no_exact_entry,
+// window_family_absent, outside_windows (a window series exists but
+// the departure falls outside every cached interval), epoch_raced
+// (the answer was computed but a concurrent schedule update made it
+// unstorable) — and every plan member that ran a dedicated engine
+// search records why it could not share: private_partition,
+// singleton_group, or ablation (sharing disabled). Miss responses
+// carry the code inline as "explain"; cumulative per-reason counters
+// ride /statsz ("reasons") and /metricsz
+// (indoorpath_reason_miss_total / indoorpath_reason_solo_total), and
+// probe/plan spans attach the reason to traces. itspqreplay records
+// per-phase reason deltas and the post-phase /loadz view in
+// BENCH_replay.json, and -v prints the reasons table.
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the paper-to-code mapping.

@@ -108,6 +108,25 @@ func main() {
 	show("tracez", call(ts.URL, http.MethodGet, "/tracez", ""))
 	show("metricsz (request histogram)", grepLines(
 		call(ts.URL, http.MethodGet, "/metricsz", ""), "indoorpath_request_seconds_count"))
+
+	// Decision provenance: a miss explains itself inline ("explain":
+	// "no_exact_entry", "outside_windows", ...) — a fresh departure has
+	// no cached answer, so this response carries the reason; a repeat
+	// of it would be an exact hit and carry none.
+	miss := `{"from":{"x":30,"y":10,"floor":0},"to":{"x":5,"y":34,"floor":0},"at":"12:10"}`
+	missBody := call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", miss)
+	if i := strings.LastIndex(missBody, `"explain"`); i >= 0 {
+		show("route miss with explain", "…"+missBody[i:])
+	}
+
+	// /loadz is the rolling load view the adaptive serving layer steers
+	// by: trailing 10s/1m/5m windows per venue and method — arrival
+	// rate, hit rates, shareability, coalescer hold utilization — plus
+	// per-reason miss/solo tallies. The same derived rates export as
+	// indoorpath_load_*{venue,method,window} gauges on /metricsz.
+	show("loadz", call(ts.URL, http.MethodGet, "/loadz", ""))
+	show("metricsz (load gauges)", grepLines(
+		call(ts.URL, http.MethodGet, "/metricsz", ""), "indoorpath_load_arrival_per_sec"))
 }
 
 // grepLines keeps only the lines of body containing substr.

@@ -44,6 +44,7 @@ import (
 	"indoorpath/internal/core"
 	"indoorpath/internal/geom"
 	"indoorpath/internal/model"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/temporal"
 )
 
@@ -104,6 +105,12 @@ type Group struct {
 	At temporal.TimeOfDay
 	// Speed is the shared walking speed.
 	Speed float64
+	// Why records the decision provenance of a Solo group: why this
+	// member could not share (obs.ReasonPrivatePartition when the
+	// privacy rule blocked every available sharing side,
+	// obs.ReasonSingletonGroup when a side was open but had no
+	// partners). Zero for shared groups.
+	Why obs.Reason
 }
 
 // Plan is an ordered set of execution groups covering every input item
@@ -208,9 +215,20 @@ func New(items []Item, method core.Method) Plan {
 		}
 		return items[gi.Members[0]].Index < items[gj.Members[0]].Index
 	})
+	// Solo provenance: private_partition when the privacy rule closed
+	// every sharing side this method offers; otherwise the member
+	// simply had no partners (singleton family, or the counterpart
+	// group absorbed them — those items had an open side by
+	// construction, so the first test is false for them).
+	soloWhy := func(it Item) obs.Reason {
+		if !srcShareable(it) && !tgtShareable(it) && (it.SrcPrivate || it.TgtPrivate) {
+			return obs.ReasonPrivatePartition
+		}
+		return obs.ReasonSingletonGroup
+	}
 	sort.Ints(solos)
 	for _, m := range solos {
-		groups = append(groups, Group{Kind: Solo, Members: []int{m}})
+		groups = append(groups, Group{Kind: Solo, Members: []int{m}, Why: soloWhy(items[m])})
 	}
 	return Plan{Groups: groups}
 }

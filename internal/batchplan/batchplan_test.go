@@ -7,6 +7,7 @@ import (
 	"indoorpath/internal/core"
 	"indoorpath/internal/geom"
 	"indoorpath/internal/model"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/temporal"
 )
 
@@ -165,5 +166,50 @@ func TestPlanDeterministicOrder(t *testing.T) {
 	// Largest group first, solo tail last.
 	if len(want.Groups[0].Members) != 5 || want.Groups[len(want.Groups)-1].Kind != Solo {
 		t.Fatalf("ordering: %+v", want.Groups)
+	}
+}
+
+func TestPlanSoloProvenance(t *testing.T) {
+	at := temporal.TimeOfDay(3600)
+	// Items 0+1 share a source; item 2's target partition is private
+	// (and distinct from its source), blocking its only sharing side;
+	// item 3 is an ordinary singleton.
+	items := []Item{
+		item(0, geom.Pt(0, 0, 0), geom.Pt(9, 0, 0), at),
+		item(1, geom.Pt(0, 0, 0), geom.Pt(8, 0, 0), at),
+		item(2, geom.Pt(1, 1, 0), geom.Pt(7, 0, 0), at),
+		item(3, geom.Pt(2, 2, 0), geom.Pt(6, 0, 0), at),
+	}
+	items[2].TgtPrivate = true
+	p := New(items, core.MethodSyn)
+	coverage(t, p, len(items))
+
+	why := map[int]obs.Reason{}
+	for _, g := range p.Groups {
+		if g.Kind == Solo {
+			why[g.Members[0]] = g.Why
+		} else if g.Why != obs.ReasonNone {
+			t.Fatalf("shared group carries Why=%v", g.Why)
+		}
+	}
+	if why[2] != obs.ReasonPrivatePartition {
+		t.Fatalf("privacy-blocked solo Why = %v, want private_partition", why[2])
+	}
+	if why[3] != obs.ReasonSingletonGroup {
+		t.Fatalf("singleton solo Why = %v, want singleton_group", why[3])
+	}
+
+	// Static method: item 2's source side opens up (shared-target runs
+	// exist), but with no partners it is a singleton, not
+	// privacy-blocked — only a fully closed item reports privacy.
+	p = New(items[2:3], core.MethodStatic)
+	if g := p.Groups[0]; g.Kind != Solo || g.Why != obs.ReasonSingletonGroup {
+		t.Fatalf("static half-open solo = kind %v why %v, want solo/singleton_group", g.Kind, g.Why)
+	}
+	both := items[2]
+	both.SrcPrivate = true
+	p = New([]Item{both}, core.MethodStatic)
+	if g := p.Groups[0]; g.Why != obs.ReasonPrivatePartition {
+		t.Fatalf("fully blocked static solo Why = %v, want private_partition", g.Why)
 	}
 }

@@ -1,0 +1,77 @@
+package obs
+
+// Reason is a compact decision-provenance code explaining why the
+// serving stack made a negative decision: why a lookup missed every
+// cache, or why a batch/coalesce member ran a dedicated engine search
+// instead of joining a shared run. Reasons ride Results as a single
+// byte, surface as the "explain" field on miss responses, and are
+// tallied per pool (/statsz, /metricsz) and per second (LoadRing).
+type Reason uint8
+
+const (
+	// ReasonNone: no negative decision (cache hit, shared answer).
+	ReasonNone Reason = iota
+
+	// Miss reasons — why no cache could answer.
+
+	// ReasonUncacheable: an endpoint lies outside every partition, so
+	// the query has no cache identity at all.
+	ReasonUncacheable
+	// ReasonNoExactEntry: the exact-key cache had no entry and no
+	// window store was consulted (window cache off or absent).
+	ReasonNoExactEntry
+	// ReasonWindowFamilyAbsent: the window store holds no validity
+	// series for this endpoint family at this speed.
+	ReasonWindowFamilyAbsent
+	// ReasonOutsideWindows: the family exists but the departure time
+	// falls outside every stored validity window.
+	ReasonOutsideWindows
+	// ReasonEpochRaced: the lookup missed and the computed outcome was
+	// then discarded because a schedule invalidation ran while the
+	// search was in flight — the next identical query will miss again.
+	ReasonEpochRaced
+
+	// Solo reasons — why a member ran outside a shared engine run.
+
+	// ReasonPrivatePartition: a private endpoint partition blocked
+	// sharing (the paper's privacy rule).
+	ReasonPrivatePartition
+	// ReasonSingletonGroup: the member's endpoint family had nothing
+	// to share with (singleton family, or caches absorbed the rest of
+	// the group).
+	ReasonSingletonGroup
+	// ReasonAblation: the SinglePartitionExpansion ablation forbids
+	// shared expansion, forcing per-query fallback searches.
+	ReasonAblation
+
+	// NumReasons sizes dense per-reason counter arrays.
+	NumReasons
+)
+
+var reasonNames = [NumReasons]string{
+	ReasonNone:               "",
+	ReasonUncacheable:        "uncacheable",
+	ReasonNoExactEntry:       "no_exact_entry",
+	ReasonWindowFamilyAbsent: "window_family_absent",
+	ReasonOutsideWindows:     "outside_windows",
+	ReasonEpochRaced:         "epoch_raced",
+	ReasonPrivatePartition:   "private_partition",
+	ReasonSingletonGroup:     "singleton_group",
+	ReasonAblation:           "ablation",
+}
+
+// String returns the stable wire name ("" for ReasonNone). The names
+// are part of the /statsz, /loadz and "explain" vocabulary; never
+// renumber or rename.
+func (r Reason) String() string {
+	if r < NumReasons {
+		return reasonNames[r]
+	}
+	return ""
+}
+
+// IsMiss reports whether r explains a cache miss (as opposed to a
+// solo-run decision).
+func (r Reason) IsMiss() bool {
+	return r >= ReasonUncacheable && r <= ReasonEpochRaced
+}

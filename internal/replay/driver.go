@@ -296,6 +296,7 @@ func runPhase(client *http.Client, base, venue string, mv *model.Venue, ps *Phas
 
 	phr := aggregatePhase(ph, results, oracle, before, after, venue)
 	phr.DurationSec = phaseDur.Seconds()
+	phr.Load = scrapeLoad(client, base, venue)
 	if fr != nil {
 		fr.mu.Lock()
 		for _, e := range fr.errs {
@@ -458,6 +459,7 @@ func statsDelta(before, after *server.StatsResponse, venue string) StatsDeltaDoc
 		d.Deduped += am.Deduped - bm.Deduped
 		d.SharedRuns += am.SharedRuns - bm.SharedRuns
 		d.SharedAnswers += am.SharedAnswers - bm.SharedAnswers
+		d.Reasons = d.Reasons.Add(am.Reasons.Sub(bm.Reasons))
 		bc, ac := b.Coalesce[m], a.Coalesce[m]
 		d.CoalesceFlushes += ac.Flushes - bc.Flushes
 		d.CoalescedAnswers += ac.Answers - bc.Answers
@@ -483,6 +485,26 @@ func scrapeStats(client *http.Client, base string) (*server.StatsResponse, error
 		return nil, fmt.Errorf("replay: scrape /statsz: %w", err)
 	}
 	return &st, nil
+}
+
+// scrapeLoad reads the venue's /loadz block right after a phase. The
+// scrape is best-effort: nil against daemons predating the endpoint
+// (404) or on any transport/decode failure — the load view annotates
+// the report, it must not fail a run.
+func scrapeLoad(client *http.Client, base, venue string) map[string][]server.LoadWindowDoc {
+	resp, err := client.Get(base + "/loadz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var lz server.LoadzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lz); err != nil {
+		return nil
+	}
+	return lz.Venues[venue]
 }
 
 // checkVenueServed verifies the daemon lists the scenario's venue.

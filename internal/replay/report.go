@@ -11,6 +11,7 @@ import (
 
 	"indoorpath/internal/obs"
 	"indoorpath/internal/server"
+	"indoorpath/internal/service"
 )
 
 // LatencyDoc holds the per-phase latency percentiles in milliseconds
@@ -60,6 +61,10 @@ type StatsDeltaDoc struct {
 	// counters (not per venue, but a replay run owns the daemon).
 	Timeouts   int64 `json:"timeouts"`
 	ClientGone int64 `json:"client_gone"`
+	// Reasons is the decision-provenance movement: why this phase's
+	// misses missed and why its plan members ran solo, summed over the
+	// venue's method pools (zero against daemons predating them).
+	Reasons service.ReasonStats `json:"reasons"`
 }
 
 // StageDeltaDoc is one pipeline stage's histogram movement across a
@@ -112,6 +117,12 @@ type PhaseReport struct {
 	LatencyMs  LatencyDoc    `json:"latency"`
 	Provenance ProvenanceDoc `json:"provenance"`
 	StatsDelta StatsDeltaDoc `json:"stats_delta"`
+	// Load is the venue's /loadz block scraped right after the phase
+	// finished: per method, one windowed load view per served window
+	// (10s/1m/5m). The shortest window approximates the phase's own
+	// traffic; wider windows blend preceding phases in. Absent against
+	// daemons predating /loadz (the scrape is best-effort).
+	Load map[string][]server.LoadWindowDoc `json:"load,omitempty"`
 	// Stages is the per-stage latency breakdown from the daemon's
 	// stage histograms (absent against daemons predating them).
 	Stages []StageDeltaDoc `json:"stage_breakdown,omitempty"`
@@ -324,6 +335,34 @@ func (r *Report) StageTable() string {
 		if h := ph.HistLatency; h != nil {
 			fmt.Fprintf(&sb, "%-14s %-8s %8d  server-side request p50<=%.3fms p95<=%.3fms p99<=%.3fms\n",
 				ph.Name, "request", h.Count, h.P50Ms, h.P95Ms, h.P99Ms)
+		}
+	}
+	return sb.String()
+}
+
+// ReasonsTable renders the per-phase decision-provenance movement —
+// the miss and solo reason tallies from the /statsz deltas — as an
+// aligned text table (printed by itspqreplay -v after the stage
+// table). Zero rows are skipped; empty when no phase recorded any
+// reason (e.g. against a daemon predating provenance).
+func (r *Report) ReasonsTable() string {
+	var sb strings.Builder
+	header := false
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		for _, rc := range ph.StatsDelta.Reasons.Counts() {
+			if rc.Count == 0 {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(&sb, "%-14s %-5s %-22s %8s\n", "phase", "kind", "reason", "count")
+				header = true
+			}
+			kind := "solo"
+			if rc.Reason.IsMiss() {
+				kind = "miss"
+			}
+			fmt.Fprintf(&sb, "%-14s %-5s %-22s %8d\n", ph.Name, kind, rc.Reason.String(), rc.Count)
 		}
 	}
 	return sb.String()

@@ -2,23 +2,173 @@ package server
 
 import (
 	"net/http"
+	"runtime/debug"
+	"strconv"
 
 	"indoorpath/internal/obs"
 )
 
 // This file is the server side of the observability surface: GET
-// /tracez and the consistent stats snapshot shared by /statsz and
-// /metricsz.
+// /tracez (with server-side filters), GET /loadz, build provenance,
+// and the consistent stats snapshot shared by /statsz and /metricsz.
 
 // handleTracez serves the retained recent traces: the slowest-K first
 // (descending duration), then the 1-in-N sampled population newest
-// first. The ring is bounded, so the response is too.
-func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
-	traces := s.obsv.Traces()
-	if traces == nil {
-		traces = []*obs.TraceDoc{}
+// first. The ring is bounded, so the response is too. Filters narrow
+// the listing server-side — ?venue=, ?method=, ?outcome= match
+// exactly, ?min_ms= keeps traces at or above the duration — and
+// unknown parameters are a hard 400: a typoed filter silently matching
+// everything is exactly how slow-trace triage goes wrong.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for k := range q {
+		switch k {
+		case "venue", "method", "min_ms", "outcome":
+		default:
+			writeError(w, http.StatusBadRequest,
+				badRequest("unknown query parameter %q (supported: venue, method, min_ms, outcome)", k))
+			return
+		}
+	}
+	venue, method, outcome := q.Get("venue"), q.Get("method"), q.Get("outcome")
+	var minMs float64
+	if v := q.Get("min_ms"); v != "" {
+		var err error
+		if minMs, err = strconv.ParseFloat(v, 64); err != nil || minMs < 0 {
+			writeError(w, http.StatusBadRequest, badRequest("bad \"min_ms\": want a non-negative number, got %q", v))
+			return
+		}
+	}
+	switch outcome {
+	case "", obs.OutcomeOK, obs.OutcomeNoRoute, obs.OutcomeError, obs.OutcomeTimeout, obs.OutcomeClientGone:
+	default:
+		writeError(w, http.StatusBadRequest, badRequest("bad \"outcome\": %q (want ok, no_route, error, timeout or client_gone)", outcome))
+		return
+	}
+
+	traces := []*obs.TraceDoc{}
+	for _, d := range s.obsv.Traces() {
+		if (venue != "" && d.Venue != venue) ||
+			(method != "" && d.Method != method) ||
+			(outcome != "" && d.Outcome != outcome) ||
+			d.DurationMs < minMs {
+			continue
+		}
+		traces = append(traces, d)
 	}
 	writeJSON(w, http.StatusOK, TracezResponse{Count: len(traces), Traces: traces})
+}
+
+// handleLoadz serves the rolling load signals: per venue and method,
+// the windowed (10s/1m/5m) arrival, hit, shareability and
+// hold-utilization view from the pool load rings. Each venue/method's
+// windows come from one single-pass ring read (loadSnapshots), so a
+// body's windows are mutually consistent and each individually
+// satisfies exact+window+dedup <= queries.
+func (s *Server) handleLoadz(w http.ResponseWriter, _ *http.Request) {
+	venues := s.reg.Venues()
+	resp := LoadzResponse{
+		WindowsSec: obs.LoadWindows,
+		Venues:     make(map[string]map[string][]LoadWindowDoc, len(venues)),
+	}
+	for i, per := range loadSnapshots(venues) {
+		methods := make(map[string][]LoadWindowDoc, len(per))
+		for name, samples := range per {
+			docs := make([]LoadWindowDoc, len(samples))
+			for wi, smp := range samples {
+				docs[wi] = loadWindowDoc(obs.LoadWindows[wi], smp)
+			}
+			methods[name] = docs
+		}
+		resp.Venues[venues[i].ID()] = methods
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// loadSnapshots reads every venue's per-method load rings once:
+// element i holds venue i's method -> one obs.LoadSample per
+// obs.LoadWindows entry. The single Windows call per pool is the
+// scrape discipline — /loadz and /metricsz bodies are each internally
+// consistent because no ring is read twice within one snapshot.
+func loadSnapshots(venues []*Venue) []map[string][]obs.LoadSample {
+	out := make([]map[string][]obs.LoadSample, len(venues))
+	for i, ve := range venues {
+		per := make(map[string][]obs.LoadSample, len(pooledMethods))
+		for _, m := range pooledMethods {
+			per[methodName(m)] = ve.Pool(m).LoadRing().Windows(obs.LoadWindows)
+		}
+		out[i] = per
+	}
+	return out
+}
+
+// loadWindowDoc derives the wire view of one windowed sample.
+func loadWindowDoc(windowSec int, s obs.LoadSample) LoadWindowDoc {
+	ratio := func(num, den int64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	doc := LoadWindowDoc{
+		WindowSec:        windowSec,
+		Queries:          s.Queries,
+		ExactHits:        s.ExactHits,
+		WindowHits:       s.WindowHits,
+		Deduped:          s.Deduped,
+		SharedAnswers:    s.SharedAnswers,
+		EngineSearches:   s.EngineSearches,
+		Flushes:          s.Flushes,
+		FlushedQueries:   s.FlushedQueries,
+		ArrivalPerSec:    ratio(s.Queries, int64(windowSec)),
+		ExactHitRate:     ratio(s.ExactHits, s.Queries),
+		WindowHitRate:    ratio(s.WindowHits, s.Queries),
+		Shareability:     ratio(s.Deduped+s.SharedAnswers, s.Queries),
+		SearchesPerQuery: ratio(s.EngineSearches, s.Queries),
+		HoldUtilization:  ratio(s.HoldNanos, s.HoldTargetNanos),
+		FlushFanout:      ratio(s.FlushedQueries, s.Flushes),
+	}
+	addReason := func(m map[string]int64, r obs.Reason, v int64) map[string]int64 {
+		if v == 0 {
+			return m
+		}
+		if m == nil {
+			m = make(map[string]int64)
+		}
+		m[r.String()] = v
+		return m
+	}
+	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonUncacheable, s.MissUncacheable)
+	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonNoExactEntry, s.MissNoExactEntry)
+	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonWindowFamilyAbsent, s.MissFamilyAbsent)
+	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonOutsideWindows, s.MissOutsideWindows)
+	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonEpochRaced, s.MissEpochRaced)
+	doc.SoloReasons = addReason(doc.SoloReasons, obs.ReasonPrivatePartition, s.SoloPrivate)
+	doc.SoloReasons = addReason(doc.SoloReasons, obs.ReasonSingletonGroup, s.SoloSingleton)
+	doc.SoloReasons = addReason(doc.SoloReasons, obs.ReasonAblation, s.SoloAblation)
+	return doc
+}
+
+// readBuildInfo derives the server's build provenance once. The VCS
+// settings are only stamped into main-package builds from a repository
+// checkout; everything stays best-effort (empty fields, not errors).
+func readBuildInfo() BuildInfoDoc {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return BuildInfoDoc{}
+	}
+	doc := BuildInfoDoc{GoVersion: bi.GoVersion, Module: bi.Main.Path}
+	for _, st := range bi.Settings {
+		switch st.Key {
+		case "vcs.revision":
+			doc.Revision = st.Value
+		case "vcs.time":
+			doc.Time = st.Value
+		case "vcs.modified":
+			doc.Dirty = st.Value == "true"
+		}
+	}
+	return doc
 }
 
 // statsSnapshot is one scrape's view of every counter the server
@@ -28,7 +178,8 @@ func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
 // venue — epoch and pool counters come from the same read).
 type statsSnapshot struct {
 	venues   []*Venue
-	docs     []VenueStatsDoc // aligned with venues
+	docs     []VenueStatsDoc               // aligned with venues
+	loads    []map[string][]obs.LoadSample // aligned with venues; method -> per-LoadWindows sample
 	requests map[obs.RequestKey]obs.HistogramSnapshot
 	stages   map[string]obs.HistogramSnapshot
 	server   ServerStatsDoc
@@ -45,6 +196,7 @@ func (s *Server) snapshotStats() statsSnapshot {
 	sn := statsSnapshot{
 		venues:   venues,
 		docs:     make([]VenueStatsDoc, len(venues)),
+		loads:    loadSnapshots(venues),
 		requests: s.obsv.RequestSnapshots(),
 		stages:   s.obsv.StageSnapshots(),
 		server:   ServerStatsDoc{Timeouts: s.timeouts.Load(), ClientGone: s.clientGone.Load()},

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"indoorpath/internal/obs"
 )
@@ -272,6 +273,21 @@ func TestScrapeConsistencyHammer(t *testing.T) {
 					t.Errorf("tracez retained %d traces", tz.Count)
 					return
 				}
+				// The windowed load view must satisfy the same
+				// partition per window even while feeds race the
+				// scrape and buckets rotate underneath it.
+				var lz LoadzResponse
+				getJSON(t, ts.URL+"/loadz", &lz)
+				for id, methods := range lz.Venues {
+					for m, docs := range methods {
+						for _, doc := range docs {
+							if doc.ExactHits+doc.WindowHits+doc.Deduped > doc.Queries {
+								t.Errorf("loadz %s/%s %ds window violates partition: %+v", id, m, doc.WindowSec, doc)
+								return
+							}
+						}
+					}
+				}
 			}
 		}()
 	}
@@ -295,5 +311,199 @@ func TestScrapeConsistencyHammer(t *testing.T) {
 	}
 	if engines := metricValue(t, body, `indoorpath_stage_seconds_count{stage="engine"}`); engines == 0 {
 		t.Fatal("engine stage histogram empty after traffic")
+	}
+}
+
+// TestBuildz checks the build-provenance endpoint: the binary's go
+// toolchain is always known, the start time is a parseable instant,
+// and /healthz carries the same start time for restart detection.
+func TestBuildz(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	var bz BuildzResponse
+	if resp := getJSON(t, ts.URL+"/buildz", &bz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("buildz status = %d", resp.StatusCode)
+	}
+	if bz.Build.GoVersion == "" {
+		t.Fatal("buildz go_version empty")
+	}
+	start, err := time.Parse(time.RFC3339Nano, bz.StartTime)
+	if err != nil {
+		t.Fatalf("buildz start_time %q: %v", bz.StartTime, err)
+	}
+	if bz.UptimeSec < 0 {
+		t.Fatalf("buildz uptime_sec = %v", bz.UptimeSec)
+	}
+	var hz HealthResponse
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.StartTime == "" || hz.Build == nil || hz.Build.GoVersion != bz.Build.GoVersion {
+		t.Fatalf("healthz provenance = %+v, want start_time and build matching /buildz", hz)
+	}
+	if hzStart, err := time.Parse(time.RFC3339Nano, hz.StartTime); err != nil || !hzStart.Equal(start) {
+		t.Fatalf("healthz start_time %q != buildz start_time %q", hz.StartTime, bz.StartTime)
+	}
+}
+
+// TestTracezFilters drives known traffic and checks each filter
+// narrows the listing: matching values keep every trace, non-matching
+// values yield an empty (but well-formed) body.
+func TestTracezFilters(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	for i := 0; i < 3; i++ {
+		routeAt(t, ts.URL, fmt.Sprintf("10:3%d", i), false)
+	}
+	count := func(query string) int {
+		t.Helper()
+		var tz TracezResponse
+		if resp := getJSON(t, ts.URL+"/tracez"+query, &tz); resp.StatusCode != http.StatusOK {
+			t.Fatalf("tracez%s status = %d", query, resp.StatusCode)
+		}
+		if tz.Count != len(tz.Traces) {
+			t.Fatalf("tracez%s count %d != len(traces) %d", query, tz.Count, len(tz.Traces))
+		}
+		return tz.Count
+	}
+	all := count("")
+	if all != 3 {
+		t.Fatalf("unfiltered tracez count = %d, want 3", all)
+	}
+	for query, want := range map[string]int{
+		"?venue=hospital":                  all,
+		"?venue=office":                    0,
+		"?method=asyn":                     all,
+		"?method=syn":                      0,
+		"?outcome=ok":                      all,
+		"?outcome=no_route":                0,
+		"?min_ms=0":                        all,
+		"?min_ms=3600000":                  0,
+		"?venue=hospital&method=asyn":      all,
+		"?venue=hospital&outcome=no_route": 0,
+	} {
+		if got := count(query); got != want {
+			t.Errorf("tracez%s count = %d, want %d", query, got, want)
+		}
+	}
+}
+
+// TestTracezFilterValidation checks the strict-400 contract: unknown
+// parameter names, malformed min_ms and unknown outcome labels are
+// rejected rather than silently matching everything.
+func TestTracezFilterValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	for _, query := range []string{
+		"?bogus=1", "?venues=hospital", "?min_ms=abc", "?min_ms=-1", "?outcome=fine",
+	} {
+		resp, raw := doJSON(t, http.MethodGet, ts.URL+"/tracez"+query, nil)
+		if resp.StatusCode != http.StatusBadRequest || errCode(t, raw) != "bad_request" {
+			t.Errorf("tracez%s status = %d body = %s, want 400 bad_request", query, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestLoadzAfterTraffic checks the rolling load view end to end: known
+// traffic (two misses, one exact repeat) shows up in every window with
+// the partition invariant, the derived rates, and the miss-reason
+// tallies the provenance layer recorded.
+func TestLoadzAfterTraffic(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	routeAt(t, ts.URL, "10:30", false)
+	routeAt(t, ts.URL, "10:45", false)
+	routeAt(t, ts.URL, "10:30", false) // exact repeat
+
+	var lz LoadzResponse
+	if resp := getJSON(t, ts.URL+"/loadz", &lz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("loadz status = %d", resp.StatusCode)
+	}
+	if fmt.Sprint(lz.WindowsSec) != fmt.Sprint(obs.LoadWindows) {
+		t.Fatalf("windows_sec = %v, want %v", lz.WindowsSec, obs.LoadWindows)
+	}
+	docs := lz.Venues["hospital"]["asyn"]
+	if len(docs) != len(obs.LoadWindows) {
+		t.Fatalf("hospital/asyn windows = %d, want %d", len(docs), len(obs.LoadWindows))
+	}
+	for i, doc := range docs {
+		if doc.WindowSec != obs.LoadWindows[i] {
+			t.Fatalf("window %d span = %d, want %d", i, doc.WindowSec, obs.LoadWindows[i])
+		}
+		if doc.ExactHits+doc.WindowHits+doc.Deduped > doc.Queries {
+			t.Fatalf("window %ds violates partition: %+v", doc.WindowSec, doc)
+		}
+	}
+	// All three routes ran milliseconds apart, so the widest window has
+	// seen all of them (the 10s window might straddle a second edge only
+	// if the test itself takes 10s).
+	widest := docs[len(docs)-1]
+	if widest.Queries != 3 || widest.ExactHits != 1 || widest.EngineSearches != 2 {
+		t.Fatalf("widest window = %+v, want 3 queries / 1 exact hit / 2 searches", widest)
+	}
+	if got, want := widest.ArrivalPerSec, 3.0/float64(widest.WindowSec); got != want {
+		t.Fatalf("arrival_per_sec = %v, want %v", got, want)
+	}
+	if got, want := widest.ExactHitRate, 1.0/3.0; got != want {
+		t.Fatalf("exact_hit_rate = %v, want %v", got, want)
+	}
+	if widest.MissReasons["no_exact_entry"] != 2 {
+		t.Fatalf("miss reasons = %v, want no_exact_entry: 2", widest.MissReasons)
+	}
+	// Untouched pools still report, with all-zero windows.
+	if quiet := lz.Venues["office"]["static"]; len(quiet) != len(obs.LoadWindows) || quiet[0].Queries != 0 {
+		t.Fatalf("quiet pool windows = %+v", quiet)
+	}
+}
+
+// TestExplainProvenance checks the inline decision provenance: a cache
+// miss explains why it missed, and a hit (which answered without an
+// engine run) carries no explain field at all.
+func TestExplainProvenance(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	miss := routeAt(t, ts.URL, "11:20", true)
+	if miss.CacheHit || miss.Explain != "no_exact_entry" {
+		t.Fatalf("miss explain = %q (hit=%v), want no_exact_entry", miss.Explain, miss.CacheHit)
+	}
+	hit := routeAt(t, ts.URL, "11:20", true)
+	if !hit.CacheHit || hit.Explain != "" {
+		t.Fatalf("hit explain = %q (hit=%v), want empty", hit.Explain, hit.CacheHit)
+	}
+	// The wire field must be absent on hits, not an empty string.
+	resp, raw := postJSON(t, ts.URL+"/v1/venues/hospital/route",
+		map[string]any{"from": erCentre, "to": wardCentre, "at": "11:20"})
+	if resp.StatusCode != http.StatusOK || strings.Contains(string(raw), `"explain"`) {
+		t.Fatalf("hit body carries explain: %s", raw)
+	}
+}
+
+// TestMetricszLoadAndReasonFamilies checks the /metricsz side of the
+// telemetry layer: windowed load gauges per (venue, method, window)
+// and cumulative per-reason counters, all from one scrape snapshot.
+func TestMetricszLoadAndReasonFamilies(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	routeAt(t, ts.URL, "10:30", false)
+	routeAt(t, ts.URL, "10:30", false)
+
+	resp, raw := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz status = %d", resp.StatusCode)
+	}
+	body := string(raw)
+	for _, family := range []string{
+		"indoorpath_load_arrival_per_sec", "indoorpath_load_exact_hit_rate",
+		"indoorpath_load_window_hit_rate", "indoorpath_load_shareability",
+		"indoorpath_load_searches_per_query", "indoorpath_load_hold_utilization",
+		"indoorpath_load_flush_fanout",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" gauge") {
+			t.Errorf("family %s missing or not a gauge", family)
+		}
+		for _, window := range []string{"10s", "1m", "5m"} {
+			series := fmt.Sprintf("%s{venue=%q,method=%q,window=%q} ", family, "hospital", "asyn", window)
+			if !strings.Contains(body, series) {
+				t.Errorf("series %s missing", series)
+			}
+		}
+	}
+	if v := metricValue(t, body, `indoorpath_reason_miss_total{venue="hospital",method="asyn",reason="no_exact_entry"}`); v != 1 {
+		t.Errorf("miss reason counter = %d, want 1", v)
+	}
+	if strings.Contains(body, `indoorpath_reason_miss_total{venue="office"`) {
+		t.Error("zero-count reason series rendered for idle venue")
 	}
 }

@@ -5,8 +5,10 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                       liveness + venue count
+//	GET  /healthz                       liveness + venue count + build provenance
+//	GET  /buildz                        build provenance (VCS revision, go version, start time)
 //	GET  /statsz                        per-venue, per-method pool counters
+//	GET  /loadz                         windowed (10s/1m/5m) load signals per venue/method
 //	GET  /metricsz                      the same counters in Prometheus text format
 //	GET  /v1/venues                     venue listing
 //	POST /v1/venues                     hot venue reload (preset / JSON dir)
@@ -137,6 +139,11 @@ type Server struct {
 	// trace; the pool and coalescer layers below only pay for it
 	// when the server hands one down.
 	obsv *obs.Observer
+
+	// build is the binary's provenance, read once at construction
+	// (/healthz and /buildz report it so replay artifacts and fleet
+	// debugging can pin which build produced a number).
+	build BuildInfoDoc
 }
 
 // New builds a Server over a registry.
@@ -167,14 +174,17 @@ func New(reg *Registry, opts Options) *Server {
 	}
 	s := &Server{
 		reg: reg, opts: opts, mux: http.NewServeMux(), started: time.Now(),
-		obsv: obs.NewObserver(obs.ObserverOptions{}),
+		obsv:  obs.NewObserver(obs.ObserverOptions{}),
+		build: readBuildInfo(),
 	}
 	if clampedHold > 0 {
 		s.logf("coalesce hold %v >= request timeout %v; clamped to %v",
 			clampedHold, opts.RequestTimeout, opts.CoalesceHold)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /buildz", s.handleBuildz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /loadz", s.handleLoadz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
@@ -210,7 +220,20 @@ func (s *Server) venueHandler(h func(http.ResponseWriter, *http.Request, *Venue)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Venues: s.reg.Len()})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Venues:    s.reg.Len(),
+		StartTime: s.started.UTC().Format(time.RFC3339Nano),
+		Build:     &s.build,
+	})
+}
+
+func (s *Server) handleBuildz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, BuildzResponse{
+		Build:     s.build,
+		StartTime: s.started.UTC().Format(time.RFC3339Nano),
+		UptimeSec: time.Since(s.started).Seconds(),
+	})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -590,6 +613,7 @@ func resultResponse(mv *model.Venue, res service.Result) RouteResponse {
 	resp.Shared = res.Shared
 	resp.SharedRun = res.SharedRun
 	resp.Coalesced = res.Coalesced
+	resp.Explain = res.Explain.String() // "" on hits (omitted from the wire)
 	return resp
 }
 

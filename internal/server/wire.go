@@ -129,8 +129,13 @@ type RouteResponse struct {
 	// multi-query flush of the standing cross-batch coalescer (itspqd
 	// -coalesce): the request was held briefly and answered together
 	// with concurrently arriving ones.
-	Coalesced bool      `json:"coalesced,omitempty"`
-	Error     *ErrorDoc `json:"error,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Explain is the decision provenance of a cache miss — why no
+	// cache could answer: "no_exact_entry", "window_family_absent",
+	// "outside_windows", "epoch_raced" or "uncacheable" (the
+	// obs.Reason vocabulary). Absent on hits and on deduped copies.
+	Explain string    `json:"explain,omitempty"`
+	Error   *ErrorDoc `json:"error,omitempty"`
 	// Trace is the request's span trace, present only when the
 	// request set "trace": true. Snapshotted just before the response
 	// is encoded, so the render span itself is not included (the full
@@ -268,6 +273,39 @@ type VenuesResponse struct {
 type HealthResponse struct {
 	Status string `json:"status"`
 	Venues int    `json:"venues"`
+	// StartTime is the server's construction instant, RFC 3339 UTC —
+	// a changed start time between two probes means a restart.
+	StartTime string `json:"start_time,omitempty"`
+	// Build is the binary's provenance (see BuildInfoDoc).
+	Build *BuildInfoDoc `json:"build,omitempty"`
+}
+
+// BuildInfoDoc is the binary's build provenance, read once at server
+// construction via runtime/debug.ReadBuildInfo. The VCS fields are
+// stamped by `go build` for main packages in a repository checkout and
+// absent otherwise (e.g. under `go test`), so consumers must treat
+// them as best-effort.
+type BuildInfoDoc struct {
+	// GoVersion is the toolchain that built the binary ("go1.22.x").
+	GoVersion string `json:"go_version"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+	// Revision is the VCS commit the binary was built from.
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339).
+	Time string `json:"vcs_time,omitempty"`
+	// Dirty reports uncommitted local modifications at build time — a
+	// dirty binary's revision does not pin its behaviour.
+	Dirty bool `json:"vcs_dirty,omitempty"`
+}
+
+// BuildzResponse is the body of GET /buildz: build provenance plus
+// process start time, so replay artifacts and fleet debugging can pin
+// which build produced a report.
+type BuildzResponse struct {
+	Build     BuildInfoDoc `json:"build"`
+	StartTime string       `json:"start_time"`
+	UptimeSec float64      `json:"uptime_sec"`
 }
 
 // VenueStatsDoc holds one venue's serving counters, one service.Stats
@@ -325,10 +363,60 @@ type StatsResponse struct {
 
 // TracezResponse is the body of GET /tracez: the retained recent
 // traces, slowest first, then the 1-in-N sampled population newest
-// first.
+// first. Filter query params (?venue=, ?method=, ?min_ms=, ?outcome=)
+// narrow the listing server-side; Count counts the traces returned.
 type TracezResponse struct {
 	Count  int             `json:"count"`
 	Traces []*obs.TraceDoc `json:"traces"`
+}
+
+// LoadWindowDoc is one trailing-window view of a pool's rolling load
+// signals: raw totals over the window plus the derived rates the
+// adaptive policies steer by. Within any single doc the partition
+// ExactHits+WindowHits+Deduped <= Queries holds (the load ring's
+// feed/read ordering guarantees it even mid-rotation).
+type LoadWindowDoc struct {
+	// WindowSec is the trailing span this view covers (10, 60, 300).
+	WindowSec int `json:"window_sec"`
+
+	// Raw totals over the window.
+	Queries        int64 `json:"queries"`
+	ExactHits      int64 `json:"exact_hits"`
+	WindowHits     int64 `json:"window_hits"`
+	Deduped        int64 `json:"deduped"`
+	SharedAnswers  int64 `json:"shared_answers"`
+	EngineSearches int64 `json:"engine_searches"`
+	Flushes        int64 `json:"flushes"`
+	FlushedQueries int64 `json:"flushed_queries"`
+
+	// Derived rates (0 when the denominator is 0).
+	ArrivalPerSec    float64 `json:"arrival_per_sec"`    // Queries / WindowSec
+	ExactHitRate     float64 `json:"exact_hit_rate"`     // ExactHits / Queries
+	WindowHitRate    float64 `json:"window_hit_rate"`    // WindowHits / Queries
+	Shareability     float64 `json:"shareability"`       // (Deduped+SharedAnswers) / Queries
+	SearchesPerQuery float64 `json:"searches_per_query"` // EngineSearches / Queries
+	// HoldUtilization is actual hold time over configured hold time
+	// across the window's coalescer flushes: 1.0 means every waiter
+	// sat out the full hold; well under 1.0 means flushes fire early
+	// (maxGroup) or singletons dominate.
+	HoldUtilization float64 `json:"hold_utilization"`
+	// FlushFanout is FlushedQueries / Flushes — mean coalesced group
+	// size, the coalescer's grouping-rate health metric.
+	FlushFanout float64 `json:"flush_fanout"`
+
+	// Decision-provenance tallies over the window, keyed by the
+	// obs.Reason vocabulary. Omitted when empty.
+	MissReasons map[string]int64 `json:"miss_reasons,omitempty"`
+	SoloReasons map[string]int64 `json:"solo_reasons,omitempty"`
+}
+
+// LoadzResponse is the body of GET /loadz: per venue, per method, one
+// LoadWindowDoc per trailing window (10s, 1m, 5m — WindowsSec, in
+// order). All windows of one venue/method come from a single pass over
+// that pool's ring, so they are mutually consistent.
+type LoadzResponse struct {
+	WindowsSec []int                                 `json:"windows_sec"`
+	Venues     map[string]map[string][]LoadWindowDoc `json:"venues"`
 }
 
 // ErrorDoc is the structured error envelope every non-2xx response

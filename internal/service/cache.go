@@ -5,6 +5,7 @@ import (
 
 	"indoorpath/internal/geom"
 	"indoorpath/internal/model"
+	"indoorpath/internal/obs"
 	"indoorpath/internal/temporal"
 )
 
@@ -88,17 +89,21 @@ func (c *resultCache) get(key cacheKey, ekey entryKey) (Result, bool) {
 	return e.res, ok
 }
 
-func (c *resultCache) put(key cacheKey, ekey entryKey, e cacheEntry, epoch uint64) {
+// put stores an entry, reporting whether it was kept. False means the
+// capture epoch is stale — an invalidation ran while the outcome was
+// computed — which callers surface as the epoch_raced miss reason.
+func (c *resultCache) put(key cacheKey, ekey entryKey, e cacheEntry, epoch uint64) bool {
 	// Never republish transient flags from the computing caller: a
 	// later get re-labels the outcome as its own (exact) hit.
 	e.res.CacheHit = false
 	e.res.Shared = false
 	e.res.SharedRun = false
 	e.res.Hit = HitMiss
+	e.res.Explain = obs.ReasonNone
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if epoch != c.epochN {
-		return // an invalidation ran while this outcome was computed
+		return false // an invalidation ran while this outcome was computed
 	}
 	b, ok := c.buckets[key]
 	if !ok {
@@ -112,6 +117,7 @@ func (c *resultCache) put(key cacheKey, ekey entryKey, e cacheEntry, epoch uint6
 	for c.size > c.cap {
 		c.evictLocked(key, ekey)
 	}
+	return true
 }
 
 // evictLocked drops one bucket other than keep (the bucket just written

@@ -123,6 +123,11 @@ type Result struct {
 	// with concurrently arriving ones. Set by the coalescer, never by
 	// the pool itself.
 	Coalesced bool
+	// Explain is the decision provenance of a cache miss: why no cache
+	// could answer (obs.ReasonNoExactEntry, ReasonWindowFamilyAbsent,
+	// ReasonOutsideWindows, ReasonEpochRaced, ReasonUncacheable).
+	// ReasonNone on hits and shared/deduped copies of a hit.
+	Explain obs.Reason
 }
 
 // Stats are cumulative pool counters, safe to read concurrently. The
@@ -154,6 +159,76 @@ type Stats struct {
 	// computed at epoch N can never be served once epoch N+1 begins
 	// (the swap replaces the cache wholesale).
 	Epoch int64 `json:"epoch"`
+	// Reasons are the cumulative decision-provenance tallies: why
+	// queries missed every cache and why planned members ran solo.
+	Reasons ReasonStats `json:"reasons"`
+}
+
+// ReasonStats are cumulative decision-provenance tallies. The miss
+// fields partition the engine-answered queries by why no cache could
+// serve them; the solo fields count batch/coalesce members that ran a
+// dedicated search instead of joining a shared run. Field names match
+// the obs.Reason wire vocabulary.
+type ReasonStats struct {
+	MissUncacheable        int64 `json:"miss_uncacheable"`
+	MissNoExactEntry       int64 `json:"miss_no_exact_entry"`
+	MissWindowFamilyAbsent int64 `json:"miss_window_family_absent"`
+	MissOutsideWindows     int64 `json:"miss_outside_windows"`
+	MissEpochRaced         int64 `json:"miss_epoch_raced"`
+	SoloPrivatePartition   int64 `json:"solo_private_partition"`
+	SoloSingletonGroup     int64 `json:"solo_singleton_group"`
+	SoloAblation           int64 `json:"solo_ablation"`
+}
+
+// ReasonCount pairs a provenance code with its tally.
+type ReasonCount struct {
+	Reason obs.Reason
+	Count  int64
+}
+
+// Counts lists the tallies in declaration order — the deterministic
+// iteration metrics renderers need. Split miss from solo families with
+// obs.Reason.IsMiss.
+func (r ReasonStats) Counts() []ReasonCount {
+	return []ReasonCount{
+		{obs.ReasonUncacheable, r.MissUncacheable},
+		{obs.ReasonNoExactEntry, r.MissNoExactEntry},
+		{obs.ReasonWindowFamilyAbsent, r.MissWindowFamilyAbsent},
+		{obs.ReasonOutsideWindows, r.MissOutsideWindows},
+		{obs.ReasonEpochRaced, r.MissEpochRaced},
+		{obs.ReasonPrivatePartition, r.SoloPrivatePartition},
+		{obs.ReasonSingletonGroup, r.SoloSingletonGroup},
+		{obs.ReasonAblation, r.SoloAblation},
+	}
+}
+
+// Sub returns the field-wise difference r - o: the movement between
+// two snapshots (replay phases report these deltas).
+func (r ReasonStats) Sub(o ReasonStats) ReasonStats {
+	return ReasonStats{
+		MissUncacheable:        r.MissUncacheable - o.MissUncacheable,
+		MissNoExactEntry:       r.MissNoExactEntry - o.MissNoExactEntry,
+		MissWindowFamilyAbsent: r.MissWindowFamilyAbsent - o.MissWindowFamilyAbsent,
+		MissOutsideWindows:     r.MissOutsideWindows - o.MissOutsideWindows,
+		MissEpochRaced:         r.MissEpochRaced - o.MissEpochRaced,
+		SoloPrivatePartition:   r.SoloPrivatePartition - o.SoloPrivatePartition,
+		SoloSingletonGroup:     r.SoloSingletonGroup - o.SoloSingletonGroup,
+		SoloAblation:           r.SoloAblation - o.SoloAblation,
+	}
+}
+
+// Add returns the field-wise sum r + o (summing across method pools).
+func (r ReasonStats) Add(o ReasonStats) ReasonStats {
+	return ReasonStats{
+		MissUncacheable:        r.MissUncacheable + o.MissUncacheable,
+		MissNoExactEntry:       r.MissNoExactEntry + o.MissNoExactEntry,
+		MissWindowFamilyAbsent: r.MissWindowFamilyAbsent + o.MissWindowFamilyAbsent,
+		MissOutsideWindows:     r.MissOutsideWindows + o.MissOutsideWindows,
+		MissEpochRaced:         r.MissEpochRaced + o.MissEpochRaced,
+		SoloPrivatePartition:   r.SoloPrivatePartition + o.SoloPrivatePartition,
+		SoloSingletonGroup:     r.SoloSingletonGroup + o.SoloSingletonGroup,
+		SoloAblation:           r.SoloAblation + o.SoloAblation,
+	}
 }
 
 // CacheMisses returns the number of queries that went to an engine:
@@ -201,14 +276,29 @@ type Pool struct {
 	sharedRuns     atomic.Int64
 	sharedAnswers  atomic.Int64
 	swapEpoch      atomic.Int64
+
+	// reasonCounts are the cumulative decision-provenance tallies,
+	// indexed by obs.Reason (ReasonNone's slot stays zero).
+	reasonCounts [obs.NumReasons]atomic.Int64
+
+	// load is the always-on rolling load-signal ring. Unlike the
+	// caches it survives SetGraph swaps: arrival history is a property
+	// of the traffic, not of a backend generation.
+	load *obs.LoadRing
 }
 
 // New builds a Pool over the graph.
 func New(g *itgraph.Graph, opts Options) *Pool {
-	p := &Pool{opts: opts}
+	p := &Pool{opts: opts, load: obs.NewLoadRing()}
 	p.backend.Store(p.newBackend(g))
 	return p
 }
+
+// LoadRing exposes the pool's rolling load-signal ring: per-second
+// arrival/hit/shareability/hold tallies over the last
+// obs.LoadRetentionSec seconds. Always non-nil; servers snapshot it
+// with LoadRing().Windows(obs.LoadWindows).
+func (p *Pool) LoadRing() *obs.LoadRing { return p.load }
 
 func (p *Pool) newBackend(g *itgraph.Graph) *poolBackend {
 	b := &poolBackend{g: g, v: g.Venue()}
@@ -281,8 +371,42 @@ func (p *Pool) Stats() Stats {
 		SharedRuns:     p.sharedRuns.Load(),
 		SharedAnswers:  p.sharedAnswers.Load(),
 		Epoch:          p.swapEpoch.Load(),
+		Reasons:        p.reasonStats(),
 		Queries:        p.queries.Load(),
 	}
+}
+
+func (p *Pool) reasonStats() ReasonStats {
+	return ReasonStats{
+		MissUncacheable:        p.reasonCounts[obs.ReasonUncacheable].Load(),
+		MissNoExactEntry:       p.reasonCounts[obs.ReasonNoExactEntry].Load(),
+		MissWindowFamilyAbsent: p.reasonCounts[obs.ReasonWindowFamilyAbsent].Load(),
+		MissOutsideWindows:     p.reasonCounts[obs.ReasonOutsideWindows].Load(),
+		MissEpochRaced:         p.reasonCounts[obs.ReasonEpochRaced].Load(),
+		SoloPrivatePartition:   p.reasonCounts[obs.ReasonPrivatePartition].Load(),
+		SoloSingletonGroup:     p.reasonCounts[obs.ReasonSingletonGroup].Load(),
+		SoloAblation:           p.reasonCounts[obs.ReasonAblation].Load(),
+	}
+}
+
+// noteMiss books one engine-answered miss: the per-reason counter plus
+// one ring sample carrying the query's whole outcome (arrival, search,
+// reason) so the windowed partition stays consistent. Allocation-free.
+func (p *Pool) noteMiss(reason obs.Reason, extra obs.LoadSample) {
+	p.reasonCounts[reason].Add(1)
+	extra.Queries = 1
+	extra.CountReason(reason)
+	p.load.Feed(extra)
+}
+
+// noteSolo books one member that ran a dedicated search instead of
+// sharing. Solo tallies ride their own sample: they are not part of
+// the hit+dedup <= queries partition.
+func (p *Pool) noteSolo(reason obs.Reason) {
+	p.reasonCounts[reason].Add(1)
+	var s obs.LoadSample
+	s.CountReason(reason)
+	p.load.Feed(s)
 }
 
 // workers resolves the effective fan-out width.
@@ -329,8 +453,15 @@ func (p *Pool) route(tr *obs.Trace, q core.Query) Result {
 func (p *Pool) routeKeyed(tr *obs.Trace, b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) Result {
 	p.queries.Add(1)
 	sp := tr.Start(obs.StageProbe)
-	r, ok, epoch, wepoch := p.lookupCaches(b, q, key, ekey, cacheable)
-	sp.End()
+	r, ok, epoch, wepoch, reason := p.lookupCaches(b, q, key, ekey, cacheable)
+	if tr == nil || ok {
+		sp.End()
+	} else {
+		// Copy under the guard: building the attachment unconditionally
+		// would heap-allocate on the untraced path.
+		attach := reasonAttrs{Reason: reason.String()}
+		sp.EndWith(&attach)
+	}
 	if ok {
 		return r
 	}
@@ -348,59 +479,108 @@ func (p *Pool) routeKeyed(tr *obs.Trace, b *poolBackend, q core.Query, key cache
 	}
 	r = Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
 	sp = tr.Start(obs.StageStore)
-	p.storeOutcome(b, e, q, key, ekey, cacheable, r, epoch, wepoch)
+	if p.storeOutcome(b, e, q, key, ekey, cacheable, r, epoch, wepoch) {
+		// The computed outcome was discarded by an epoch guard: the
+		// cache state this miss reasoned about no longer exists.
+		reason = obs.ReasonEpochRaced
+	}
 	b.engines.Put(e)
 	sp.End()
+	r.Explain = reason
+	p.noteMiss(reason, obs.LoadSample{EngineSearches: 1})
 	return r
 }
 
+// reasonAttrs is the probe-span attachment on a miss: the decision-
+// provenance code, rendered as {"reason":"..."} in trace docs.
+type reasonAttrs struct {
+	Reason string `json:"reason"`
+}
+
+// planAttrs is the plan-span attachment: how the batch decomposed,
+// solo provenance included.
+type planAttrs struct {
+	Units         int `json:"units"`
+	SharedGroups  int `json:"shared_groups,omitempty"`
+	Deduped       int `json:"deduped,omitempty"`
+	SoloPrivate   int `json:"solo_private,omitempty"`
+	SoloSingleton int `json:"solo_singleton,omitempty"`
+}
+
 // lookupCaches serves q from the exact cache, then the validity-window
-// cache, counting hits. On a miss it returns the store epochs captured
-// before any search, for the epoch-guarded inserts of storeOutcome.
-func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) (Result, bool, uint64, uint64) {
+// cache, counting hits (pool counters and the load ring — a hit's whole
+// outcome is fed here in one sample). On a miss it returns the store
+// epochs captured before any search, for the epoch-guarded inserts of
+// storeOutcome, plus the miss's provenance; the caller books the miss
+// (noteMiss) once the outcome — including a possible epoch race — is
+// known.
+func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) (Result, bool, uint64, uint64, obs.Reason) {
 	useCache := cacheable && b.cache != nil
 	useWindows := cacheable && b.windows != nil
+	reason := obs.ReasonNoExactEntry
+	if !cacheable {
+		reason = obs.ReasonUncacheable
+	}
 	var epoch, wepoch uint64
 	if useCache {
 		if r, ok := b.cache.get(key, ekey); ok {
 			p.cacheHits.Add(1)
+			p.load.Feed(obs.LoadSample{Queries: 1, ExactHits: 1})
 			r.CacheHit = true
 			r.Hit = HitExact
-			return r, true, 0, 0
+			return r, true, 0, 0, obs.ReasonNone
 		}
 		epoch = b.cache.epoch()
 	}
 	if useWindows {
 		wepoch = b.windows.Epoch()
-		if ent, ok := b.windows.Lookup(windowKey(key), windowPointKey(ekey), ekey.at); ok {
+		ent, mk := b.windows.Probe(windowKey(key), windowPointKey(ekey), ekey.at)
+		if ent != nil {
 			// Deliberately not promoted into the exact cache: a sweep
 			// workload would flood it with one-shot per-departure
 			// entries (evicting genuinely hot exact entries), and the
 			// window lookup repeats serve from is already O(log n).
 			r := materializeWindow(ent, q, ekey)
 			p.windowHits.Add(1)
+			p.load.Feed(obs.LoadSample{Queries: 1, WindowHits: 1})
 			r.CacheHit = true
 			r.Hit = HitWindow
-			return r, true, 0, 0
+			return r, true, 0, 0, obs.ReasonNone
+		}
+		if mk == tcache.MissOutsideWindows {
+			reason = obs.ReasonOutsideWindows
+		} else {
+			reason = obs.ReasonWindowFamilyAbsent
 		}
 	}
-	return Result{}, false, epoch, wepoch
+	return Result{}, false, epoch, wepoch, reason
 }
 
 // storeOutcome feeds one computed outcome into the exact and window
 // caches. The engine that produced (or rebased) the answer must still
 // be checked out: the window derivation replays its leg arithmetic.
+// Reports whether an insert was discarded by an epoch guard (an
+// invalidation ran while the search was in flight) — the epoch_raced
+// provenance.
 func (p *Pool) storeOutcome(b *poolBackend, e *core.Engine, q core.Query, key cacheKey, ekey entryKey,
-	cacheable bool, r Result, epoch, wepoch uint64) {
+	cacheable bool, r Result, epoch, wepoch uint64) (raced bool) {
 
 	if cacheable && b.cache != nil {
-		b.cache.put(key, ekey, entryFor(b, key, r), epoch)
+		if !b.cache.put(key, ekey, entryFor(b, key, r), epoch) {
+			raced = true
+		}
 	}
 	if cacheable && b.windows != nil && r.Err == nil && r.Path != nil {
 		if went := windowEntryFor(e, q, r.Path, r.Stats); went != nil {
-			b.windows.Insert(windowKey(key), windowPointKey(ekey), went, wepoch)
+			// Insert also rejects overlaps and degenerate windows; only
+			// an epoch move counts as a race.
+			if !b.windows.Insert(windowKey(key), windowPointKey(ekey), went, wepoch) &&
+				b.windows.Epoch() != wepoch {
+				raced = true
+			}
 		}
 	}
+	return raced
 }
 
 // windowKey and windowPointKey project the exact-cache keys onto the
@@ -620,7 +800,27 @@ func (p *Pool) RouteBatchSummaryTraced(tr *obs.Trace, qs []core.Query) ([]Result
 	for _, i := range uncacheable {
 		units = append(units, unit{solo: i})
 	}
-	planSpan.End()
+	if tr == nil {
+		planSpan.End()
+	} else {
+		// Plan provenance: how the batch decomposed, including why solo
+		// groups could not share. Built under the guard (see routeKeyed).
+		attach := planAttrs{Units: len(units), Deduped: len(qs) - len(groups) - len(uncacheable)}
+		for _, u := range units {
+			if u.grp == nil {
+				continue
+			}
+			switch {
+			case u.grp.Kind != batchplan.Solo:
+				attach.SharedGroups++
+			case u.grp.Why == obs.ReasonPrivatePartition:
+				attach.SoloPrivate++
+			default:
+				attach.SoloSingleton++
+			}
+		}
+		planSpan.EndWith(&attach)
+	}
 
 	runUnit := func(u unit) {
 		if u.grp == nil {
@@ -660,8 +860,13 @@ func (p *Pool) RouteBatchSummaryTraced(tr *obs.Trace, qs []core.Query) ([]Result
 	// Propagate canonical outcomes to their duplicates. SharedRun is
 	// cleared on the copy (as cache.put does when re-labelling): the
 	// duplicate is accounted as deduped, not as a shared-run answer, so
-	// per-entry flags always sum to the summary's tallies.
+	// per-entry flags always sum to the summary's tallies. One ring
+	// sample per group keeps a duplicate's arrival and dedup mark in
+	// one bucket.
 	for _, g := range groups {
+		if n := int64(len(g.dups)); n > 0 {
+			p.load.Feed(obs.LoadSample{Queries: n, Deduped: n})
+		}
 		for _, i := range g.dups {
 			p.queries.Add(1)
 			p.deduped.Add(1)
@@ -705,9 +910,20 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 	keys []cacheKey, ekeys []entryKey, out []Result, sharedRuns *atomic.Int64) {
 
 	if grp.Kind == batchplan.Solo || len(grp.Members) == 1 {
+		soloWhy := grp.Why
+		if soloWhy == obs.ReasonNone {
+			// A shared-kind group reduced to one member shares nothing.
+			soloWhy = obs.ReasonSingletonGroup
+		}
 		for _, m := range grp.Members {
 			i := items[m].Index
 			out[i] = p.routeKeyed(tr, b, qs[i], keys[i], ekeys[i], true)
+			if !out[i].CacheHit {
+				// Only members that actually ran a dedicated search
+				// count as solo decisions; a cache hit shared nothing
+				// because it cost nothing.
+				p.noteSolo(soloWhy)
+			}
 		}
 		return
 	}
@@ -716,6 +932,7 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 		i      int // batch index
 		epoch  uint64
 		wepoch uint64
+		reason obs.Reason // the member's miss provenance
 	}
 	var rem []pending
 	var pts []geom.Point
@@ -725,19 +942,26 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 	for _, m := range grp.Members {
 		i := items[m].Index
 		p.queries.Add(1)
-		r, ok, epoch, wepoch := p.lookupCaches(b, qs[i], keys[i], ekeys[i], true)
+		r, ok, epoch, wepoch, reason := p.lookupCaches(b, qs[i], keys[i], ekeys[i], true)
 		if ok {
 			out[i] = r
 			continue
 		}
-		rem = append(rem, pending{i: i, epoch: epoch, wepoch: wepoch})
+		rem = append(rem, pending{i: i, epoch: epoch, wepoch: wepoch, reason: reason})
 		if grp.Kind == batchplan.SharedSource {
 			pts = append(pts, qs[i].Target)
 		} else {
 			pts = append(pts, qs[i].Source)
 		}
 	}
-	sp.End()
+	if tr == nil || len(rem) == 0 {
+		sp.End()
+	} else {
+		// The group pass's dominant miss reason (members share endpoint
+		// family and departure semantics, so they rarely diverge).
+		attach := reasonAttrs{Reason: rem[0].reason.String()}
+		sp.EndWith(&attach)
+	}
 	if len(rem) == 0 {
 		return
 	}
@@ -746,7 +970,7 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 	defer b.engines.Put(e)
 	if len(rem) == 1 {
 		// The caches absorbed the fan-out: a single miss is a plain
-		// solo search.
+		// solo search (solo provenance: nothing left to share with).
 		pm := rem[0]
 		sp = tr.Start(obs.StageEngine)
 		p.engineSearches.Add(1)
@@ -759,8 +983,14 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 		}
 		r := Result{Path: path, Stats: stats, Err: err, Hit: HitMiss}
 		sp = tr.Start(obs.StageStore)
-		p.storeOutcome(b, e, qs[pm.i], keys[pm.i], ekeys[pm.i], true, r, pm.epoch, pm.wepoch)
+		reason := pm.reason
+		if p.storeOutcome(b, e, qs[pm.i], keys[pm.i], ekeys[pm.i], true, r, pm.epoch, pm.wepoch) {
+			reason = obs.ReasonEpochRaced
+		}
 		sp.End()
+		r.Explain = reason
+		p.noteMiss(reason, obs.LoadSample{EngineSearches: 1})
+		p.noteSolo(obs.ReasonSingletonGroup)
 		out[pm.i] = r
 		return
 	}
@@ -814,8 +1044,32 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 			Hit:       HitMiss,
 			SharedRun: counted && fromRun,
 		}
-		p.storeOutcome(b, e, qs[pm.i], keys[pm.i], ekeys[pm.i], true, r, pm.epoch, pm.wepoch)
+		reason := pm.reason
+		if p.storeOutcome(b, e, qs[pm.i], keys[pm.i], ekeys[pm.i], true, r, pm.epoch, pm.wepoch) {
+			reason = obs.ReasonEpochRaced
+		}
+		r.Explain = reason
+		extra := obs.LoadSample{}
+		if r.SharedRun {
+			extra.SharedAnswers = 1
+		}
+		if o.Solo {
+			// The run refused this member (privacy, or the ablation
+			// forbids shared expansion) and fell back to a dedicated
+			// search — already tallied in engineSearches above.
+			extra.EngineSearches = 1
+			soloWhy := obs.ReasonPrivatePartition
+			if p.opts.Engine.SinglePartitionExpansion {
+				soloWhy = obs.ReasonAblation
+			}
+			p.reasonCounts[soloWhy].Add(1)
+			extra.CountReason(soloWhy)
+		}
+		p.noteMiss(reason, extra)
 		out[pm.i] = r
+	}
+	if nShared > 0 {
+		p.load.Feed(obs.LoadSample{EngineSearches: 1}) // the one shared search
 	}
 }
 

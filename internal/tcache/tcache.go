@@ -133,17 +133,44 @@ func (s *Store) Epoch() uint64 {
 // Lookup returns the entry whose validity window contains the
 // departure at, if one is stored for the query family.
 func (s *Store) Lookup(k Key, pk PointKey, at temporal.TimeOfDay) (*Entry, bool) {
+	e, _ := s.Probe(k, pk, at)
+	return e, e != nil
+}
+
+// MissKind says why a Probe found nothing — the decision-provenance
+// split between "we never cached this family" and "we cached it, but
+// not for this departure" (the latter is the gap point-free answers,
+// ROADMAP open item 1, would close).
+type MissKind uint8
+
+const (
+	// MissNone: the probe hit.
+	MissNone MissKind = iota
+	// MissFamilyAbsent: no validity series is stored for the endpoint
+	// family (speed bucket or point pair never inserted).
+	MissFamilyAbsent
+	// MissOutsideWindows: the family's series exists but the departure
+	// time falls outside every stored validity window.
+	MissOutsideWindows
+)
+
+// Probe is Lookup additionally reporting why it missed. A hit returns
+// (entry, MissNone).
+func (s *Store) Probe(k Key, pk PointKey, at temporal.TimeOfDay) (*Entry, MissKind) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	b, ok := s.buckets[k]
 	if !ok {
-		return nil, false
+		return nil, MissFamilyAbsent
 	}
 	ser, ok := b[pk]
 	if !ok {
-		return nil, false
+		return nil, MissFamilyAbsent
 	}
-	return ser.find(at)
+	if e, ok := ser.find(at); ok {
+		return e, MissNone
+	}
+	return nil, MissOutsideWindows
 }
 
 // Insert stores an entry, keeping the series sorted and disjoint. A

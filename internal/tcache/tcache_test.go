@@ -226,3 +226,38 @@ func TestStoreSizeAccounting(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreProbeMissKinds(t *testing.T) {
+	s := NewStore(0)
+	k, pk := key(1, 2), pkey(0)
+
+	// Empty store: the family was never cached.
+	if e, mk := s.Probe(k, pk, 100); e != nil || mk != MissFamilyAbsent {
+		t.Fatalf("empty store Probe = (%v, %v), want (nil, MissFamilyAbsent)", e, mk)
+	}
+	if !s.Insert(k, pk, entry(3600, 7200), s.Epoch()) {
+		t.Fatal("insert failed")
+	}
+
+	// Hit inside the stored window.
+	if e, mk := s.Probe(k, pk, 5000); e == nil || mk != MissNone {
+		t.Fatalf("Probe(5000) = (%v, %v), want hit", e, mk)
+	}
+	// Family exists, departure outside every window.
+	if e, mk := s.Probe(k, pk, 100); e != nil || mk != MissOutsideWindows {
+		t.Fatalf("Probe(100) = (%v, %v), want (nil, MissOutsideWindows)", e, mk)
+	}
+	// Same bucket, different point family: family absent, not
+	// outside-windows.
+	if e, mk := s.Probe(k, pkey(9), 5000); e != nil || mk != MissFamilyAbsent {
+		t.Fatalf("Probe(other family) = (%v, %v), want (nil, MissFamilyAbsent)", e, mk)
+	}
+	// Different bucket entirely.
+	if e, mk := s.Probe(key(2, 1), pk, 5000); e != nil || mk != MissFamilyAbsent {
+		t.Fatalf("Probe(other bucket) = (%v, %v), want (nil, MissFamilyAbsent)", e, mk)
+	}
+	// Lookup stays the thin wrapper.
+	if _, ok := s.Lookup(k, pk, 5000); !ok {
+		t.Fatal("Lookup lost the hit")
+	}
+}
