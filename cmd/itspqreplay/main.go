@@ -126,6 +126,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if tbl := rep.ReasonsTable(); tbl != "" {
 			fmt.Fprint(stdout, "itspqreplay: decision provenance (miss / solo reasons per phase)\n"+tbl)
 		}
+		if tbl := rep.HotPairsTable(); tbl != "" {
+			fmt.Fprint(stdout, "itspqreplay: hot partition pairs (top movers per phase)\n"+tbl)
+		}
+		if tbl := rep.EffortTable(); tbl != "" {
+			fmt.Fprint(stdout, "itspqreplay: per-search engine effort per phase\n"+tbl)
+		}
 	}
 	if !rep.Pass {
 		return 1

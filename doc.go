@@ -206,6 +206,8 @@
 //	GET  /tracez                        recent request traces (slowest-K + sampled);
 //	                                    filters ?venue= ?method= ?min_ms= ?outcome=
 //	GET  /loadz                         rolling windowed load signals (10s/1m/5m)
+//	GET  /cachez                        cache occupancy + hot OD pairs + window
+//	                                    coverage + per-search engine effort
 //	GET  /v1/venues                     venue listing
 //	POST /v1/venues                     hot venue reload (preset / JSON dir)
 //	POST /v1/venues/{id}/route          one ITSPQ query
@@ -388,6 +390,41 @@
 // probe/plan spans attach the reason to traces. itspqreplay records
 // per-phase reason deltas and the post-phase /loadz view in
 // BENCH_replay.json, and -v prints the reasons table.
+//
+// # Workload and cache introspection
+//
+// GET /cachez answers "what is the cache actually holding, and for
+// whom?" Per venue and method it reports, from ONE consistent snapshot
+// per scrape: exact-cache and window-store occupancy vs capacity with
+// monotone capacity-eviction counters (they survive schedule-update
+// swaps; occupancy/eviction scalars also ride /metricsz as
+// indoorpath_cache_* / indoorpath_window_* series); the window store's
+// per-OD-pair coverage map — window and endpoint-family counts plus a
+// day-coverage fraction, the mean per-family share of the 24h
+// departure axis covered by stored validity windows (windows within a
+// family are disjoint, so the fraction lies in [0, 1]); and a hot-pair
+// table from a bounded space-saving heavy-hitter counter (obs.TopK —
+// always on, allocation-free per feed; BenchmarkTopKFeed self-checks
+// this in CI) tallying per (source partition, target partition) pair
+// the queries, exact/window hits, batch dedups, engine searches and
+// summed search effort, each tally exact up to the row's err_bound.
+// The top-K table is snapshotted before the pool counters in every
+// scrape, so pair tallies never exceed the body's query counter.
+//
+// Per-search engine effort — heap pops, settled nodes, edge
+// relaxations and temporal-variation checks per engine run — feeds
+// count-valued histograms exported as
+// indoorpath_engine_effort_{pops,settled,relaxations,tv_checks} on
+// /metricsz and "engine_effort" on /statsz, turning "p95 latency rose"
+// into "p95 pops rose: searches got deeper" (or didn't: the engine is
+// fine, the serving layer isn't). /statsz, /loadz and /cachez share
+// strict ?venue=/?method= filters: unknown parameters, unregistered
+// venues and unknown methods answer 400 rather than silently matching
+// everything. itspqreplay scrapes /cachez and the effort histograms
+// around every phase and records per-phase "hot_pairs" (top movers
+// with share of phase traffic) and "engine_effort" (mean/p95 pops and
+// TV checks per search) blocks in BENCH_replay.json; -v prints both
+// tables.
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the paper-to-code mapping.

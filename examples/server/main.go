@@ -27,8 +27,10 @@ func main() {
 	// Registry: venue ID -> per-venue serving pools. cmd/itspqd builds
 	// the same thing from -venues / -preset flags. SharedBatch turns on
 	// the shared-execution planner (itspqd -shared-batch): batch groups
-	// with a common endpoint are answered by one engine run each.
-	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{SharedBatch: true})
+	// with a common endpoint are answered by one engine run each;
+	// WindowCache adds the validity-window temporal cache (itspqd
+	// -window-cache), whose coverage map /cachez renders below.
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{SharedBatch: true, WindowCache: true})
 	if _, err := reg.AddPresets("hospital"); err != nil {
 		log.Fatal(err)
 	}
@@ -127,6 +129,22 @@ func main() {
 	show("loadz", call(ts.URL, http.MethodGet, "/loadz", ""))
 	show("metricsz (load gauges)", grepLines(
 		call(ts.URL, http.MethodGet, "/metricsz", ""), "indoorpath_load_arrival_per_sec"))
+
+	// /cachez is the cache-introspection view: exact-cache and
+	// window-store occupancy vs capacity with eviction counters, the
+	// per-OD-pair window coverage map (day_coverage = share of the 24h
+	// departure axis covered by stored validity windows), and the
+	// space-saving top-K pair table — which partition pairs dominate
+	// the traffic and how well each is served. Strict filters narrow
+	// the body: ?venue= / ?method= (typos answer 400, not "everything").
+	show("cachez (hospital/asyn)", call(ts.URL, http.MethodGet, "/cachez?venue=hospital&method=asyn", ""))
+
+	// Per-search engine effort rides /metricsz as count-valued
+	// histograms: pops, settled, relaxations and temporal checks per
+	// engine run — the "did searches get deeper?" axis next to the
+	// latency histograms.
+	show("metricsz (engine effort)", grepLines(
+		call(ts.URL, http.MethodGet, "/metricsz", ""), "indoorpath_engine_effort_pops_count"))
 }
 
 // grepLines keeps only the lines of body containing substr.

@@ -31,6 +31,20 @@ var DefaultBounds = []float64{
 	10,
 }
 
+// CountBounds are the default bucket upper bounds for count-valued
+// histograms (engine effort: frontier pops, settled doors, edge
+// relaxations, TV_Check invocations): a 1–2.5–5 ladder per decade from
+// 1 to 100k operations per search. Observations above the last bound
+// land in the implicit +Inf overflow bucket.
+var CountBounds = []float64{
+	1, 2.5, 5,
+	10, 25, 50,
+	100, 250, 500,
+	1000, 2500, 5000,
+	10000, 25000, 50000,
+	100000,
+}
+
 // Histogram is a fixed-bucket duration histogram safe for concurrent
 // Observe calls without locking: each bucket is an atomic counter and
 // the running sum is atomic nanoseconds. Snapshots taken under
@@ -43,6 +57,10 @@ type Histogram struct {
 	// len(counts) == len(bounds)+1; the final slot is the +Inf
 	// overflow bucket.
 	sumNanos atomic.Int64
+	// countUnit marks a count-valued histogram (NewCountHistogram):
+	// sumNanos then holds raw summed units and the snapshot's
+	// SumSeconds carries that raw sum undivided.
+	countUnit bool
 }
 
 // NewHistogram builds a histogram over the given ascending bucket
@@ -71,6 +89,34 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNanos.Add(int64(d))
 }
 
+// NewCountHistogram builds a histogram over count-valued observations
+// (bucket bounds are plain operation counts, not seconds). A nil
+// bounds slice selects CountBounds. Feed it with ObserveCount; its
+// snapshot's SumSeconds field holds the raw summed count, so
+// MeanSeconds reads as "mean observed count".
+func NewCountHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = CountBounds
+	}
+	h := NewHistogram(bounds)
+	h.countUnit = true
+	return h
+}
+
+// ObserveCount records one count-valued observation (negative values
+// clamp to zero). Safe for concurrent use; never allocates.
+func (h *Histogram) ObserveCount(n int64) {
+	if h == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, float64(n))
+	h.counts[i].Add(1)
+	h.sumNanos.Add(n)
+}
+
 // Snapshot copies the current counters into an immutable value.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
@@ -85,7 +131,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Counts[i] = c
 		s.Count += c
 	}
-	s.SumSeconds = float64(h.sumNanos.Load()) / float64(time.Second)
+	if h.countUnit {
+		s.SumSeconds = float64(h.sumNanos.Load())
+	} else {
+		s.SumSeconds = float64(h.sumNanos.Load()) / float64(time.Second)
+	}
 	return s
 }
 
@@ -93,7 +143,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // for JSON exposition and for delta arithmetic between scrapes.
 // Counts has len(Bounds)+1 entries; the last is the +Inf overflow
 // bucket. The zero value is an empty snapshot that Add and Sub treat
-// as the identity.
+// as the identity. For count-valued histograms (NewCountHistogram),
+// SumSeconds holds the raw summed observation value instead of
+// seconds — MeanSeconds then reads as "mean observed count".
 type HistogramSnapshot struct {
 	Bounds     []float64 `json:"bounds"`
 	Counts     []int64   `json:"counts"`

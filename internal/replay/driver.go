@@ -236,6 +236,7 @@ func runPhase(client *http.Client, base, venue string, mv *model.Venue, ps *Phas
 	if err != nil {
 		return nil, nil, err
 	}
+	beforeCz := scrapeCachez(client, base, venue)
 
 	var fr *flipRunner
 	if len(ph.Flips) > 0 {
@@ -297,6 +298,7 @@ func runPhase(client *http.Client, base, venue string, mv *model.Venue, ps *Phas
 	phr := aggregatePhase(ph, results, oracle, before, after, venue)
 	phr.DurationSec = phaseDur.Seconds()
 	phr.Load = scrapeLoad(client, base, venue)
+	phr.HotPairs = hotPairDelta(beforeCz, scrapeCachez(client, base, venue), phr.StatsDelta.Queries)
 	if fr != nil {
 		fr.mu.Lock()
 		for _, e := range fr.errs {
@@ -442,6 +444,7 @@ func aggregatePhase(ph *Phase, results []qresult, oracle *phaseOracle, before, a
 		phr.SearchesPerQuery = float64(phr.StatsDelta.EngineSearches) / float64(phr.StatsDelta.Queries)
 	}
 	addObservability(phr, before, after, venue)
+	addEffortDelta(phr, before, after, venue)
 	return phr
 }
 
@@ -505,6 +508,26 @@ func scrapeLoad(client *http.Client, base, venue string) map[string][]server.Loa
 		return nil
 	}
 	return lz.Venues[venue]
+}
+
+// scrapeCachez reads the venue's /cachez block (per-method cache
+// introspection docs). Best-effort like scrapeLoad: nil against
+// daemons predating the endpoint or on any transport/decode failure —
+// hot-pair deltas annotate the report, they must not fail a run.
+func scrapeCachez(client *http.Client, base, venue string) map[string]server.CacheMethodDoc {
+	resp, err := client.Get(base + "/cachez")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var cz server.CachezResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cz); err != nil {
+		return nil
+	}
+	return cz.Venues[venue]
 }
 
 // checkVenueServed verifies the daemon lists the scenario's venue.

@@ -91,6 +91,33 @@ type HistQuantilesDoc struct {
 	P99Ms float64 `json:"p99_ms"`
 }
 
+// HotPairDeltaDoc is one OD partition pair's traffic movement across a
+// phase, from the daemon's /cachez top-K tables (before/after deltas
+// summed over the venue's method pools). Tallies inherit the
+// space-saving table's error bounds, so Share is an estimate — good
+// for spotting skew, not for billing.
+type HotPairDeltaDoc struct {
+	Src     string `json:"src"`
+	Tgt     string `json:"tgt"`
+	Queries int64  `json:"queries"`
+	// Share is Queries over the phase's server-side query delta.
+	Share float64 `json:"share"`
+}
+
+// EngineEffortDeltaDoc is the phase's per-search engine-effort
+// movement from the daemon's /statsz effort histograms, summed over
+// the venue's method pools. Means are exact; p95s are
+// histogram-resolution bucket bounds.
+type EngineEffortDeltaDoc struct {
+	// Searches is the number of engine runs the phase's histogram
+	// delta covers.
+	Searches     int64   `json:"searches"`
+	MeanPops     float64 `json:"mean_pops"`
+	P95Pops      float64 `json:"p95_pops"`
+	MeanTVChecks float64 `json:"mean_tv_checks"`
+	P95TVChecks  float64 `json:"p95_tv_checks"`
+}
+
 // PhaseReport is one phase's measured outcome.
 type PhaseReport struct {
 	Name    string `json:"name"`
@@ -129,6 +156,14 @@ type PhaseReport struct {
 	// HistLatency is the server-side request-latency view of the same
 	// phase, from the venue's request histogram delta.
 	HistLatency *HistQuantilesDoc `json:"hist_latency,omitempty"`
+	// HotPairs is the phase's top OD-pair traffic movement from the
+	// /cachez heavy-hitter tables (absent against daemons predating
+	// /cachez — both scrapes are best-effort).
+	HotPairs []HotPairDeltaDoc `json:"hot_pairs,omitempty"`
+	// EngineEffort is the phase's per-search effort movement from the
+	// /statsz effort histograms (absent against daemons predating them
+	// or when the phase ran no engine search).
+	EngineEffort *EngineEffortDeltaDoc `json:"engine_effort,omitempty"`
 	// Warnings flags disagreements between the client-side nearest-rank
 	// percentiles and the server-side histogram quantiles beyond bucket
 	// resolution — clock or accounting skew worth investigating, not a
@@ -306,6 +341,138 @@ func addObservability(phr *PhaseReport, before, after *server.StatsResponse, ven
 				c.name, lo*1000, c.name, c.client, crossCheckSlackMs))
 		}
 	}
+}
+
+// quantileCount renders a count-valued histogram quantile in raw
+// units: the bucket upper bound, or the lower bound when the
+// observation lands in the +Inf overflow bucket.
+func quantileCount(s obs.HistogramSnapshot, q float64) float64 {
+	lo, hi := s.QuantileBucket(q)
+	if math.IsInf(hi, 1) {
+		return lo
+	}
+	return hi
+}
+
+// addEffortDelta fills the phase's engine-effort movement from the
+// before/after /statsz effort histograms, summed over the venue's
+// method pools. Stays absent against daemons predating the histograms
+// (nil EngineEffort maps) or when no engine search ran.
+func addEffortDelta(phr *PhaseReport, before, after *server.StatsResponse, venue string) {
+	bEff := before.Venues[venue].EngineEffort
+	var pops, tv obs.HistogramSnapshot
+	for m, a := range after.Venues[venue].EngineEffort {
+		pops = pops.Add(a.Pops.Sub(bEff[m].Pops))
+		tv = tv.Add(a.TVChecks.Sub(bEff[m].TVChecks))
+	}
+	if pops.Count == 0 {
+		return
+	}
+	phr.EngineEffort = &EngineEffortDeltaDoc{
+		Searches:     pops.Count,
+		MeanPops:     pops.MeanSeconds(),
+		P95Pops:      quantileCount(pops, 0.95),
+		MeanTVChecks: tv.MeanSeconds(),
+		P95TVChecks:  quantileCount(tv, 0.95),
+	}
+}
+
+// hotPairsCap bounds the per-phase hot-pair listing: the heaviest
+// movers tell the skew story, the long tail just bloats the artifact.
+const hotPairsCap = 5
+
+// hotPairDelta derives a phase's top OD-pair traffic movement from
+// before/after /cachez scrapes: per-pair query deltas summed over the
+// venue's method pools, heaviest first, capped at hotPairsCap rows.
+// totalQueries (the phase's server-side query delta) scales Share.
+// Pairs evicted from the space-saving table mid-phase under-count;
+// pairs admitted by takeover inherit the evictee's weight — the table
+// bounds the error (HotPairDoc.ErrBound) but the delta stays an
+// estimate.
+func hotPairDelta(before, after map[string]server.CacheMethodDoc, totalQueries int64) []HotPairDeltaDoc {
+	if after == nil {
+		return nil
+	}
+	type pk struct{ src, tgt string }
+	base := make(map[pk]int64)
+	for _, doc := range before {
+		for _, p := range doc.TopPairs {
+			base[pk{p.Src, p.Tgt}] += p.Queries
+		}
+	}
+	moved := make(map[pk]int64)
+	for _, doc := range after {
+		for _, p := range doc.TopPairs {
+			moved[pk{p.Src, p.Tgt}] += p.Queries
+		}
+	}
+	var rows []HotPairDeltaDoc
+	for k, q := range moved {
+		d := q - base[k]
+		if d <= 0 {
+			continue
+		}
+		row := HotPairDeltaDoc{Src: k.src, Tgt: k.tgt, Queries: d}
+		if totalQueries > 0 {
+			row.Share = float64(d) / float64(totalQueries)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Queries != rows[j].Queries {
+			return rows[i].Queries > rows[j].Queries
+		}
+		if rows[i].Src != rows[j].Src {
+			return rows[i].Src < rows[j].Src
+		}
+		return rows[i].Tgt < rows[j].Tgt
+	})
+	if len(rows) > hotPairsCap {
+		rows = rows[:hotPairsCap]
+	}
+	return rows
+}
+
+// HotPairsTable renders the per-phase hot-pair movement as an aligned
+// text table (printed by itspqreplay -v). Empty when no phase carries
+// hot pairs (e.g. against a daemon predating /cachez).
+func (r *Report) HotPairsTable() string {
+	var sb strings.Builder
+	header := false
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		for _, hp := range ph.HotPairs {
+			if !header {
+				fmt.Fprintf(&sb, "%-14s %-24s %-24s %8s %7s\n", "phase", "src", "tgt", "queries", "share")
+				header = true
+			}
+			fmt.Fprintf(&sb, "%-14s %-24s %-24s %8d %6.1f%%\n", ph.Name, hp.Src, hp.Tgt, hp.Queries, hp.Share*100)
+		}
+	}
+	return sb.String()
+}
+
+// EffortTable renders the per-phase engine-effort movement as an
+// aligned text table (printed by itspqreplay -v). Empty when no phase
+// carries an effort delta.
+func (r *Report) EffortTable() string {
+	var sb strings.Builder
+	header := false
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		e := ph.EngineEffort
+		if e == nil {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(&sb, "%-14s %9s %10s %10s %13s %13s\n",
+				"phase", "searches", "mean_pops", "p95_pops", "mean_tvcheck", "p95_tvcheck")
+			header = true
+		}
+		fmt.Fprintf(&sb, "%-14s %9d %10.1f %10.1f %13.1f %13.1f\n",
+			ph.Name, e.Searches, e.MeanPops, e.P95Pops, e.MeanTVChecks, e.P95TVChecks)
+	}
+	return sb.String()
 }
 
 // StageTable renders the per-phase stage latency breakdown as an

@@ -139,6 +139,39 @@ func TestSteadyReplay(t *testing.T) {
 	if rep.StageTable() == "" {
 		t.Error("StageTable empty despite stage breakdowns")
 	}
+
+	// The cache-introspection deltas: the phase runs engine searches,
+	// so the effort block must be populated and self-consistent, and
+	// the /cachez hot-pair delta must cover some of the phase's
+	// traffic with shares that cannot exceed the whole.
+	if ph.EngineEffort == nil {
+		t.Fatal("no engine-effort delta in the phase report")
+	}
+	if ph.EngineEffort.Searches != ph.StatsDelta.EngineSearches {
+		t.Errorf("effort searches = %d, stats delta = %d", ph.EngineEffort.Searches, ph.StatsDelta.EngineSearches)
+	}
+	if ph.EngineEffort.MeanPops <= 0 || ph.EngineEffort.P95Pops < ph.EngineEffort.MeanPops {
+		t.Errorf("effort pops not ordered: %+v", ph.EngineEffort)
+	}
+	if len(ph.HotPairs) == 0 {
+		t.Fatal("no hot-pair delta in the phase report")
+	}
+	var share float64
+	for i, hp := range ph.HotPairs {
+		if hp.Queries <= 0 || hp.Src == "" || hp.Tgt == "" {
+			t.Errorf("hot pair %d malformed: %+v", i, hp)
+		}
+		if i > 0 && hp.Queries > ph.HotPairs[i-1].Queries {
+			t.Errorf("hot pairs not sorted: %+v", ph.HotPairs)
+		}
+		share += hp.Share
+	}
+	if share <= 0 || share > 1.0001 {
+		t.Errorf("hot-pair shares sum to %v, want (0, 1]", share)
+	}
+	if rep.HotPairsTable() == "" || rep.EffortTable() == "" {
+		t.Error("hot-pair / effort tables empty despite populated blocks")
+	}
 }
 
 // TestFlashCrowdSharing pins the headline sharing verdict: a flash

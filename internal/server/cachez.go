@@ -1,0 +1,140 @@
+package server
+
+import (
+	"net/http"
+
+	"indoorpath/internal/core"
+	"indoorpath/internal/model"
+	"indoorpath/internal/tcache"
+	"indoorpath/internal/temporal"
+)
+
+// This file implements GET /cachez: the cache- and workload-
+// introspection endpoint. Per venue and method it renders exact-cache
+// and window-store occupancy vs capacity with eviction counters, the
+// window store's per-OD-pair coverage map, the space-saving top-K pair
+// table with hit rates, and the per-search engine-effort histograms.
+// Supports the shared strict ?venue=/?method= filters.
+
+// maxWindowPairs caps the per-pair window listing in one /cachez body.
+// PairsTotal always reports the uncapped count, so the cap is never a
+// silent truncation.
+const maxWindowPairs = 64
+
+// handleCachez serves the cache introspection view. Each venue/method
+// doc is gathered in one pass whose read order makes the body's
+// invariants hold under racing traffic: the top-K table is snapshotted
+// before the pool counters (whose own read order puts queries last),
+// so every pair tally is <= the body's Queries; occupancy and capacity
+// come from one locked read, so occupancy <= capacity.
+func (s *Server) handleCachez(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.parseScopeFilter(w, r)
+	if !ok {
+		return
+	}
+	venues := s.reg.Venues()
+	resp := CachezResponse{Venues: make(map[string]map[string]CacheMethodDoc, len(venues))}
+	for _, ve := range venues {
+		if !f.matchVenue(ve.ID()) {
+			continue
+		}
+		mv := ve.Model()
+		methods := make(map[string]CacheMethodDoc, len(pooledMethods))
+		for _, m := range pooledMethods {
+			if !f.matchMethod(methodName(m)) {
+				continue
+			}
+			methods[methodName(m)] = cacheMethodDoc(ve, m, mv)
+		}
+		resp.Venues[ve.ID()] = methods
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cacheMethodDoc gathers one pool's introspection doc. Read order is
+// the scrape-consistency discipline: top-K pairs first, then effort
+// histograms and window coverage, then Stats — whose own read order
+// puts the query counter last, so it dominates every tally above.
+func cacheMethodDoc(ve *Venue, m core.Method, mv *model.Venue) CacheMethodDoc {
+	pool := ve.Pool(m)
+	pairs := pool.HotPairs()
+	effort := pool.Effort()
+	coverage := pool.WindowCoverage()
+	st := pool.Stats()
+
+	doc := CacheMethodDoc{
+		Exact: CacheOccupancyDoc{
+			Entries:   st.CacheEntries,
+			Capacity:  st.CacheCapacity,
+			Evictions: st.CacheEvictions,
+		},
+		Window: WindowStoreDoc{
+			Windows:    st.Windows,
+			Capacity:   st.WindowCapacity,
+			Evictions:  st.WindowEvictions,
+			PairsTotal: len(coverage),
+		},
+		PairCapacity: pool.HotPairCapacity(),
+		Queries:      st.Queries,
+		EngineEffort: effort,
+	}
+
+	// The coverage map: per-pair window counts and day coverage, most
+	// windows first (tcache.Coverage order), capped but never silently.
+	covByKey := make(map[tcache.Key]tcache.PairCoverage, len(coverage))
+	for i, pc := range coverage {
+		covByKey[pc.Key] = pc
+		if i < maxWindowPairs {
+			doc.Window.Pairs = append(doc.Window.Pairs, WindowPairDoc{
+				Src:         partName(mv, pc.Key.Src),
+				Tgt:         partName(mv, pc.Key.Tgt),
+				Families:    pc.Families,
+				Windows:     pc.Windows,
+				DayCoverage: dayCoverage(pc),
+			})
+		}
+	}
+
+	ratio := func(num, den int64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	for _, pc := range pairs {
+		key := tcache.Key{Src: model.PartitionID(pc.Key.Src), Tgt: model.PartitionID(pc.Key.Tgt)}
+		row := HotPairDoc{
+			Src:            partName(mv, key.Src),
+			Tgt:            partName(mv, key.Tgt),
+			Queries:        pc.Queries,
+			ExactHits:      pc.ExactHits,
+			WindowHits:     pc.WindowHits,
+			Deduped:        pc.Deduped,
+			EngineSearches: pc.EngineSearches,
+			Effort:         pc.Effort,
+			ErrBound:       pc.ErrBound,
+			ExactHitRate:   ratio(pc.ExactHits, pc.Queries),
+			WindowHitRate:  ratio(pc.WindowHits, pc.Queries),
+		}
+		if cov, ok := covByKey[key]; ok {
+			row.DayCoverage = dayCoverage(cov)
+		}
+		doc.TopPairs = append(doc.TopPairs, row)
+	}
+	return doc
+}
+
+// dayCoverage derives a pair's mean per-family share of the 24h
+// departure axis. Windows within one family are disjoint, so the
+// value lies in [0, 1].
+func dayCoverage(pc tcache.PairCoverage) float64 {
+	if pc.Families == 0 {
+		return 0
+	}
+	return pc.CoveredSec / (float64(pc.Families) * float64(temporal.DaySeconds))
+}
+
+// partName resolves a partition ID against the venue model.
+func partName(mv *model.Venue, id model.PartitionID) string {
+	return mv.Partition(id).Name
+}

@@ -8,6 +8,7 @@ import (
 
 	"indoorpath/internal/coalesce"
 	"indoorpath/internal/obs"
+	"indoorpath/internal/service"
 )
 
 // This file implements GET /metricsz: the pool counters of /statsz in
@@ -61,6 +62,24 @@ var poolMetrics = []metricDef{
 	{"indoorpath_pool_epoch", "gauge",
 		"Backend generation: graph swaps applied to the pool since start.",
 		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Epoch }},
+	{"indoorpath_cache_entries", "gauge",
+		"Exact-identity result-cache occupancy (entries currently held).",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].CacheEntries }},
+	{"indoorpath_cache_capacity", "gauge",
+		"Exact-identity result-cache entry capacity.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].CacheCapacity }},
+	{"indoorpath_cache_evictions_total", "counter",
+		"Exact-cache entries shed by capacity eviction (invalidation swaps excluded); survives backend swaps.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].CacheEvictions }},
+	{"indoorpath_window_entries", "gauge",
+		"Validity-window store occupancy (windows currently held).",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Windows }},
+	{"indoorpath_window_capacity", "gauge",
+		"Validity-window store window capacity.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].WindowCapacity }},
+	{"indoorpath_window_evictions_total", "counter",
+		"Window-store windows shed by capacity eviction; survives backend swaps.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].WindowEvictions }},
 }
 
 // handleMetricsz renders every pool counter, the request/stage latency
@@ -107,6 +126,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	writeLoadMetrics(&sb, sn)
 	writeReasonMetrics(&sb, sn)
 	writeLatencyMetrics(&sb, sn)
+	writeEffortMetrics(&sb, sn)
 
 	w.Header().Set("Content-Type", metricsContentType)
 	w.WriteHeader(http.StatusOK)
@@ -218,6 +238,44 @@ func writeLatencyMetrics(sb *strings.Builder, sn statsSnapshot) {
 	fmt.Fprintf(sb, "# TYPE indoorpath_stage_seconds histogram\n")
 	for _, stage := range obs.StageNames() {
 		writeHistogramSeries(sb, "indoorpath_stage_seconds", fmt.Sprintf("stage=%q", stage), sn.stages[stage])
+	}
+}
+
+// effortMetrics are the per-search engine-effort histogram families:
+// count-valued distributions (one observation per engine run), so the
+// _sum lines carry raw counts, not seconds.
+var effortMetrics = []struct {
+	name  string
+	help  string
+	value func(service.EffortSnapshot) obs.HistogramSnapshot
+}{
+	{"indoorpath_engine_effort_pops",
+		"Heap pops per engine search.",
+		func(e service.EffortSnapshot) obs.HistogramSnapshot { return e.Pops }},
+	{"indoorpath_engine_effort_settled",
+		"Nodes settled per engine search.",
+		func(e service.EffortSnapshot) obs.HistogramSnapshot { return e.Settled }},
+	{"indoorpath_engine_effort_relaxations",
+		"Edge relaxations per engine search.",
+		func(e service.EffortSnapshot) obs.HistogramSnapshot { return e.Relaxations }},
+	{"indoorpath_engine_effort_tv_checks",
+		"Temporal-variation (door interval) checks per engine search.",
+		func(e service.EffortSnapshot) obs.HistogramSnapshot { return e.TVChecks }},
+}
+
+// writeEffortMetrics renders the per-search engine-effort histograms
+// per (venue, method), from the same snapshot as the pool counters, in
+// the deterministic pool-metric order.
+func writeEffortMetrics(sb *strings.Builder, sn statsSnapshot) {
+	for _, md := range effortMetrics {
+		fmt.Fprintf(sb, "# HELP %s %s\n", md.name, md.help)
+		fmt.Fprintf(sb, "# TYPE %s histogram\n", md.name)
+		for i, ve := range sn.venues {
+			for _, m := range pooledMethods {
+				labels := fmt.Sprintf("venue=%q,method=%q", ve.ID(), methodName(m))
+				writeHistogramSeries(sb, md.name, labels, md.value(sn.docs[i].EngineEffort[methodName(m)]))
+			}
+		}
 	}
 }
 

@@ -59,21 +59,78 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, TracezResponse{Count: len(traces), Traces: traces})
 }
 
+// scopeFilter is a validated ?venue=/?method= narrowing of a
+// fleet-wide introspection endpoint (/statsz, /loadz, /cachez). Empty
+// fields match everything.
+type scopeFilter struct {
+	venue  string
+	method string
+}
+
+func (f scopeFilter) matchVenue(id string) bool { return f.venue == "" || f.venue == id }
+func (f scopeFilter) matchMethod(m string) bool { return f.method == "" || f.method == m }
+
+// parseScopeFilter validates the shared ?venue= / ?method= query
+// parameters, mirroring the /tracez filter semantics: unknown
+// parameters are a hard 400, and — stricter than /tracez, whose
+// filters match free-form trace labels — so are unregistered venues
+// and unknown pooled methods. A typoed filter silently matching
+// everything (or nothing) is exactly how scrape triage goes wrong.
+// Reports ok=false after writing the error response itself.
+func (s *Server) parseScopeFilter(w http.ResponseWriter, r *http.Request) (scopeFilter, bool) {
+	q := r.URL.Query()
+	for k := range q {
+		switch k {
+		case "venue", "method":
+		default:
+			writeError(w, http.StatusBadRequest,
+				badRequest("unknown query parameter %q (supported: venue, method)", k))
+			return scopeFilter{}, false
+		}
+	}
+	f := scopeFilter{venue: q.Get("venue"), method: q.Get("method")}
+	if f.venue != "" {
+		if _, ok := s.reg.Get(f.venue); !ok {
+			writeError(w, http.StatusBadRequest, badRequest("unknown venue %q", f.venue))
+			return scopeFilter{}, false
+		}
+	}
+	switch f.method {
+	case "", methodSyn, methodAsyn, methodStatic:
+	default:
+		writeError(w, http.StatusBadRequest,
+			badRequest("unknown method %q (want syn, asyn or static)", f.method))
+		return scopeFilter{}, false
+	}
+	return f, true
+}
+
 // handleLoadz serves the rolling load signals: per venue and method,
 // the windowed (10s/1m/5m) arrival, hit, shareability and
 // hold-utilization view from the pool load rings. Each venue/method's
 // windows come from one single-pass ring read (loadSnapshots), so a
 // body's windows are mutually consistent and each individually
-// satisfies exact+window+dedup <= queries.
-func (s *Server) handleLoadz(w http.ResponseWriter, _ *http.Request) {
+// satisfies exact+window+dedup <= queries. Supports the shared strict
+// ?venue=/?method= filters.
+func (s *Server) handleLoadz(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.parseScopeFilter(w, r)
+	if !ok {
+		return
+	}
 	venues := s.reg.Venues()
 	resp := LoadzResponse{
 		WindowsSec: obs.LoadWindows,
 		Venues:     make(map[string]map[string][]LoadWindowDoc, len(venues)),
 	}
 	for i, per := range loadSnapshots(venues) {
+		if !f.matchVenue(venues[i].ID()) {
+			continue
+		}
 		methods := make(map[string][]LoadWindowDoc, len(per))
 		for name, samples := range per {
+			if !f.matchMethod(name) {
+				continue
+			}
 			docs := make([]LoadWindowDoc, len(samples))
 			for wi, smp := range samples {
 				docs[wi] = loadWindowDoc(obs.LoadWindows[wi], smp)

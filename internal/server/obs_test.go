@@ -288,6 +288,38 @@ func TestScrapeConsistencyHammer(t *testing.T) {
 						}
 					}
 				}
+				// The cache-introspection view must hold its own
+				// invariants in every body: occupancy within capacity,
+				// and — because the top-K table is snapshotted before
+				// the pool counters — every pair tally bounded by the
+				// body's query counter.
+				var cz CachezResponse
+				getJSON(t, ts.URL+"/cachez", &cz)
+				for id, methods := range cz.Venues {
+					for m, doc := range methods {
+						where := fmt.Sprintf("cachez %s/%s", id, m)
+						if doc.Exact.Entries > doc.Exact.Capacity {
+							t.Errorf("%s: exact occupancy %d > capacity %d", where, doc.Exact.Entries, doc.Exact.Capacity)
+							return
+						}
+						if doc.Window.Windows > doc.Window.Capacity {
+							t.Errorf("%s: window occupancy %d > capacity %d", where, doc.Window.Windows, doc.Window.Capacity)
+							return
+						}
+						var pairQueries int64
+						for _, p := range doc.TopPairs {
+							pairQueries += p.Queries
+							if p.ExactHits+p.WindowHits+p.Deduped > p.Queries {
+								t.Errorf("%s: pair %s->%s tallies exceed its queries: %+v", where, p.Src, p.Tgt, p)
+								return
+							}
+						}
+						if pairQueries > doc.Queries {
+							t.Errorf("%s: top-K pair queries sum %d > pool queries %d", where, pairQueries, doc.Queries)
+							return
+						}
+					}
+				}
 			}
 		}()
 	}

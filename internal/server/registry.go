@@ -86,10 +86,18 @@ func (v *Venue) UpdateSchedules(updates map[model.DoorID]temporal.Schedule) (int
 	return v.epoch.Add(1), nil
 }
 
-// Stats snapshots the venue's per-method pool counters.
+// Stats snapshots the venue's per-method pool counters and engine-
+// effort histograms. Effort is read before the counters so the
+// counter read order inside service.Stats (queries last) stays the
+// final read of the method's scrape.
 func (v *Venue) Stats() VenueStatsDoc {
-	doc := VenueStatsDoc{Epoch: v.Epoch(), Methods: make(map[string]service.Stats, len(pooledMethods))}
+	doc := VenueStatsDoc{
+		Epoch:        v.Epoch(),
+		Methods:      make(map[string]service.Stats, len(pooledMethods)),
+		EngineEffort: make(map[string]service.EffortSnapshot, len(pooledMethods)),
+	}
 	for _, m := range pooledMethods {
+		doc.EngineEffort[methodName(m)] = v.pools[m].Effort()
 		doc.Methods[methodName(m)] = v.pools[m].Stats()
 	}
 	return doc

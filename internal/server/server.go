@@ -9,6 +9,7 @@
 //	GET  /buildz                        build provenance (VCS revision, go version, start time)
 //	GET  /statsz                        per-venue, per-method pool counters
 //	GET  /loadz                         windowed (10s/1m/5m) load signals per venue/method
+//	GET  /cachez                        cache occupancy, hot pairs, window coverage, engine effort
 //	GET  /metricsz                      the same counters in Prometheus text format
 //	GET  /v1/venues                     venue listing
 //	POST /v1/venues                     hot venue reload (preset / JSON dir)
@@ -187,6 +188,7 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /loadz", s.handleLoadz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
+	s.mux.HandleFunc("GET /cachez", s.handleCachez)
 	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
 	s.mux.HandleFunc("POST /v1/venues", s.handleVenuesLoad)
 	s.mux.HandleFunc("POST /v1/venues/{id}/route", s.venueHandler(s.handleRoute))
@@ -236,7 +238,14 @@ func (s *Server) handleBuildz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+// handleStatsz serves the cumulative serving counters. Supports the
+// shared strict ?venue=/?method= filters (parseScopeFilter): filtered
+// bodies come from the same one-read-per-venue snapshot, just narrowed.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.parseScopeFilter(w, r)
+	if !ok {
+		return
+	}
 	sn := s.snapshotStats()
 	resp := StatsResponse{
 		Venues: make(map[string]VenueStatsDoc, len(sn.venues)),
@@ -250,9 +259,35 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		},
 	}
 	for i, ve := range sn.venues {
-		resp.Venues[ve.ID()] = sn.docs[i]
+		if !f.matchVenue(ve.ID()) {
+			continue
+		}
+		resp.Venues[ve.ID()] = filterVenueStats(sn.docs[i], f)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// filterVenueStats narrows one venue's stats doc to the filter's
+// method (a no-op without a method filter). The snapshot maps are
+// shared, so narrowed docs are rebuilt rather than mutated.
+func filterVenueStats(doc VenueStatsDoc, f scopeFilter) VenueStatsDoc {
+	if f.method == "" {
+		return doc
+	}
+	out := VenueStatsDoc{Epoch: doc.Epoch, Methods: make(map[string]service.Stats, 1)}
+	if st, ok := doc.Methods[f.method]; ok {
+		out.Methods[f.method] = st
+	}
+	if st, ok := doc.Coalesce[f.method]; ok {
+		out.Coalesce = map[string]coalesce.Stats{f.method: st}
+	}
+	if h, ok := doc.Requests[f.method]; ok {
+		out.Requests = map[string]obs.HistogramSnapshot{f.method: h}
+	}
+	if e, ok := doc.EngineEffort[f.method]; ok {
+		out.EngineEffort = map[string]service.EffortSnapshot{f.method: e}
+	}
+	return out
 }
 
 func (s *Server) handleVenues(w http.ResponseWriter, _ *http.Request) {

@@ -321,6 +321,12 @@ type VenueStatsDoc struct {
 	// these to derive per-phase latency quantiles independently of
 	// its own client-side clock.
 	Requests map[string]obs.HistogramSnapshot `json:"request_seconds,omitempty"`
+	// EngineEffort are the per-search engine-effort histograms per
+	// method (pops, settled, relaxations, TV checks; one observation
+	// per actual engine run). internal/replay subtracts two scrapes to
+	// derive per-phase effort distributions — the before/after baseline
+	// for engine-core optimisation work.
+	EngineEffort map[string]service.EffortSnapshot `json:"engine_effort,omitempty"`
 }
 
 // ServerStatsDoc holds request-lifecycle counters of the server
@@ -417,6 +423,96 @@ type LoadWindowDoc struct {
 type LoadzResponse struct {
 	WindowsSec []int                                 `json:"windows_sec"`
 	Venues     map[string]map[string][]LoadWindowDoc `json:"venues"`
+}
+
+// CachezResponse is the body of GET /cachez: per venue and method, the
+// cache-introspection view — exact-cache and window-store occupancy vs
+// capacity with eviction counters, per-OD-pair window counts and day
+// coverage, the space-saving top-K pair table, and the per-search
+// engine-effort histograms. Each venue/method doc is gathered in one
+// pass ordered so its invariants hold under racing traffic (top-K
+// before the query counter; see CacheMethodDoc.Queries).
+type CachezResponse struct {
+	Venues map[string]map[string]CacheMethodDoc `json:"venues"`
+}
+
+// CacheMethodDoc is one (venue, method) pool's cache introspection.
+type CacheMethodDoc struct {
+	Exact  CacheOccupancyDoc `json:"exact"`
+	Window WindowStoreDoc    `json:"window"`
+	// TopPairs is the space-saving heavy-hitter table, heaviest first.
+	// Tallies are exact up to each row's ErrBound (obs.TopK).
+	TopPairs []HotPairDoc `json:"top_pairs"`
+	// PairCapacity is the top-K table's fixed slot budget.
+	PairCapacity int `json:"pair_capacity"`
+	// Queries is the pool's cumulative query counter, read after the
+	// top-K snapshot: every TopPairs tally is <= Queries in any body,
+	// even mid-traffic.
+	Queries int64 `json:"queries"`
+	// EngineEffort are the pool's per-search effort histograms.
+	EngineEffort service.EffortSnapshot `json:"engine_effort"`
+}
+
+// CacheOccupancyDoc is the exact cache's occupancy and pressure.
+// Entries <= Capacity in every body; Evictions counts entries shed by
+// capacity pressure (not invalidation) and is monotone across
+// schedule-update swaps.
+type CacheOccupancyDoc struct {
+	Entries   int64 `json:"entries"`
+	Capacity  int64 `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+}
+
+// WindowStoreDoc is the validity-window store's occupancy, pressure
+// and per-pair coverage map.
+type WindowStoreDoc struct {
+	Windows   int64 `json:"windows"`
+	Capacity  int64 `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+	// Pairs lists per-OD-pair window counts and day coverage, most
+	// windows first, capped at maxWindowPairs rows; PairsTotal counts
+	// all pairs before the cap so truncation is never silent.
+	Pairs      []WindowPairDoc `json:"pairs,omitempty"`
+	PairsTotal int             `json:"pairs_total"`
+}
+
+// WindowPairDoc is one OD pair's stored-window summary.
+type WindowPairDoc struct {
+	Src string `json:"src"`
+	Tgt string `json:"tgt"`
+	// Families counts distinct endpoint (source point, target point,
+	// speed) triples holding windows for the pair.
+	Families int `json:"families"`
+	Windows  int `json:"windows"`
+	// DayCoverage is the mean share of the 24h departure axis the
+	// pair's endpoint families can answer without an engine: summed
+	// stored-window seconds / (Families * 86400). Windows within one
+	// family are disjoint, so the value never exceeds 1.
+	DayCoverage float64 `json:"day_coverage"`
+}
+
+// HotPairDoc is one row of the top-K pair table, partition IDs
+// resolved to names.
+type HotPairDoc struct {
+	Src            string `json:"src"`
+	Tgt            string `json:"tgt"`
+	Queries        int64  `json:"queries"`
+	ExactHits      int64  `json:"exact_hits"`
+	WindowHits     int64  `json:"window_hits"`
+	Deduped        int64  `json:"deduped"`
+	EngineSearches int64  `json:"engine_searches"`
+	// Effort is the summed frontier pops of the pair's dedicated
+	// engine searches.
+	Effort int64 `json:"effort"`
+	// ErrBound is the space-saving overestimate bound: Queries exceeds
+	// the pair's true count by at most this much (0 = exact).
+	ErrBound      int64   `json:"err_bound"`
+	ExactHitRate  float64 `json:"exact_hit_rate"`
+	WindowHitRate float64 `json:"window_hit_rate"`
+	// DayCoverage is the pair's window-store day coverage (see
+	// WindowPairDoc), 0 when the window cache is off or holds nothing
+	// for the pair.
+	DayCoverage float64 `json:"day_coverage"`
 }
 
 // ErrorDoc is the structured error envelope every non-2xx response

@@ -62,6 +62,7 @@ type resultCache struct {
 	mu      sync.RWMutex
 	cap     int
 	size    int
+	evicted int64 // entries shed by capacity eviction (not invalidation)
 	epochN  uint64
 	buckets map[cacheKey]map[entryKey]cacheEntry
 }
@@ -136,6 +137,7 @@ func (c *resultCache) evictLocked(keep cacheKey, keepE entryKey) {
 				}
 				delete(b, ek)
 				c.size--
+				c.evicted++
 				if c.size <= c.cap {
 					return
 				}
@@ -143,6 +145,7 @@ func (c *resultCache) evictLocked(keep cacheKey, keepE entryKey) {
 			return
 		}
 		c.size -= len(b)
+		c.evicted += int64(len(b))
 		delete(c.buckets, k)
 		return
 	}
@@ -180,4 +183,13 @@ func (c *resultCache) len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.size
+}
+
+// usage returns occupancy, capacity and the count of entries shed by
+// capacity eviction since construction (invalidation drops not
+// included).
+func (c *resultCache) usage() (size, capacity int, evicted int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.size, c.cap, c.evicted
 }

@@ -159,6 +159,18 @@ type Stats struct {
 	// computed at epoch N can never be served once epoch N+1 begins
 	// (the swap replaces the cache wholesale).
 	Epoch int64 `json:"epoch"`
+	// Cache occupancy and pressure. CacheEntries/Windows and the
+	// capacities are gauges over the live backend (zero when the cache
+	// is disabled); the eviction counters count entries shed by
+	// capacity pressure — not invalidation — and stay monotone across
+	// backend swaps (retired backends' counts fold into the total at
+	// swap time).
+	CacheEntries    int64 `json:"cache_entries"`
+	CacheCapacity   int64 `json:"cache_capacity"`
+	CacheEvictions  int64 `json:"cache_evictions"`
+	Windows         int64 `json:"windows"`
+	WindowCapacity  int64 `json:"window_capacity"`
+	WindowEvictions int64 `json:"window_evictions"`
 	// Reasons are the cumulative decision-provenance tallies: why
 	// queries missed every cache and why planned members ran solo.
 	Reasons ReasonStats `json:"reasons"`
@@ -285,11 +297,41 @@ type Pool struct {
 	// caches it survives SetGraph swaps: arrival history is a property
 	// of the traffic, not of a backend generation.
 	load *obs.LoadRing
+
+	// pairs is the always-on space-saving heavy-hitter table over
+	// (source partition, target partition) OD pairs — the evidence base
+	// for a door-to-door skeleton store (ROADMAP open item 1). Like
+	// load it survives swaps: workload shape outlives any backend.
+	pairs *obs.TopK
+
+	// effort* are the per-search engine-effort distributions (count
+	// histograms over core.SearchStats), fed once per actual engine
+	// run. They survive swaps for the same reason as load.
+	effortPops   *obs.Histogram
+	effortSettle *obs.Histogram
+	effortRelax  *obs.Histogram
+	effortTV     *obs.Histogram
+
+	// cacheEvictBase / windowEvictBase fold retired backends' eviction
+	// counts in at swap time, keeping the exported eviction counters
+	// monotone across SetGraph swaps. A scrape racing a swap can
+	// transiently under-read by the retiring backend's count; the next
+	// scrape corrects it.
+	cacheEvictBase  atomic.Int64
+	windowEvictBase atomic.Int64
 }
 
 // New builds a Pool over the graph.
 func New(g *itgraph.Graph, opts Options) *Pool {
-	p := &Pool{opts: opts, load: obs.NewLoadRing()}
+	p := &Pool{
+		opts:         opts,
+		load:         obs.NewLoadRing(),
+		pairs:        obs.NewTopK(0),
+		effortPops:   obs.NewCountHistogram(nil),
+		effortSettle: obs.NewCountHistogram(nil),
+		effortRelax:  obs.NewCountHistogram(nil),
+		effortTV:     obs.NewCountHistogram(nil),
+	}
 	p.backend.Store(p.newBackend(g))
 	return p
 }
@@ -299,6 +341,62 @@ func New(g *itgraph.Graph, opts Options) *Pool {
 // obs.LoadRetentionSec seconds. Always non-nil; servers snapshot it
 // with LoadRing().Windows(obs.LoadWindows).
 func (p *Pool) LoadRing() *obs.LoadRing { return p.load }
+
+// HotPairs snapshots the pool's OD-pair heavy-hitter table, sorted by
+// descending query weight. Snapshot it before Stats() when comparing
+// tallies against pool counters: Stats reads Queries last, so per-pair
+// tallies never exceed the query counter within one scrape.
+func (p *Pool) HotPairs() []obs.PairCount { return p.pairs.Snapshot() }
+
+// HotPairCapacity returns the heavy-hitter table's fixed slot budget.
+func (p *Pool) HotPairCapacity() int { return p.pairs.Capacity() }
+
+// EffortSnapshot bundles the four per-search engine-effort
+// distributions. Each histogram observes once per actual engine run
+// (dedicated or shared); the snapshot's SumSeconds fields carry raw
+// summed counts (obs.NewCountHistogram semantics).
+type EffortSnapshot struct {
+	Pops        obs.HistogramSnapshot `json:"pops"`
+	Settled     obs.HistogramSnapshot `json:"settled"`
+	Relaxations obs.HistogramSnapshot `json:"relaxations"`
+	TVChecks    obs.HistogramSnapshot `json:"tv_checks"`
+}
+
+// Effort snapshots the per-search engine-effort histograms.
+func (p *Pool) Effort() EffortSnapshot {
+	return EffortSnapshot{
+		Pops:        p.effortPops.Snapshot(),
+		Settled:     p.effortSettle.Snapshot(),
+		Relaxations: p.effortRelax.Snapshot(),
+		TVChecks:    p.effortTV.Snapshot(),
+	}
+}
+
+// WindowCoverage snapshots the live window store's per-pair window
+// counts and day coverage (nil when the window cache is disabled).
+func (p *Pool) WindowCoverage() []tcache.PairCoverage {
+	w := p.backend.Load().windows
+	if w == nil {
+		return nil
+	}
+	return w.Coverage()
+}
+
+// observeEffort feeds one completed search's statistics into the
+// per-search effort histograms. Allocation-free, always on.
+func (p *Pool) observeEffort(stats core.SearchStats) {
+	p.effortPops.ObserveCount(int64(stats.Pops))
+	p.effortSettle.ObserveCount(int64(stats.Settled))
+	p.effortRelax.ObserveCount(int64(stats.Relaxations))
+	p.effortTV.ObserveCount(int64(stats.Checker.Checks))
+}
+
+// pairKeyOf projects a cache key onto the heavy-hitter table's OD-pair
+// addressing. Only cacheable queries feed the table: an endpoint in no
+// partition has no pair to attribute traffic to.
+func pairKeyOf(key cacheKey) obs.PairKey {
+	return obs.PairKey{Src: int32(key.src), Tgt: int32(key.tgt)}
+}
 
 func (p *Pool) newBackend(g *itgraph.Graph) *poolBackend {
 	b := &poolBackend{g: g, v: g.Venue()}
@@ -332,8 +430,20 @@ func (p *Pool) Graph() *itgraph.Graph { return p.backend.Load().g }
 // Venue.WithSchedules output) and swap it in without draining the
 // server.
 func (p *Pool) SetGraph(g *itgraph.Graph) {
+	old := p.backend.Load()
 	p.backend.Store(p.newBackend(g))
 	p.swapEpoch.Add(1)
+	// Fold the retired backend's eviction counts into the monotone
+	// bases. In-flight queries pinned to the old backend may still
+	// evict after this capture; those tail counts are dropped, which
+	// only ever under-reports pressure on an unreachable cache.
+	if old.cache != nil {
+		_, _, ev := old.cache.usage()
+		p.cacheEvictBase.Add(ev)
+	}
+	if old.windows != nil {
+		p.windowEvictBase.Add(old.windows.Evictions())
+	}
 }
 
 // UpdateSchedules is the convenience form of SetGraph for door
@@ -361,18 +471,39 @@ func (p *Pool) Stats() Stats {
 	hits := p.cacheHits.Load()
 	windowHits := p.windowHits.Load()
 	deduped := p.deduped.Load()
+	// Eviction bases before backend counts: a swap between the two
+	// reads can only under-read (next scrape corrects), never regress.
+	cacheEv := p.cacheEvictBase.Load()
+	windowEv := p.windowEvictBase.Load()
+	b := p.backend.Load()
+	var cacheSize, cacheCap, winSize, winCap int
+	if b.cache != nil {
+		var ev int64
+		cacheSize, cacheCap, ev = b.cache.usage()
+		cacheEv += ev
+	}
+	if b.windows != nil {
+		winSize, winCap = b.windows.Len(), b.windows.Cap()
+		windowEv += b.windows.Evictions()
+	}
 	return Stats{
-		Batches:        p.batches.Load(),
-		CacheHits:      hits,
-		WindowHits:     windowHits,
-		Deduped:        deduped,
-		EnginesCreated: p.enginesCreated.Load(),
-		EngineSearches: p.engineSearches.Load(),
-		SharedRuns:     p.sharedRuns.Load(),
-		SharedAnswers:  p.sharedAnswers.Load(),
-		Epoch:          p.swapEpoch.Load(),
-		Reasons:        p.reasonStats(),
-		Queries:        p.queries.Load(),
+		Batches:         p.batches.Load(),
+		CacheHits:       hits,
+		WindowHits:      windowHits,
+		Deduped:         deduped,
+		EnginesCreated:  p.enginesCreated.Load(),
+		EngineSearches:  p.engineSearches.Load(),
+		SharedRuns:      p.sharedRuns.Load(),
+		SharedAnswers:   p.sharedAnswers.Load(),
+		Epoch:           p.swapEpoch.Load(),
+		CacheEntries:    int64(cacheSize),
+		CacheCapacity:   int64(cacheCap),
+		CacheEvictions:  cacheEv,
+		Windows:         int64(winSize),
+		WindowCapacity:  int64(winCap),
+		WindowEvictions: windowEv,
+		Reasons:         p.reasonStats(),
+		Queries:         p.queries.Load(),
 	}
 }
 
@@ -488,6 +619,11 @@ func (p *Pool) routeKeyed(tr *obs.Trace, b *poolBackend, q core.Query, key cache
 	sp.End()
 	r.Explain = reason
 	p.noteMiss(reason, obs.LoadSample{EngineSearches: 1})
+	p.observeEffort(stats)
+	if cacheable {
+		p.pairs.Feed(pairKeyOf(key),
+			obs.PairSample{Queries: 1, EngineSearches: 1, Effort: int64(stats.Pops)})
+	}
 	return r
 }
 
@@ -526,6 +662,7 @@ func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey ent
 		if r, ok := b.cache.get(key, ekey); ok {
 			p.cacheHits.Add(1)
 			p.load.Feed(obs.LoadSample{Queries: 1, ExactHits: 1})
+			p.pairs.Feed(pairKeyOf(key), obs.PairSample{Queries: 1, ExactHits: 1})
 			r.CacheHit = true
 			r.Hit = HitExact
 			return r, true, 0, 0, obs.ReasonNone
@@ -543,6 +680,7 @@ func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey ent
 			r := materializeWindow(ent, q, ekey)
 			p.windowHits.Add(1)
 			p.load.Feed(obs.LoadSample{Queries: 1, WindowHits: 1})
+			p.pairs.Feed(pairKeyOf(key), obs.PairSample{Queries: 1, WindowHits: 1})
 			r.CacheHit = true
 			r.Hit = HitWindow
 			return r, true, 0, 0, obs.ReasonNone
@@ -875,6 +1013,12 @@ func (p *Pool) RouteBatchSummaryTraced(tr *obs.Trace, qs []core.Query) ([]Result
 			r.SharedRun = false
 			out[i] = r
 		}
+		// Pair tallies after the queries.Add loop, so a concurrent
+		// scrape that snapshots the table before reading the query
+		// counter never sees tallies exceed it.
+		if n := int64(len(g.dups)); n > 0 && cacheable[g.canon] {
+			p.pairs.Feed(pairKeyOf(keys[g.canon]), obs.PairSample{Queries: n, Deduped: n})
+		}
 	}
 
 	// Derive the serving summary from the results (Searches counts
@@ -991,6 +1135,9 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 		r.Explain = reason
 		p.noteMiss(reason, obs.LoadSample{EngineSearches: 1})
 		p.noteSolo(obs.ReasonSingletonGroup)
+		p.observeEffort(stats)
+		p.pairs.Feed(pairKeyOf(keys[pm.i]),
+			obs.PairSample{Queries: 1, EngineSearches: 1, Effort: int64(stats.Pops)})
 		out[pm.i] = r
 		return
 	}
@@ -1021,6 +1168,14 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 	}
 	if nShared > 0 {
 		p.engineSearches.Add(1) // the one shared search
+		// The run's frontier stats, observed once: every non-solo
+		// outcome carries the same search's numbers.
+		for _, o := range outs {
+			if !o.Solo {
+				p.observeEffort(o.Stats)
+				break
+			}
+		}
 	}
 	counted := nShared >= 2 // a "shared run" must actually share
 	if counted {
@@ -1053,6 +1208,7 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 		if r.SharedRun {
 			extra.SharedAnswers = 1
 		}
+		ps := obs.PairSample{Queries: 1}
 		if o.Solo {
 			// The run refused this member (privacy, or the ablation
 			// forbids shared expansion) and fell back to a dedicated
@@ -1064,8 +1220,15 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 			}
 			p.reasonCounts[soloWhy].Add(1)
 			extra.CountReason(soloWhy)
+			p.observeEffort(o.Stats)
+			// The dedicated fallback search is attributable to the
+			// member's own pair; shared-run answers are not (one run
+			// spans many pairs), so those feed queries only.
+			ps.EngineSearches = 1
+			ps.Effort = int64(o.Stats.Pops)
 		}
 		p.noteMiss(reason, extra)
+		p.pairs.Feed(pairKeyOf(keys[pm.i]), ps)
 		out[pm.i] = r
 	}
 	if nShared > 0 {

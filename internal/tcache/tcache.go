@@ -108,7 +108,8 @@ func (s *series) find(at temporal.TimeOfDay) (*Entry, bool) {
 type Store struct {
 	mu      sync.RWMutex
 	cap     int
-	size    int // total windows across all series
+	size    int   // total windows across all series
+	evicted int64 // windows shed by capacity eviction (not invalidation)
 	epochN  uint64
 	buckets map[Key]map[PointKey]*series
 }
@@ -235,6 +236,7 @@ func (s *Store) evictLocked(keep Key, keepE *Entry) {
 					ser.entries[len(ser.entries)-1] = nil // release for GC
 					ser.entries = ser.entries[:len(ser.entries)-1]
 					s.size--
+					s.evicted++
 					if s.size <= s.cap {
 						s.dropEmptyLocked(k, pk)
 						return
@@ -246,6 +248,7 @@ func (s *Store) evictLocked(keep Key, keepE *Entry) {
 		}
 		for _, ser := range b {
 			s.size -= len(ser.entries)
+			s.evicted += int64(len(ser.entries))
 		}
 		delete(s.buckets, k)
 		return
@@ -310,4 +313,62 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.size
+}
+
+// Cap returns the window capacity the store evicts down to.
+func (s *Store) Cap() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cap
+}
+
+// Evictions returns the number of windows shed by capacity eviction
+// since construction. Invalidation drops are not counted — they are
+// correctness, not pressure.
+func (s *Store) Evictions() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.evicted
+}
+
+// PairCoverage summarises one OD-pair bucket: the distinct endpoint
+// families it holds, the total stored windows, and the summed window
+// duration in seconds. Windows within one family are disjoint (the
+// series invariant), so CoveredSec/Families never exceeds a day —
+// CoveredSec/(Families·86400) is the mean share of the 24h departure
+// axis a family of the pair can answer without an engine.
+type PairCoverage struct {
+	Key        Key
+	Families   int
+	Windows    int
+	CoveredSec float64
+}
+
+// Coverage snapshots every bucket's window-count and day-coverage
+// tallies under one read lock, sorted by descending window count (ties
+// by ascending Src then Tgt) so scrape output is deterministic.
+func (s *Store) Coverage() []PairCoverage {
+	s.mu.RLock()
+	out := make([]PairCoverage, 0, len(s.buckets))
+	for k, b := range s.buckets {
+		pc := PairCoverage{Key: k, Families: len(b)}
+		for _, ser := range b {
+			pc.Windows += len(ser.entries)
+			for _, e := range ser.entries {
+				pc.CoveredSec += float64(e.Window.Duration())
+			}
+		}
+		out = append(out, pc)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Windows != out[j].Windows {
+			return out[i].Windows > out[j].Windows
+		}
+		if out[i].Key.Src != out[j].Key.Src {
+			return out[i].Key.Src < out[j].Key.Src
+		}
+		return out[i].Key.Tgt < out[j].Key.Tgt
+	})
+	return out
 }
