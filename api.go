@@ -219,11 +219,20 @@ type (
 	// result cache (internal/tcache): answers are stored with the
 	// departure interval over which they provably stay the engine's
 	// answer, so nearby departure times of the same OD pair are served
-	// without a search. Set SharedBatch to enable the shared-execution
-	// batch planner (internal/batchplan): RouteBatch partitions each
-	// batch into shared-endpoint groups and answers every group with a
-	// single engine run (core.Engine.RouteMany / RouteManyTo) instead
-	// of one search per query.
+	// without a search. Set SkeletonCache to enable the point-free
+	// door-to-door skeleton store (core.SkeletonFamily): one miss per
+	// (source partition, target partition, checkpoint slot) stores the
+	// pair's door-sequence skeletons, and ANY later query between the
+	// same partitions — different points, different departure inside
+	// the slot — is answered by composing first leg + skeleton + last
+	// leg, bit-identical to a fresh search or not at all. Set
+	// SharedBatch to enable the shared-execution batch planner
+	// (internal/batchplan): RouteBatch partitions each batch into
+	// shared-endpoint groups and answers every group with a single
+	// engine run (core.Engine.RouteMany / RouteManyTo) instead of one
+	// search per query; with SkeletonCache it additionally coalesces
+	// same-partition-pair leftovers so one member's search serves the
+	// group through composition.
 	PoolOptions = service.Options
 	// PoolStats are cumulative pool counters.
 	PoolStats = service.Stats

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http/httptest"
 	"sync"
 	"sync/atomic"
@@ -546,6 +547,99 @@ func BenchmarkPoolRouteBatchShared(b *testing.B) {
 				}
 			} else if st.SharedRuns != 0 {
 				b.Fatalf("unshared pool reported shared runs: %v", st)
+			}
+		})
+	}
+}
+
+// BenchmarkPoolRouteNeighborhood measures the skeleton-family store on
+// its motivating workload: a crowd of queries between one hot
+// partition pair where every endpoint is independently jittered — no
+// two queries share an exact point, so the exact and window caches get
+// zero reuse and only door-to-door skeleton composition can absorb the
+// load. Compare skeletonHits/op and searches/op across the two
+// sub-benchmarks; skeleton mode self-checks hits > 0 and at most half
+// an engine search per query, so a regression fails the bench run
+// rather than just shifting a number.
+func BenchmarkPoolRouteNeighborhood(b *testing.B) {
+	tb := newTestbed(b, 5, 8, 1500, indoorpath.Clock(12, 0, 0))
+	tb.graph.Snapshots().BuildAll()
+	v := tb.graph.Venue()
+	// Pick the first testbed OD pair that actually routes at noon; its
+	// endpoint partitions are the hot pair the crowd queries between.
+	probe := indoorpath.NewPool(tb.graph, indoorpath.PoolOptions{
+		Engine: indoorpath.Options{Method: indoorpath.MethodAsyn}, CacheCapacity: -1,
+	})
+	var base indoorpath.Query
+	routable := false
+	for _, q := range tb.queries {
+		if r := probe.RouteResult(q); r.Err == nil {
+			base, routable = q, true
+			break
+		}
+	}
+	if !routable {
+		b.Fatal("no routable testbed query at noon")
+	}
+	partRect := func(p indoorpath.Point) indoorpath.Rect {
+		for _, part := range v.Partitions() {
+			r := part.Rect
+			if part.Floor() == p.Floor && p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY {
+				return r
+			}
+		}
+		b.Fatalf("no partition contains %v", p)
+		return indoorpath.Rect{}
+	}
+	srcRect, tgtRect := partRect(base.Source), partRect(base.Target)
+	jitter := func(rng *rand.Rand, r indoorpath.Rect) indoorpath.Point {
+		mx, my := r.Width()*0.1, r.Height()*0.1
+		return indoorpath.Pt(
+			r.MinX+mx+rng.Float64()*(r.Width()-2*mx),
+			r.MinY+my+rng.Float64()*(r.Height()-2*my),
+			r.Floor)
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]indoorpath.Query, 256)
+	for i := range batch {
+		batch[i] = indoorpath.Query{Source: jitter(rng, srcRect), Target: jitter(rng, tgtRect), At: base.At}
+	}
+	for _, mode := range []struct {
+		name     string
+		skeleton bool
+	}{{"exact", false}, {"skeleton", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			pool := indoorpath.NewPool(tb.graph, indoorpath.PoolOptions{
+				Engine:        indoorpath.Options{Method: indoorpath.MethodAsyn},
+				Workers:       4,
+				SkeletonCache: mode.skeleton,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.InvalidateCache() // each iteration recomputes the crowd
+				for _, r := range pool.RouteBatch(batch) {
+					if r.Err != nil && r.Err != indoorpath.ErrNoRoute {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := pool.Stats()
+			b.ReportMetric(float64(st.SkeletonHits)/float64(b.N), "skeletonHits/op")
+			b.ReportMetric(float64(st.EngineSearches)/float64(b.N), "searches/op")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*len(batch))/secs, "queries/s")
+			}
+			if mode.skeleton {
+				if st.SkeletonHits == 0 {
+					b.Fatalf("jittered crowd composed nothing: %v", st)
+				}
+				if 2*st.EngineSearches > st.Queries {
+					b.Fatalf("skeleton crowd did not halve engine searches: %v", st)
+				}
+			} else if st.SkeletonHits != 0 {
+				b.Fatalf("skeleton hits without SkeletonCache: %v", st)
 			}
 		})
 	}

@@ -15,6 +15,13 @@
 // departure, or static shared destination) cost one engine run
 // together instead of one each. It implies -shared-batch.
 //
+// -skeleton-cache enables the point-free answer layer: the first miss
+// between a partition pair stores the pair's door-to-door skeleton
+// family, and any later query between the same partitions — different
+// points, different departure inside the checkpoint slot — is answered
+// by composing first leg + skeleton + last leg ("hit":"skeleton"),
+// bit-identical to a fresh engine search or not served at all.
+//
 // Endpoints (see the package documentation of indoorpath for request
 // and response bodies):
 //
@@ -74,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "batch fan-out goroutines per venue pool (0 = GOMAXPROCS)")
 		cache   = fs.Int("cache", 0, "result-cache capacity per pool (0 = default, negative = disabled)")
 		window  = fs.Bool("window-cache", false, "enable the validity-window temporal result cache (cross-time cache hits)")
+		skel    = fs.Bool("skeleton-cache", false, "enable the door-to-door skeleton store (cross-point cache hits: compose answers for any points of a cached partition pair)")
 		shared  = fs.Bool("shared-batch", false, "enable the shared-execution batch planner (one engine run answers each same-endpoint batch group)")
 		coal    = fs.Bool("coalesce", false, "coalesce concurrent solo route requests into shared engine runs (implies -shared-batch)")
 		hold    = fs.Duration("coalesce-hold", 0, "coalescer accumulation window (0 = 2ms default); solo requests wait at most this long for company")
@@ -99,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Coalescing flushes through the batch planner; without SharedBatch
 	// on the pools a flush could only deduplicate, not share runs.
-	reg, err := newRegistry(*venues, *presets, *workers, *cache, *window, *shared || *coal)
+	reg, err := newRegistry(*venues, *presets, *workers, *cache, *window, *skel, *shared || *coal)
 	if err != nil {
 		return fail("%v", err)
 	}
@@ -150,11 +158,12 @@ func debugMux() *http.ServeMux {
 }
 
 // newRegistry loads the requested venues into a fresh registry.
-func newRegistry(venuesDir, presets string, workers, cache int, window, shared bool) (*indoorpath.VenueRegistry, error) {
+func newRegistry(venuesDir, presets string, workers, cache int, window, skeleton, shared bool) (*indoorpath.VenueRegistry, error) {
 	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
 		Workers:       workers,
 		CacheCapacity: cache,
 		WindowCache:   window,
+		SkeletonCache: skeleton,
 		SharedBatch:   shared,
 	})
 	if presets != "" {

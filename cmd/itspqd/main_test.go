@@ -18,7 +18,7 @@ import (
 
 func TestNewRegistry(t *testing.T) {
 	// Presets load under their own IDs.
-	reg, err := newRegistry("", "hospital,office", 2, 0, false, true)
+	reg, err := newRegistry("", "hospital,office", 2, 0, false, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestNewRegistry(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	reg, err = newRegistry(dir, "figure1", 0, 0, true, false)
+	reg, err = newRegistry(dir, "figure1", 0, 0, true, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,10 +66,10 @@ func TestNewRegistry(t *testing.T) {
 	}
 
 	// Errors propagate.
-	if _, err := newRegistry("", "narnia", 0, 0, false, false); err == nil {
+	if _, err := newRegistry("", "narnia", 0, 0, false, false, false); err == nil {
 		t.Fatal("unknown preset should fail")
 	}
-	if _, err := newRegistry(t.TempDir(), "", 0, 0, false, false); err == nil {
+	if _, err := newRegistry(t.TempDir(), "", 0, 0, false, false, false); err == nil {
 		t.Fatal("empty venue dir should fail")
 	}
 }
@@ -102,7 +102,7 @@ func TestRunFlagErrors(t *testing.T) {
 // ephemeral port, exercises the API over real HTTP, then cancels the
 // context and expects a clean exit.
 func TestServeGracefulShutdown(t *testing.T) {
-	reg, err := newRegistry("", "hospital", 0, 0, false, false)
+	reg, err := newRegistry("", "hospital", 0, 0, false, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 // are answered out of one coalesced flush.
 func TestServeCoalesced(t *testing.T) {
 	// -coalesce implies -shared-batch on the pools (see run()).
-	reg, err := newRegistry("", "hospital", 0, 0, false, true)
+	reg, err := newRegistry("", "hospital", 0, 0, false, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}

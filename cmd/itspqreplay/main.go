@@ -11,10 +11,10 @@
 //
 // Without -addr the tool self-hosts: it builds the scenario's preset
 // venue in process behind an httptest server configured like
-// `itspqd -coalesce -shared-batch -window-cache` and replays against
-// that. With -addr it drives the daemon you started (which must serve
-// the scenario's preset under the same ID — `itspqd -preset hospital`
-// for the built-in scenarios).
+// `itspqd -coalesce -shared-batch -window-cache -skeleton-cache` and
+// replays against that. With -addr it drives the daemon you started
+// (which must serve the scenario's preset under the same ID —
+// `itspqd -preset hospital` for the built-in scenarios).
 //
 // The query stream is a pure function of (scenario, seed): wall-clock
 // numbers vary run to run, but two reports with equal
@@ -140,12 +140,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // selfHost boots an in-process daemon serving the scenario's preset,
-// configured like `itspqd -coalesce -shared-batch -window-cache` — the
-// full serving stack the scenarios are written to exercise.
+// configured like `itspqd -coalesce -shared-batch -window-cache
+// -skeleton-cache` — the full serving stack the scenarios are written
+// to exercise.
 func selfHost(preset string) (*httptest.Server, error) {
 	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
-		WindowCache: true,
-		SharedBatch: true,
+		WindowCache:   true,
+		SkeletonCache: true,
+		SharedBatch:   true,
 	})
 	if _, err := reg.AddPresets(preset); err != nil {
 		return nil, err

@@ -23,9 +23,11 @@
 //   - a concurrent query-serving layer (NewPool): warm engines in a
 //     sync.Pool over one shared graph, batch fan-out with
 //     identical-query deduplication, per-(source partition, target
-//     partition, checkpoint slot) exact result caching, and an
-//     opt-in validity-window temporal result cache for cross-time
-//     cache hits (internal/tcache);
+//     partition, checkpoint slot) exact result caching, an opt-in
+//     validity-window temporal result cache for cross-time cache hits,
+//     and an opt-in point-free door-to-door skeleton store that
+//     composes answers for previously-unseen endpoint points
+//     (internal/tcache);
 //   - a shared-execution batch planner (PoolOptions.SharedBatch,
 //     internal/batchplan): batches are partitioned into shared-endpoint
 //     groups and each group is answered by one multi-target engine run
@@ -114,6 +116,51 @@
 // exact cache runs one search per sweep departure; the window cache
 // runs roughly one per checkpoint slot).
 //
+// # Point-free answers
+//
+// Both caches above key on exact endpoint POINTS, so a neighborhood
+// crowd — many walkers between the same two rooms, no two standing on
+// the same spot — scores zero reuse: every jittered endpoint is a
+// fresh key. PoolOptions.SkeletonCache (itspqd -skeleton-cache) adds
+// the point-free layer: from each found engine answer the pool strips
+// the point-dependent first and last legs and stores the remaining
+// door-to-door SKELETON — the door chain with cumulative door-to-door
+// distances — keyed by (source partition, target partition, checkpoint
+// slot). A later query between ANY points of the same partition pair
+// and slot is answered by composition: first leg = straight walk from
+// the new source to the chain's entry door, skeleton legs replayed
+// from the stored cumulative distances, last leg = straight walk from
+// the exit door to the new target, every arrival re-derived with
+// bit-identical engine arithmetic and every door re-checked against
+// the slot's schedule snapshot.
+//
+// Soundness is certify-or-refuse. A family is exhaustive, not a
+// sample: it holds, for EVERY open entry door of the source partition,
+// the best frozen-topology chain to every reachable anchor door of the
+// target partition (within a checkpoint slot every door's state is
+// constant, so slot-start openness is openness throughout), and
+// composition minimises first + chain + last over all of them — which
+// is exactly the optimum a fresh search would find, whatever the
+// endpoint positions. When the composed answer cannot be certified
+// byte-identical to a fresh run — the departure falls outside the
+// family's slot window, no chain reaches both points with finite
+// legs, the walk would cross the slot's closing checkpoint, or two
+// chains tie exactly for the minimum (the engine's winner would
+// depend on settle order) — the probe REFUSES and the query falls
+// through to a full engine search (miss reason
+// "skeleton_uncertified"), never to an approximate answer.
+//
+// Probe order is exact cache, then validity windows, then skeletons,
+// then the engine; provenance rides the wire as "hit":"skeleton",
+// PoolStats counts SkeletonHits (the /statsz partition invariant
+// becomes exact + window + skeleton + deduped + misses == queries),
+// /cachez reports skeleton-store occupancy and per-pair day coverage,
+// and a schedule swap drops the store with everything else — epochs
+// make a raced certification unstorable, exactly like the window
+// store. BenchmarkPoolRouteNeighborhood self-checks the effect in CI:
+// a 256-query jittered crowd between one hot partition pair is served
+// by ~1 engine search instead of 256.
+//
 // # Shared execution
 //
 // The paper's workloads are many-queries-few-endpoints: rush-hour
@@ -193,7 +240,8 @@
 // per-method serving pools — into an http.Handler; cmd/itspqd is the
 // ready-made daemon (graceful shutdown, -venues dir and -preset
 // loading, -workers/-cache/-timeout tuning, -window-cache,
-// -shared-batch and -coalesce for the optimisations above):
+// -skeleton-cache, -shared-batch and -coalesce for the optimisations
+// above):
 //
 //	itspqd -addr :8080 -preset hospital,office -venues ./venues
 //
@@ -226,11 +274,12 @@
 // Batches send {"method":"asyn","queries":[...]} to /route:batch and
 // come back positionally aligned, with "shared", "shared_run" and
 // "cache_hit" flags and a "hit" provenance ("exact" | "window" |
-// "miss") marking how each entry was served, plus a batch-level
-// "cache" summary (queries, exact_hits, window_hits, searches — engine
-// runs, so one shared run counts once — and shared_runs /
-// shared_answers when the planner shared work). The daemon flags
-// -window-cache and -shared-batch enable the validity-window cache and
+// "skeleton" | "miss") marking how each entry was served, plus a
+// batch-level "cache" summary (queries, exact_hits, window_hits,
+// skeleton_hits, searches — engine runs, so one shared run counts once
+// — and shared_runs / shared_answers when the planner shared work).
+// The daemon flags -window-cache, -skeleton-cache and -shared-batch
+// enable the validity-window cache, the point-free skeleton store and
 // the shared-execution planner on every pool. "No such routes" is
 // a regular answer: HTTP 200 with {"found":false}. Validation failures
 // return a structured envelope {"error":{"code":"bad_request",
@@ -283,7 +332,12 @@
 // finite set of repeated query instances — the shape of a flash
 // crowd), and optional mid-phase schedule flips (PUT /schedules racing
 // the traffic). Built-ins: steady, rush-hour (dawn → rush → flash
-// crowd → flip storm → taper), flash-crowd, flip-storm. The query
+// crowd → flip storm → taper), flash-crowd, flip-storm, and
+// neighborhood — a six-query scout warms two partition pairs' skeleton
+// families, then a 16-wide wave of independently jittered endpoints
+// (no template set: every query is a fresh random instance, the shape
+// point-keyed caches score zero on) must be answered almost entirely
+// by point-free composition. The query
 // stream is a pure function of (scenario, seed) — wall-clock numbers
 // vary run to run, but two reports with equal stream_fingerprint
 // values replayed the identical day, so replay diffs across PRs are
@@ -303,8 +357,11 @@
 // evaluated per phase or over the whole run; itspqreplay exits
 // non-zero when any fails. The built-ins assert zero errors/timeouts,
 // flash-crowd < 0.25 engine searches per query (the sharing stack must
-// absorb the crowd), flip-storm zero mixed_answers, and a generous
-// static p99 bound as the CI regression gate (job replay-smoke).
+// absorb the crowd), jittered phases (rush, neighborhood) skeleton
+// hits > 0 at <= 0.5 engine searches per query (only point-free
+// composition can absorb endpoints that never repeat), flip-storm
+// zero mixed_answers, and a generous static p99 bound as the CI
+// regression gate (job replay-smoke).
 //
 // mixed_answers is the external atomicity audit: during flip phases
 // every answer is compared against sequential-engine oracles computed
@@ -338,8 +395,9 @@
 // latency of failures is separable from the happy path. Every scrape
 // of /statsz or /metricsz is built from ONE consistent snapshot per
 // venue, and the counter partition invariant — cache_hits +
-// window_hits + deduped + misses == queries, engine_searches <=
-// misses — holds in every scraped body, even mid-traffic.
+// window_hits + skeleton_hits + deduped + misses == queries,
+// engine_searches <= misses — holds in every scraped body, even
+// mid-traffic.
 //
 // GET /tracez returns recent traces from a bounded ring: the
 // slowest-K requests plus a 1-in-N uniform sample, each a span list
@@ -395,10 +453,12 @@
 //
 // GET /cachez answers "what is the cache actually holding, and for
 // whom?" Per venue and method it reports, from ONE consistent snapshot
-// per scrape: exact-cache and window-store occupancy vs capacity with
-// monotone capacity-eviction counters (they survive schedule-update
-// swaps; occupancy/eviction scalars also ride /metricsz as
-// indoorpath_cache_* / indoorpath_window_* series); the window store's
+// per scrape: exact-cache, window-store and skeleton-store occupancy
+// vs capacity with monotone capacity-eviction counters (they survive
+// schedule-update swaps; occupancy/eviction scalars also ride
+// /metricsz as indoorpath_cache_* / indoorpath_window_* /
+// indoorpath_skeleton_* series); the skeleton store's per-pair
+// family/chain counts with whole-pair day coverage; the window store's
 // per-OD-pair coverage map — window and endpoint-family counts plus a
 // day-coverage fraction, the mean per-family share of the 24h
 // departure axis covered by stored validity windows (windows within a

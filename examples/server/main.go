@@ -29,8 +29,14 @@ func main() {
 	// the shared-execution planner (itspqd -shared-batch): batch groups
 	// with a common endpoint are answered by one engine run each;
 	// WindowCache adds the validity-window temporal cache (itspqd
-	// -window-cache), whose coverage map /cachez renders below.
-	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{SharedBatch: true, WindowCache: true})
+	// -window-cache), whose coverage map /cachez renders below;
+	// SkeletonCache adds the point-free door-to-door skeleton store
+	// (itspqd -skeleton-cache) the jittered wave below runs against.
+	reg := indoorpath.NewVenueRegistry(indoorpath.PoolOptions{
+		SharedBatch:   true,
+		WindowCache:   true,
+		SkeletonCache: true,
+	})
 	if _, err := reg.AddPresets("hospital"); err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +97,30 @@ func main() {
 	}
 	wg.Wait()
 	show("coalesced solo request", first)
+
+	// Point-free answers: a jittered wave — the same ER -> ward-1 crowd,
+	// but every walker stands on a DIFFERENT spot, so the exact and
+	// window caches (both keyed on endpoint points) never hit. The first
+	// route above certified the pair's door-to-door skeleton family;
+	// each jittered query is now answered by composition — first leg to
+	// the entry door, stored chain, last leg from the anchor door — and
+	// carries "hit":"skeleton" with no engine search.
+	var jittered string
+	for i, pts := range [][2]string{
+		{`"x":27,"y":13`, `"x":7,"y":36`},
+		{`"x":33,"y":8`, `"x":3,"y":31`},
+		{`"x":24,"y":16`, `"x":8,"y":38`},
+	} {
+		q := `{"from":{` + pts[0] + `,"floor":0},"to":{` + pts[1] + `,"floor":0},"at":"11:00"}`
+		resp := call(ts.URL, http.MethodPost, "/v1/venues/hospital/route", q)
+		if i == 0 {
+			jittered = resp
+		}
+	}
+	show("jittered route (skeleton hit)", jittered)
+	if i := strings.LastIndex(jittered, `"hit"`); i >= 0 {
+		show("…its provenance", "…"+jittered[i:])
+	}
 
 	// Hot venue reload: load another preset into the running daemon.
 	show("POST /v1/venues", call(ts.URL, http.MethodPost, "/v1/venues", `{"preset":"office"}`))

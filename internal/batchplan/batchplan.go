@@ -25,6 +25,18 @@
 //     endpoints, so a shared expansion through such a partition would
 //     be query-specific. They plan as Solo and run as ordinary
 //     per-query searches (as do singleton groups).
+//   - With Options.PartitionGroups, temporal-method queries left over
+//     after point-level grouping are regrouped by (source partition,
+//     target partition, departure, speed) into SharedPartition groups:
+//     their endpoints differ, so no single engine run can answer them,
+//     but one member's miss builds the pair's skeleton family
+//     (core.BuildSkeletonFamily) and the rest compose from it — a
+//     jittered wave out of one hot lobby collapses to about one
+//     search. Both endpoint partitions ride the key: certifiable
+//     composition needs the exact pair's family (a hot-lobby wave to
+//     one destination shares the pair anyway). Privacy does not block
+//     these groups — every member shares both endpoint partitions, so
+//     the rule-2 exemptions are identical group-wide.
 //
 // The planner emits groups ordered by fan-out, largest first, so a
 // worker pool drains the expensive shared runs before the solo tail.
@@ -77,6 +89,11 @@ const (
 	// SharedTarget: one reverse run rooted at Target answers every
 	// member (core.Engine.RouteManyTo; static method only).
 	SharedTarget
+	// SharedPartition: members share their endpoint partition pair,
+	// departure and speed but not their exact points; one member's
+	// engine search builds the pair's skeleton family and the rest are
+	// composed from it (temporal methods, Options.PartitionGroups).
+	SharedPartition
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +103,8 @@ func (k Kind) String() string {
 		return "shared-source"
 	case SharedTarget:
 		return "shared-target"
+	case SharedPartition:
+		return "shared-partition"
 	}
 	return "solo"
 }
@@ -139,9 +158,27 @@ type endpointKey struct {
 	speed float64
 }
 
+// Options tune the planner beyond the method-implied rules.
+type Options struct {
+	// PartitionGroups regroups temporal-method leftovers into
+	// SharedPartition groups keyed by (source partition, target
+	// partition, departure, speed) — the skeleton-composition coalescing
+	// unit. The executor must have a skeleton store to serve them;
+	// service.Pool sets this exactly when Options.SkeletonCache is
+	// usable. Ignored for the static method (its point-level groups
+	// already merge departures, and skeleton families there certify the
+	// whole day from any single miss).
+	PartitionGroups bool
+}
+
 // New plans a batch for the given engine method. Every item lands in
 // exactly one group; see the package comment for the grouping rules.
 func New(items []Item, method core.Method) Plan {
+	return NewOpts(items, method, Options{})
+}
+
+// NewOpts is New with planner options.
+func NewOpts(items []Item, method core.Method, opts Options) Plan {
 	static := method == core.MethodStatic
 	srcKey := func(it Item) endpointKey {
 		k := endpointKey{pt: it.Src, speed: it.Speed}
@@ -206,6 +243,40 @@ func New(items []Item, method core.Method) Plan {
 	}
 	collect(SharedSource, srcGroups)
 	collect(SharedTarget, tgtGroups)
+
+	if opts.PartitionGroups && !static {
+		// Regroup the leftovers by partition pair: queries no point-level
+		// group could absorb still coalesce when they share the pair,
+		// departure and speed — one miss's skeleton family composes the
+		// rest. Same-partition queries stay solo (families refuse the
+		// degenerate pair). Sorted first so member order is input order.
+		type pairKey struct {
+			src, tgt model.PartitionID
+			at       temporal.TimeOfDay
+			speed    float64
+		}
+		sort.Ints(solos)
+		pairGroups := make(map[pairKey][]int)
+		var rest []int
+		for _, m := range solos {
+			it := items[m]
+			if it.SrcPart == it.TgtPart {
+				rest = append(rest, m)
+				continue
+			}
+			k := pairKey{src: it.SrcPart, tgt: it.TgtPart, at: it.At, speed: it.Speed}
+			pairGroups[k] = append(pairGroups[k], m)
+		}
+		solos = rest
+		for k, ms := range pairGroups {
+			if len(ms) < 2 {
+				solos = append(solos, ms...)
+				continue
+			}
+			groups = append(groups, Group{Kind: SharedPartition, Members: ms,
+				At: items[ms[0]].At, Speed: k.speed})
+		}
+	}
 
 	// Largest fan-out first; ties and determinism by first member.
 	sort.Slice(groups, func(i, j int) bool {

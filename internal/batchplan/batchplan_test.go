@@ -213,3 +213,83 @@ func TestPlanSoloProvenance(t *testing.T) {
 		t.Fatalf("fully blocked static solo Why = %v, want private_partition", g.Why)
 	}
 }
+
+// pitem builds an item with explicit partitions for SharedPartition
+// planning tests; points are all distinct so no point-level group forms.
+func pitem(idx int, sp, tp model.PartitionID, at temporal.TimeOfDay) Item {
+	return Item{
+		Index: idx,
+		Src:   geom.Pt(float64(idx), 1, 0), Tgt: geom.Pt(float64(idx), 50, 0),
+		At: at, Speed: core.WalkingSpeedMPS,
+		SrcPart: sp, TgtPart: tp,
+	}
+}
+
+func TestPlanPartitionGroups(t *testing.T) {
+	at := temporal.Clock(9, 0, 0)
+	items := []Item{
+		pitem(0, 1, 2, at),
+		pitem(1, 1, 2, at),
+		pitem(2, 1, 2, at),
+		pitem(3, 1, 2, temporal.Clock(10, 0, 0)), // other departure: solo
+		pitem(4, 2, 1, at),                       // reversed pair: solo (direction matters)
+		pitem(5, 3, 3, at),                       // degenerate pair: solo
+		pitem(6, 3, 3, at),
+	}
+	p := NewOpts(items, core.MethodAsyn, Options{PartitionGroups: true})
+	coverage(t, p, len(items))
+	if p.SharedGroups() != 1 {
+		t.Fatalf("plan: %+v", p.Groups)
+	}
+	g := p.Groups[0]
+	if g.Kind != SharedPartition || g.At != at || !reflect.DeepEqual(g.Members, []int{0, 1, 2}) {
+		t.Fatalf("group: %+v", g)
+	}
+	// Without the option the same batch is all solos.
+	if got := NewOpts(items, core.MethodAsyn, Options{}).SharedGroups(); got != 0 {
+		t.Fatalf("option off still built %d shared groups", got)
+	}
+	// Static planning ignores the option: its groups already merge
+	// departures at the point level.
+	for _, g := range NewOpts(items, core.MethodStatic, Options{PartitionGroups: true}).Groups {
+		if g.Kind == SharedPartition {
+			t.Fatalf("static plan emitted a partition group: %+v", g)
+		}
+	}
+}
+
+// TestPlanPartitionGroupsAfterPointGroups: point-level sharing wins
+// first; only the leftovers regroup by pair, and replanning is
+// deterministic.
+func TestPlanPartitionGroupsAfterPointGroups(t *testing.T) {
+	at := temporal.Clock(9, 0, 0)
+	src := geom.Pt(1, 1, 0)
+	items := []Item{
+		{Index: 0, Src: src, Tgt: geom.Pt(9, 9, 0), At: at, Speed: core.WalkingSpeedMPS, SrcPart: 1, TgtPart: 2},
+		{Index: 1, Src: src, Tgt: geom.Pt(8, 8, 0), At: at, Speed: core.WalkingSpeedMPS, SrcPart: 1, TgtPart: 2},
+		pitem(2, 1, 2, at),
+		pitem(3, 1, 2, at),
+		pitem(4, 7, 8, at), // lone pair: stays solo
+	}
+	p := NewOpts(items, core.MethodSyn, Options{PartitionGroups: true})
+	coverage(t, p, len(items))
+	var kinds []Kind
+	for _, g := range p.Groups {
+		kinds = append(kinds, g.Kind)
+	}
+	want := []Kind{SharedSource, SharedPartition, Solo}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("kinds = %v, want %v (groups %+v)", kinds, want, p.Groups)
+	}
+	if !reflect.DeepEqual(p.Groups[1].Members, []int{2, 3}) {
+		t.Fatalf("partition group members: %+v", p.Groups[1])
+	}
+	if p.Groups[2].Why != obs.ReasonSingletonGroup {
+		t.Fatalf("solo why = %v", p.Groups[2].Why)
+	}
+	for i := 0; i < 20; i++ {
+		if again := NewOpts(items, core.MethodSyn, Options{PartitionGroups: true}); !reflect.DeepEqual(again, p) {
+			t.Fatalf("replan differs: %+v vs %+v", again, p)
+		}
+	}
+}

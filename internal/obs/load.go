@@ -18,8 +18,9 @@ import (
 // writer adds Queries FIRST and the outcome signals after, while the
 // reader loads the outcome signals first and Queries LAST, then
 // re-checks the bucket's second. Any windowed view therefore
-// satisfies ExactHits+WindowHits+Deduped <= Queries — hits may be
-// momentarily undercounted relative to arrivals, never the reverse.
+// satisfies ExactHits+WindowHits+SkeletonHits+Deduped <= Queries —
+// hits may be momentarily undercounted relative to arrivals, never
+// the reverse.
 
 const (
 	// loadRingSize is the bucket count; a power of two so the wall
@@ -47,6 +48,7 @@ type LoadSample struct {
 	Queries        int64 `json:"queries"`
 	ExactHits      int64 `json:"exact_hits"`
 	WindowHits     int64 `json:"window_hits"`
+	SkeletonHits   int64 `json:"skeleton_hits"`
 	Deduped        int64 `json:"deduped"`
 	SharedAnswers  int64 `json:"shared_answers"`
 	EngineSearches int64 `json:"engine_searches"`
@@ -64,14 +66,15 @@ type LoadSample struct {
 	// Decision-provenance tallies (see Reason). Miss reasons partition
 	// the cache misses; solo reasons count members that ran a
 	// dedicated search instead of sharing.
-	MissUncacheable    int64 `json:"miss_uncacheable"`
-	MissNoExactEntry   int64 `json:"miss_no_exact_entry"`
-	MissFamilyAbsent   int64 `json:"miss_window_family_absent"`
-	MissOutsideWindows int64 `json:"miss_outside_windows"`
-	MissEpochRaced     int64 `json:"miss_epoch_raced"`
-	SoloPrivate        int64 `json:"solo_private_partition"`
-	SoloSingleton      int64 `json:"solo_singleton_group"`
-	SoloAblation       int64 `json:"solo_ablation"`
+	MissUncacheable         int64 `json:"miss_uncacheable"`
+	MissNoExactEntry        int64 `json:"miss_no_exact_entry"`
+	MissFamilyAbsent        int64 `json:"miss_window_family_absent"`
+	MissOutsideWindows      int64 `json:"miss_outside_windows"`
+	MissSkeletonUncertified int64 `json:"miss_skeleton_uncertified"`
+	MissEpochRaced          int64 `json:"miss_epoch_raced"`
+	SoloPrivate             int64 `json:"solo_private_partition"`
+	SoloSingleton           int64 `json:"solo_singleton_group"`
+	SoloAblation            int64 `json:"solo_ablation"`
 }
 
 // CountReason adds one tally to the sample field matching r. ReasonNone
@@ -86,6 +89,8 @@ func (s *LoadSample) CountReason(r Reason) {
 		s.MissFamilyAbsent++
 	case ReasonOutsideWindows:
 		s.MissOutsideWindows++
+	case ReasonSkeletonUncertified:
+		s.MissSkeletonUncertified++
 	case ReasonEpochRaced:
 		s.MissEpochRaced++
 	case ReasonPrivatePartition:
@@ -119,6 +124,8 @@ const (
 	loadSoloPrivate
 	loadSoloSingleton
 	loadSoloAblation
+	loadSkeletonHits
+	loadMissSkeletonUncertified
 	numLoadSignals
 )
 
@@ -212,6 +219,8 @@ func (r *LoadRing) Feed(s LoadSample) {
 	b.add(loadSoloPrivate, s.SoloPrivate)
 	b.add(loadSoloSingleton, s.SoloSingleton)
 	b.add(loadSoloAblation, s.SoloAblation)
+	b.add(loadSkeletonHits, s.SkeletonHits)
+	b.add(loadMissSkeletonUncertified, s.MissSkeletonUncertified)
 }
 
 func (b *loadBucket) add(i int, v int64) {
@@ -288,4 +297,6 @@ func (s *LoadSample) accumulate(c *[numLoadSignals]int64) {
 	s.SoloPrivate += c[loadSoloPrivate]
 	s.SoloSingleton += c[loadSoloSingleton]
 	s.SoloAblation += c[loadSoloAblation]
+	s.SkeletonHits += c[loadSkeletonHits]
+	s.MissSkeletonUncertified += c[loadMissSkeletonUncertified]
 }

@@ -26,6 +26,12 @@ const (
 	// ReasonOutsideWindows: the family exists but the departure time
 	// falls outside every stored validity window.
 	ReasonOutsideWindows
+	// ReasonSkeletonUncertified: a partition-pair skeleton family was
+	// stored for the query's slot, but the composition could not be
+	// certified byte-identical to a fresh search (no finite chain, the
+	// composed walk crosses the slot boundary, or the best chain is
+	// ambiguous), so the query fell through to an engine.
+	ReasonSkeletonUncertified
 	// ReasonEpochRaced: the lookup missed and the computed outcome was
 	// then discarded because a schedule invalidation ran while the
 	// search was in flight — the next identical query will miss again.
@@ -49,15 +55,16 @@ const (
 )
 
 var reasonNames = [NumReasons]string{
-	ReasonNone:               "",
-	ReasonUncacheable:        "uncacheable",
-	ReasonNoExactEntry:       "no_exact_entry",
-	ReasonWindowFamilyAbsent: "window_family_absent",
-	ReasonOutsideWindows:     "outside_windows",
-	ReasonEpochRaced:         "epoch_raced",
-	ReasonPrivatePartition:   "private_partition",
-	ReasonSingletonGroup:     "singleton_group",
-	ReasonAblation:           "ablation",
+	ReasonNone:                "",
+	ReasonUncacheable:         "uncacheable",
+	ReasonNoExactEntry:        "no_exact_entry",
+	ReasonWindowFamilyAbsent:  "window_family_absent",
+	ReasonOutsideWindows:      "outside_windows",
+	ReasonSkeletonUncertified: "skeleton_uncertified",
+	ReasonEpochRaced:          "epoch_raced",
+	ReasonPrivatePartition:    "private_partition",
+	ReasonSingletonGroup:      "singleton_group",
+	ReasonAblation:            "ablation",
 }
 
 // String returns the stable wire name ("" for ReasonNone). The names

@@ -19,13 +19,14 @@ type PairKey struct {
 
 // PairSample is one additive batch of per-pair tallies. Conventions
 // mirror LoadSample: every query counts once in Queries, and at most
-// one of ExactHits / WindowHits / Deduped / EngineSearches describes
-// how it was answered. Effort is the summed engine work (frontier pops)
+// one of ExactHits / WindowHits / SkeletonHits / Deduped /
+// EngineSearches describes how it was answered. Effort is the summed engine work (frontier pops)
 // spent on the pair's dedicated searches.
 type PairSample struct {
 	Queries        int64 `json:"queries"`
 	ExactHits      int64 `json:"exact_hits"`
 	WindowHits     int64 `json:"window_hits"`
+	SkeletonHits   int64 `json:"skeleton_hits"`
 	Deduped        int64 `json:"deduped"`
 	EngineSearches int64 `json:"engine_searches"`
 	Effort         int64 `json:"effort"`
@@ -35,6 +36,7 @@ func (s *PairSample) add(o PairSample) {
 	s.Queries += o.Queries
 	s.ExactHits += o.ExactHits
 	s.WindowHits += o.WindowHits
+	s.SkeletonHits += o.SkeletonHits
 	s.Deduped += o.Deduped
 	s.EngineSearches += o.EngineSearches
 	s.Effort += o.Effort

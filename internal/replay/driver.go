@@ -395,6 +395,8 @@ func aggregatePhase(ph *Phase, results []qresult, oracle *phaseOracle, before, a
 				phr.Provenance.Exact++
 			case "window":
 				phr.Provenance.Window++
+			case "skeleton":
+				phr.Provenance.Skeleton++
 			default:
 				phr.Provenance.Miss++
 			}
@@ -459,6 +461,7 @@ func statsDelta(before, after *server.StatsResponse, venue string) StatsDeltaDoc
 		d.EngineSearches += am.EngineSearches - bm.EngineSearches
 		d.ExactHits += am.CacheHits - bm.CacheHits
 		d.WindowHits += am.WindowHits - bm.WindowHits
+		d.SkeletonHits += am.SkeletonHits - bm.SkeletonHits
 		d.Deduped += am.Deduped - bm.Deduped
 		d.SharedRuns += am.SharedRuns - bm.SharedRuns
 		d.SharedAnswers += am.SharedAnswers - bm.SharedAnswers

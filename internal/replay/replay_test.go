@@ -17,10 +17,11 @@ import (
 // digest here (run `go test ./internal/replay -run TestStreamGolden -v`
 // and copy the printed got value) and say so in the PR.
 var goldenFingerprints = map[string]string{
-	ScenarioSteady:     "bd6225cb7945edf1cf8f3a6f66fd513e6fd273325f1f21497a3dc08e82f47e4a",
-	ScenarioRushHour:   "6820214ce013982bd11aab0cd09ad152937d86e78aecd5e6bad1b9252acef0ec",
-	ScenarioFlashCrowd: "c62cc045dfc0f9ced53a3ad8726c8b96222010068f27072dcba1951aa1ba36e1",
-	ScenarioFlipStorm:  "2e7093ceeb8ad8daabc70df9305f7ccc5b0dc84a49898a82e9044cd780fd9e92",
+	ScenarioSteady:       "bd6225cb7945edf1cf8f3a6f66fd513e6fd273325f1f21497a3dc08e82f47e4a",
+	ScenarioRushHour:     "6820214ce013982bd11aab0cd09ad152937d86e78aecd5e6bad1b9252acef0ec",
+	ScenarioFlashCrowd:   "c62cc045dfc0f9ced53a3ad8726c8b96222010068f27072dcba1951aa1ba36e1",
+	ScenarioFlipStorm:    "2e7093ceeb8ad8daabc70df9305f7ccc5b0dc84a49898a82e9044cd780fd9e92",
+	ScenarioNeighborhood: "ce6781559ad8334b3da5fc503ba759ade0ca27359d9476a37016c5c5fbbbf8c5",
 }
 
 func generateBuiltin(t *testing.T, name string, quick bool) *Stream {

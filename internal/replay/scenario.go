@@ -166,9 +166,10 @@ const (
 	MetricP95Ms            = "p95_ms"
 	MetricP99Ms            = "p99_ms"
 	MetricMaxMs            = "max_ms"
-	MetricCoalesced        = "coalesced"   // answers flagged coalesced
-	MetricExactHits        = "exact_hits"  // answers flagged hit=exact
-	MetricWindowHits       = "window_hits" // answers flagged hit=window
+	MetricCoalesced        = "coalesced"     // answers flagged coalesced
+	MetricExactHits        = "exact_hits"    // answers flagged hit=exact
+	MetricWindowHits       = "window_hits"   // answers flagged hit=window
+	MetricSkeletonHits     = "skeleton_hits" // answers flagged hit=skeleton
 )
 
 // validMetrics is the closed set of metric names.
@@ -177,6 +178,7 @@ var validMetrics = map[string]bool{
 	MetricMixedAnswers: true, MetricSearchesPerQuery: true,
 	MetricP50Ms: true, MetricP95Ms: true, MetricP99Ms: true, MetricMaxMs: true,
 	MetricCoalesced: true, MetricExactHits: true, MetricWindowHits: true,
+	MetricSkeletonHits: true,
 }
 
 // compare applies the check's operator.
@@ -281,15 +283,16 @@ func (sc *Scenario) Validate() error {
 
 // Built-in scenario names.
 const (
-	ScenarioSteady     = "steady"
-	ScenarioRushHour   = "rush-hour"
-	ScenarioFlashCrowd = "flash-crowd"
-	ScenarioFlipStorm  = "flip-storm"
+	ScenarioSteady       = "steady"
+	ScenarioRushHour     = "rush-hour"
+	ScenarioFlashCrowd   = "flash-crowd"
+	ScenarioFlipStorm    = "flip-storm"
+	ScenarioNeighborhood = "neighborhood"
 )
 
 // Scenarios lists the built-in scenario names, sorted.
 func Scenarios() []string {
-	out := []string{ScenarioSteady, ScenarioRushHour, ScenarioFlashCrowd, ScenarioFlipStorm}
+	out := []string{ScenarioSteady, ScenarioRushHour, ScenarioFlashCrowd, ScenarioFlipStorm, ScenarioNeighborhood}
 	sort.Strings(out)
 	return out
 }
@@ -343,10 +346,11 @@ func Builtin(name string, quick bool) (*Scenario, error) {
 		}
 	case ScenarioRushHour:
 		// The flagship "day in the venue": a dawn trickle, the
-		// rush-hour OD-skewed wave (fresh random endpoints — the
-		// honest point-free-cache motivator: nothing shares), a flash
-		// crowd on one hot OD pair, a flip storm racing schedule
-		// updates against traffic, and an afternoon taper.
+		// rush-hour OD-skewed wave (fresh random endpoints — nothing
+		// shares an exact point, so only the skeleton store's
+		// point-free composition can absorb it), a flash crowd on one
+		// hot OD pair, a flip storm racing schedule updates against
+		// traffic, and an afternoon taper.
 		sc = &Scenario{
 			Name:  ScenarioRushHour,
 			Venue: "hospital",
@@ -430,6 +434,12 @@ func Builtin(name string, quick bool) (*Scenario, error) {
 				{Metric: MetricErrors, Op: "==", Value: 0},
 				{Metric: MetricTimeouts, Op: "==", Value: 0},
 				{Metric: MetricMixedAnswers, Op: "==", Value: 0},
+				// The rush wave draws fresh random endpoints, so the
+				// point-keyed caches score ~0 on it; with the skeleton
+				// store on it must compose point-free answers and stay
+				// at or under half an engine search per query.
+				{Phase: "rush", Metric: MetricSkeletonHits, Op: ">", Value: 0},
+				{Phase: "rush", Metric: MetricSearchesPerQuery, Op: "<=", Value: 0.5},
 				{Phase: "flash-crowd", Metric: MetricSearchesPerQuery, Op: "<", Value: 0.25},
 				{Phase: "flip-storm", Metric: MetricMixedAnswers, Op: "==", Value: 0},
 				// Generous static latency bound: the regression gate for
@@ -489,6 +499,57 @@ func Builtin(name string, quick bool) (*Scenario, error) {
 				{Metric: MetricErrors, Op: "==", Value: 0},
 				{Metric: MetricTimeouts, Op: "==", Value: 0},
 				{Metric: MetricMixedAnswers, Op: "==", Value: 0},
+			},
+		}
+	case ScenarioNeighborhood:
+		// The point-free motivator: waves of queries between the same
+		// hot partition pairs with every endpoint independently
+		// jittered — Templates is deliberately 0, so no two queries
+		// repeat an exact point and the exact/window caches score ~0.
+		// Only skeleton composition can absorb the wave. A short scout
+		// phase sends the first travellers through each pair (their
+		// misses build the door-to-door families), then the jittered
+		// crowd arrives and must compose: the verdicts require skeleton
+		// hits on the wire and at most half an engine search per query.
+		// Departures stay inside the 10:00–12:00 visiting-hours
+		// checkpoint slot so one family per pair covers the whole day
+		// segment being replayed.
+		sc = &Scenario{
+			Name:  ScenarioNeighborhood,
+			Venue: "hospital",
+			Seed:  1,
+			Phases: []Phase{
+				{
+					Name:        "scout",
+					Count:       count(6),
+					Concurrency: 1,
+					Mix:         MethodMix{Asyn: 1},
+					OD: []ODWeight{
+						{Src: "emergency", Tgt: "ward-1", Weight: 3},
+						{Src: "lobby", Tgt: "pharmacy", Weight: 2},
+					},
+					WindowOpen:  temporal.MustParse("10:15"),
+					WindowClose: temporal.MustParse("10:30"),
+				},
+				{
+					Name:        "neighborhood",
+					Count:       count(200),
+					Concurrency: 16,
+					Waves:       true,
+					Mix:         MethodMix{Asyn: 1},
+					OD: []ODWeight{
+						{Src: "emergency", Tgt: "ward-1", Weight: 3},
+						{Src: "lobby", Tgt: "pharmacy", Weight: 2},
+					},
+					WindowOpen:  temporal.MustParse("10:30"),
+					WindowClose: temporal.MustParse("11:30"),
+				},
+			},
+			Checks: []Check{
+				{Metric: MetricErrors, Op: "==", Value: 0},
+				{Metric: MetricTimeouts, Op: "==", Value: 0},
+				{Phase: "neighborhood", Metric: MetricSkeletonHits, Op: ">", Value: 0},
+				{Phase: "neighborhood", Metric: MetricSearchesPerQuery, Op: "<=", Value: 0.5},
 			},
 		}
 	default:

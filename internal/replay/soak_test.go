@@ -9,13 +9,13 @@ import (
 )
 
 // newSoakServer boots an in-process daemon serving the hospital preset
-// with the full serving stack on — window cache, shared-execution
-// batch planner and request coalescing — the configuration the
-// scenarios are written to exercise (and what the CI replay-smoke job
-// boots as a real process).
+// with the full serving stack on — window cache, skeleton-family
+// store, shared-execution batch planner and request coalescing — the
+// configuration the scenarios are written to exercise (and what the CI
+// replay-smoke job boots as a real process).
 func newSoakServer(t testing.TB) *httptest.Server {
 	t.Helper()
-	reg := server.NewRegistry(service.Options{WindowCache: true, SharedBatch: true})
+	reg := server.NewRegistry(service.Options{WindowCache: true, SkeletonCache: true, SharedBatch: true})
 	if _, err := reg.AddPresets("hospital"); err != nil {
 		t.Fatal(err)
 	}
@@ -186,6 +186,46 @@ func TestFlashCrowdSharing(t *testing.T) {
 	ph := &rep.Phases[0]
 	if ph.SearchesPerQuery >= 0.25 {
 		t.Fatalf("searches/query = %v, want < 0.25", ph.SearchesPerQuery)
+	}
+}
+
+// TestNeighborhoodSoak replays the jittered-endpoint scenario — hot
+// partition pairs, but no two queries sharing an exact point — against
+// the full serving stack and pins the point-free headline: the crowd
+// is answered by skeleton composition ("hit":"skeleton" on the wire,
+// matching the server-side SkeletonHits movement) at no more than half
+// an engine search per query, a load today's point-keyed caches score
+// ~1.0 on.
+func TestNeighborhoodSoak(t *testing.T) {
+	rep := runBuiltin(t, ScenarioNeighborhood, true)
+	if !rep.Pass {
+		t.Fatalf("verdicts failed:\n%s", rep.Summary())
+	}
+	ph := rep.phase("neighborhood")
+	if ph == nil {
+		t.Fatalf("no neighborhood phase in %+v", rep.Phases)
+	}
+	if ph.Errors != 0 || ph.Timeouts != 0 {
+		t.Fatalf("errors = %d timeouts = %d, samples %v", ph.Errors, ph.Timeouts, ph.ErrorSamples)
+	}
+	// The wire provenance and the /statsz delta must agree: every
+	// answer flagged "skeleton" moved the pool counter.
+	if ph.Provenance.Skeleton == 0 {
+		t.Fatalf("no skeleton answers across the jittered phase: %+v", ph.Provenance)
+	}
+	if int64(ph.Provenance.Skeleton) != ph.StatsDelta.SkeletonHits {
+		t.Fatalf("wire skeleton answers %d != statsz delta %d",
+			ph.Provenance.Skeleton, ph.StatsDelta.SkeletonHits)
+	}
+	// Exact points never repeat (Templates is 0), so the point-keyed
+	// caches cannot be what absorbed the load.
+	if ph.SearchesPerQuery > 0.5 {
+		t.Fatalf("searches/query = %v, want <= 0.5", ph.SearchesPerQuery)
+	}
+	// The phase's hit classes partition its server-side queries.
+	d := &ph.StatsDelta
+	if d.ExactHits+d.WindowHits+d.SkeletonHits+d.Deduped > d.Queries {
+		t.Fatalf("phase stats delta does not partition: %+v", d)
 	}
 }
 

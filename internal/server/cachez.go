@@ -60,6 +60,7 @@ func cacheMethodDoc(ve *Venue, m core.Method, mv *model.Venue) CacheMethodDoc {
 	pairs := pool.HotPairs()
 	effort := pool.Effort()
 	coverage := pool.WindowCoverage()
+	skelCov := pool.SkeletonCoverage()
 	st := pool.Stats()
 
 	doc := CacheMethodDoc{
@@ -74,9 +75,30 @@ func cacheMethodDoc(ve *Venue, m core.Method, mv *model.Venue) CacheMethodDoc {
 			Evictions:  st.WindowEvictions,
 			PairsTotal: len(coverage),
 		},
+		Skeleton: SkeletonStoreDoc{
+			Families:   st.SkelFamilies,
+			Capacity:   st.SkelCapacity,
+			Evictions:  st.SkelEvictions,
+			PairsTotal: len(skelCov),
+		},
 		PairCapacity: pool.HotPairCapacity(),
 		Queries:      st.Queries,
 		EngineEffort: effort,
+	}
+
+	// The skeleton coverage map: per-pair family and chain counts with
+	// whole-pair day coverage, most chains first (tcache order).
+	for i, pc := range skelCov {
+		if i >= maxWindowPairs {
+			break
+		}
+		doc.Skeleton.Pairs = append(doc.Skeleton.Pairs, SkeletonPairDoc{
+			Src:         partName(mv, pc.Key.Src),
+			Tgt:         partName(mv, pc.Key.Tgt),
+			Families:    pc.Families,
+			Chains:      pc.Windows,
+			DayCoverage: pc.CoveredSec / float64(temporal.DaySeconds),
+		})
 	}
 
 	// The coverage map: per-pair window counts and day coverage, most
@@ -109,6 +131,7 @@ func cacheMethodDoc(ve *Venue, m core.Method, mv *model.Venue) CacheMethodDoc {
 			Queries:        pc.Queries,
 			ExactHits:      pc.ExactHits,
 			WindowHits:     pc.WindowHits,
+			SkeletonHits:   pc.SkeletonHits,
 			Deduped:        pc.Deduped,
 			EngineSearches: pc.EngineSearches,
 			Effort:         pc.Effort,

@@ -44,6 +44,9 @@ var poolMetrics = []metricDef{
 	{"indoorpath_pool_window_hits_total", "counter",
 		"Outcomes served from the validity-window temporal result cache.",
 		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].WindowHits }},
+	{"indoorpath_pool_skeleton_hits_total", "counter",
+		"Outcomes composed from a stored door-to-door skeleton family.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].SkeletonHits }},
 	{"indoorpath_pool_deduped_total", "counter",
 		"Batch entries shared from an identical query in the same batch.",
 		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].Deduped }},
@@ -80,6 +83,15 @@ var poolMetrics = []metricDef{
 	{"indoorpath_window_evictions_total", "counter",
 		"Window-store windows shed by capacity eviction; survives backend swaps.",
 		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].WindowEvictions }},
+	{"indoorpath_skeleton_families", "gauge",
+		"Skeleton-family store occupancy (slot families currently held).",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].SkelFamilies }},
+	{"indoorpath_skeleton_capacity", "gauge",
+		"Skeleton-family store family capacity.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].SkelCapacity }},
+	{"indoorpath_skeleton_evictions_total", "counter",
+		"Skeleton families shed by capacity eviction; survives backend swaps.",
+		func(d VenueStatsDoc, m string) int64 { return d.Methods[m].SkelEvictions }},
 }
 
 // handleMetricsz renders every pool counter, the request/stage latency
@@ -151,6 +163,9 @@ var loadMetrics = []struct {
 	{"indoorpath_load_window_hit_rate",
 		"Windowed fraction of queries served from the validity-window cache.",
 		func(d LoadWindowDoc) float64 { return d.WindowHitRate }},
+	{"indoorpath_load_skeleton_hit_rate",
+		"Windowed fraction of queries composed from a stored skeleton family.",
+		func(d LoadWindowDoc) float64 { return d.SkeletonHitRate }},
 	{"indoorpath_load_shareability",
 		"Windowed fraction of queries answered by another query's engine run (deduped or shared).",
 		func(d LoadWindowDoc) float64 { return d.Shareability }},

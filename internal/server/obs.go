@@ -172,6 +172,7 @@ func loadWindowDoc(windowSec int, s obs.LoadSample) LoadWindowDoc {
 		Queries:          s.Queries,
 		ExactHits:        s.ExactHits,
 		WindowHits:       s.WindowHits,
+		SkeletonHits:     s.SkeletonHits,
 		Deduped:          s.Deduped,
 		SharedAnswers:    s.SharedAnswers,
 		EngineSearches:   s.EngineSearches,
@@ -180,6 +181,7 @@ func loadWindowDoc(windowSec int, s obs.LoadSample) LoadWindowDoc {
 		ArrivalPerSec:    ratio(s.Queries, int64(windowSec)),
 		ExactHitRate:     ratio(s.ExactHits, s.Queries),
 		WindowHitRate:    ratio(s.WindowHits, s.Queries),
+		SkeletonHitRate:  ratio(s.SkeletonHits, s.Queries),
 		Shareability:     ratio(s.Deduped+s.SharedAnswers, s.Queries),
 		SearchesPerQuery: ratio(s.EngineSearches, s.Queries),
 		HoldUtilization:  ratio(s.HoldNanos, s.HoldTargetNanos),
@@ -199,6 +201,7 @@ func loadWindowDoc(windowSec int, s obs.LoadSample) LoadWindowDoc {
 	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonNoExactEntry, s.MissNoExactEntry)
 	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonWindowFamilyAbsent, s.MissFamilyAbsent)
 	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonOutsideWindows, s.MissOutsideWindows)
+	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonSkeletonUncertified, s.MissSkeletonUncertified)
 	doc.MissReasons = addReason(doc.MissReasons, obs.ReasonEpochRaced, s.MissEpochRaced)
 	doc.SoloReasons = addReason(doc.SoloReasons, obs.ReasonPrivatePartition, s.SoloPrivate)
 	doc.SoloReasons = addReason(doc.SoloReasons, obs.ReasonSingletonGroup, s.SoloSingleton)

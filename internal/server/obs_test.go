@@ -200,14 +200,16 @@ func metricValue(t testing.TB, body, series string) int64 {
 }
 
 // checkPartition asserts the serving-partition invariant on one set of
-// pool counters: every query is a cache hit, a window hit, a batch
-// dedup or a miss, and engine runs never exceed misses. Guaranteed
-// even in torn snapshots by the pool's counter read order.
-func checkPartition(t testing.TB, where string, queries, cacheHits, windowHits, deduped, engineSearches int64) {
+// pool counters: every query is a cache hit, a window hit, a skeleton
+// composition, a batch dedup or a miss, and engine runs never exceed
+// misses. Guaranteed even in torn snapshots by the pool's counter read
+// order.
+func checkPartition(t testing.TB, where string, queries, cacheHits, windowHits, skeletonHits, deduped, engineSearches int64) {
 	t.Helper()
-	misses := queries - cacheHits - windowHits - deduped
+	misses := queries - cacheHits - windowHits - skeletonHits - deduped
 	if misses < 0 {
-		t.Errorf("%s: misses = %d - %d - %d - %d = %d < 0", where, queries, cacheHits, windowHits, deduped, misses)
+		t.Errorf("%s: misses = %d - %d - %d - %d - %d = %d < 0",
+			where, queries, cacheHits, windowHits, skeletonHits, deduped, misses)
 	}
 	if engineSearches > misses {
 		t.Errorf("%s: engine_searches %d > misses %d", where, engineSearches, misses)
@@ -251,7 +253,7 @@ func TestScrapeConsistencyHammer(t *testing.T) {
 				for id, doc := range st.Venues {
 					for m, ms := range doc.Methods {
 						checkPartition(t, fmt.Sprintf("statsz %s/%s", id, m),
-							ms.Queries, ms.CacheHits, ms.WindowHits, ms.Deduped, ms.EngineSearches)
+							ms.Queries, ms.CacheHits, ms.WindowHits, ms.SkeletonHits, ms.Deduped, ms.EngineSearches)
 					}
 				}
 				resp, raw := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil)
@@ -265,6 +267,7 @@ func TestScrapeConsistencyHammer(t *testing.T) {
 					metricValue(t, body, "indoorpath_pool_queries_total"+labels),
 					metricValue(t, body, "indoorpath_pool_exact_hits_total"+labels),
 					metricValue(t, body, "indoorpath_pool_window_hits_total"+labels),
+					metricValue(t, body, "indoorpath_pool_skeleton_hits_total"+labels),
 					metricValue(t, body, "indoorpath_pool_deduped_total"+labels),
 					metricValue(t, body, "indoorpath_pool_engine_searches_total"+labels))
 				var tz TracezResponse
@@ -281,7 +284,7 @@ func TestScrapeConsistencyHammer(t *testing.T) {
 				for id, methods := range lz.Venues {
 					for m, docs := range methods {
 						for _, doc := range docs {
-							if doc.ExactHits+doc.WindowHits+doc.Deduped > doc.Queries {
+							if doc.ExactHits+doc.WindowHits+doc.SkeletonHits+doc.Deduped > doc.Queries {
 								t.Errorf("loadz %s/%s %ds window violates partition: %+v", id, m, doc.WindowSec, doc)
 								return
 							}
@@ -306,10 +309,14 @@ func TestScrapeConsistencyHammer(t *testing.T) {
 							t.Errorf("%s: window occupancy %d > capacity %d", where, doc.Window.Windows, doc.Window.Capacity)
 							return
 						}
+						if doc.Skeleton.Families > doc.Skeleton.Capacity {
+							t.Errorf("%s: skeleton occupancy %d > capacity %d", where, doc.Skeleton.Families, doc.Skeleton.Capacity)
+							return
+						}
 						var pairQueries int64
 						for _, p := range doc.TopPairs {
 							pairQueries += p.Queries
-							if p.ExactHits+p.WindowHits+p.Deduped > p.Queries {
+							if p.ExactHits+p.WindowHits+p.SkeletonHits+p.Deduped > p.Queries {
 								t.Errorf("%s: pair %s->%s tallies exceed its queries: %+v", where, p.Src, p.Tgt, p)
 								return
 							}

@@ -365,7 +365,7 @@ func TestRaceStatszConsistent(t *testing.T) {
 				return
 			}
 			lastQueries = st.Queries
-			if st.CacheHits+st.WindowHits+st.CacheMisses()+st.Deduped != st.Queries {
+			if st.CacheHits+st.WindowHits+st.SkeletonHits+st.CacheMisses()+st.Deduped != st.Queries {
 				errc <- fmt.Errorf("statsz does not partition: %+v", st)
 				return
 			}

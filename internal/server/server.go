@@ -472,6 +472,7 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request, ve *Ve
 			Queries:       sum.Queries,
 			ExactHits:     sum.ExactHits,
 			WindowHits:    sum.WindowHits,
+			SkeletonHits:  sum.SkeletonHits,
 			Searches:      sum.Searches,
 			SharedRuns:    sum.SharedRuns,
 			SharedAnswers: sum.SharedAnswers,

@@ -114,9 +114,12 @@ type RouteResponse struct {
 	// or validity-window).
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Hit is the outcome's cache provenance: "miss" (engine search),
-	// "exact" (exact-identity cache) or "window" (validity-window
-	// cache, arrivals recomputed for this departure). Absent for the
-	// waiting method, which has no pool.
+	// "exact" (exact-identity cache), "window" (validity-window cache,
+	// arrivals recomputed for this departure) or "skeleton" (answer
+	// composed from the OD pair's door-to-door skeleton family — no
+	// stored answer for these exact points existed; itspqd
+	// -skeleton-cache). Absent for the waiting method, which has no
+	// pool.
 	Hit string `json:"hit,omitempty"`
 	// Shared marks batch entries answered by an identical query's
 	// search elsewhere in the same batch.
@@ -132,7 +135,9 @@ type RouteResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Explain is the decision provenance of a cache miss — why no
 	// cache could answer: "no_exact_entry", "window_family_absent",
-	// "outside_windows", "epoch_raced" or "uncacheable" (the
+	// "outside_windows", "skeleton_uncertified" (a skeleton family
+	// covered the departure but could not certify a composition for
+	// these exact points), "epoch_raced" or "uncacheable" (the
 	// obs.Reason vocabulary). Absent on hits and on deduped copies.
 	Explain string    `json:"explain,omitempty"`
 	Error   *ErrorDoc `json:"error,omitempty"`
@@ -147,13 +152,17 @@ type RouteResponse struct {
 // cmd/itspq prints as its sweep summary line. Searches counts engine
 // runs actually executed: with the shared-execution planner one run
 // can answer a whole group, so SharedAnswers entries share SharedRuns
-// of those runs, and Queries = ExactHits + WindowHits + SharedAnswers
-// + (Searches - SharedRuns) + deduplicated entries.
+// of those runs, and Queries = ExactHits + WindowHits + SkeletonHits +
+// SharedAnswers + (Searches - SharedRuns) + deduplicated entries.
 type BatchCacheDoc struct {
 	Queries    int `json:"queries"`
 	ExactHits  int `json:"exact_hits"`
 	WindowHits int `json:"window_hits"`
-	Searches   int `json:"searches"`
+	// SkeletonHits counts entries composed from a stored skeleton
+	// family (itspqd -skeleton-cache); omitted while zero so the wire
+	// is unchanged with the store off.
+	SkeletonHits int `json:"skeleton_hits,omitempty"`
+	Searches     int `json:"searches"`
 	// SharedRuns / SharedAnswers are the shared-execution tallies,
 	// omitted while zero so the wire is unchanged with the planner off.
 	SharedRuns    int `json:"shared_runs,omitempty"`
@@ -379,8 +388,8 @@ type TracezResponse struct {
 // LoadWindowDoc is one trailing-window view of a pool's rolling load
 // signals: raw totals over the window plus the derived rates the
 // adaptive policies steer by. Within any single doc the partition
-// ExactHits+WindowHits+Deduped <= Queries holds (the load ring's
-// feed/read ordering guarantees it even mid-rotation).
+// ExactHits+WindowHits+SkeletonHits+Deduped <= Queries holds (the
+// load ring's feed/read ordering guarantees it even mid-rotation).
 type LoadWindowDoc struct {
 	// WindowSec is the trailing span this view covers (10, 60, 300).
 	WindowSec int `json:"window_sec"`
@@ -389,6 +398,7 @@ type LoadWindowDoc struct {
 	Queries        int64 `json:"queries"`
 	ExactHits      int64 `json:"exact_hits"`
 	WindowHits     int64 `json:"window_hits"`
+	SkeletonHits   int64 `json:"skeleton_hits"`
 	Deduped        int64 `json:"deduped"`
 	SharedAnswers  int64 `json:"shared_answers"`
 	EngineSearches int64 `json:"engine_searches"`
@@ -399,6 +409,7 @@ type LoadWindowDoc struct {
 	ArrivalPerSec    float64 `json:"arrival_per_sec"`    // Queries / WindowSec
 	ExactHitRate     float64 `json:"exact_hit_rate"`     // ExactHits / Queries
 	WindowHitRate    float64 `json:"window_hit_rate"`    // WindowHits / Queries
+	SkeletonHitRate  float64 `json:"skeleton_hit_rate"`  // SkeletonHits / Queries
 	Shareability     float64 `json:"shareability"`       // (Deduped+SharedAnswers) / Queries
 	SearchesPerQuery float64 `json:"searches_per_query"` // EngineSearches / Queries
 	// HoldUtilization is actual hold time over configured hold time
@@ -440,6 +451,9 @@ type CachezResponse struct {
 type CacheMethodDoc struct {
 	Exact  CacheOccupancyDoc `json:"exact"`
 	Window WindowStoreDoc    `json:"window"`
+	// Skeleton is the door-to-door skeleton-family store's view; all
+	// zero (and Pairs empty) when -skeleton-cache is off.
+	Skeleton SkeletonStoreDoc `json:"skeleton"`
 	// TopPairs is the space-saving heavy-hitter table, heaviest first.
 	// Tallies are exact up to each row's ErrBound (obs.TopK).
 	TopPairs []HotPairDoc `json:"top_pairs"`
@@ -476,6 +490,35 @@ type WindowStoreDoc struct {
 	PairsTotal int             `json:"pairs_total"`
 }
 
+// SkeletonStoreDoc is the skeleton-family store's occupancy, pressure
+// and per-pair coverage map. The store shares the window store's
+// capacity value but its family budget is accounted independently, so
+// Families <= Capacity in every body.
+type SkeletonStoreDoc struct {
+	Families  int64 `json:"families"`
+	Capacity  int64 `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+	// Pairs lists per-OD-pair family occupancy and day coverage, most
+	// chains first, capped at maxWindowPairs rows; PairsTotal counts
+	// all pairs before the cap so truncation is never silent.
+	Pairs      []SkeletonPairDoc `json:"pairs,omitempty"`
+	PairsTotal int               `json:"pairs_total"`
+}
+
+// SkeletonPairDoc is one OD pair's stored skeleton-family summary.
+type SkeletonPairDoc struct {
+	Src string `json:"src"`
+	Tgt string `json:"tgt"`
+	// Families counts the pair's slot families (disjoint departure
+	// windows); Chains sums their entry-door skeleton chains.
+	Families int `json:"families"`
+	Chains   int `json:"chains"`
+	// DayCoverage is the share of the 24h departure axis the pair's
+	// families cover: summed family-window seconds / 86400. Family
+	// windows of one pair are disjoint, so the value never exceeds 1.
+	DayCoverage float64 `json:"day_coverage"`
+}
+
 // WindowPairDoc is one OD pair's stored-window summary.
 type WindowPairDoc struct {
 	Src string `json:"src"`
@@ -499,6 +542,7 @@ type HotPairDoc struct {
 	Queries        int64  `json:"queries"`
 	ExactHits      int64  `json:"exact_hits"`
 	WindowHits     int64  `json:"window_hits"`
+	SkeletonHits   int64  `json:"skeleton_hits"`
 	Deduped        int64  `json:"deduped"`
 	EngineSearches int64  `json:"engine_searches"`
 	// Effort is the summed frontier pops of the pair's dedicated

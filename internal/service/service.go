@@ -64,7 +64,24 @@ type Options struct {
 	// WindowCapacity bounds the number of stored validity windows:
 	// 0 means tcache.DefaultCapacity, and negative disables the window
 	// store even when WindowCache is set (mirroring CacheCapacity).
+	// SkeletonCache families share the same store and the same capacity
+	// value (budgeted independently — see tcache).
 	WindowCapacity int
+	// SkeletonCache enables the point-free skeleton layer
+	// (core.SkeletonFamily in internal/tcache): the first engine miss
+	// on a (source partition, target partition) pair also builds the
+	// pair's door-to-door chain table for the departure's checkpoint
+	// slot, and a later query between ANY points of the same pair in
+	// the same slot is answered by composing first-leg + stored chain +
+	// last-leg (core.ComposeSkeletonPath) — byte-identical to a fresh
+	// search, no engine run. Compositions that cannot be certified fall
+	// through to an engine with obs.ReasonSkeletonUncertified
+	// provenance. Probe order: exact cache, point windows, skeletons,
+	// engine. Families obey the same swap/invalidation semantics as
+	// windows and are disabled alongside them by a negative
+	// WindowCapacity or by the SinglePartitionExpansion ablation. Off
+	// by default.
+	SkeletonCache bool
 	// SharedBatch enables the shared-execution batch planner
 	// (internal/batchplan): RouteBatch partitions each batch into
 	// shared-source groups (same source point, departure instant and
@@ -95,6 +112,11 @@ const (
 	// answer's doors and partitions with arrivals recomputed for this
 	// query's departure.
 	HitWindow Hit = "window"
+	// HitSkeleton: composed from the pair's stored skeleton family —
+	// first-leg + door-to-door chain + last-leg stitched for this
+	// query's own endpoints and departure, certified byte-identical to
+	// a fresh search.
+	HitSkeleton Hit = "skeleton"
 )
 
 // Result is one RouteBatch outcome. Path and Err mirror exactly what a
@@ -104,10 +126,11 @@ type Result struct {
 	Stats core.SearchStats
 	Err   error
 	// CacheHit reports that the outcome was served from a result cache
-	// (exact or window) rather than searched.
+	// (exact, window or skeleton) rather than searched.
 	CacheHit bool
-	// Hit is the outcome's provenance: HitMiss, HitExact or HitWindow.
-	// For Shared entries it is the canonical query's provenance.
+	// Hit is the outcome's provenance: HitMiss, HitExact, HitWindow or
+	// HitSkeleton. For Shared entries it is the canonical query's
+	// provenance.
 	Hit Hit
 	// Shared reports that the outcome was computed once for an
 	// identical query elsewhere in the same batch and shared.
@@ -125,8 +148,9 @@ type Result struct {
 	Coalesced bool
 	// Explain is the decision provenance of a cache miss: why no cache
 	// could answer (obs.ReasonNoExactEntry, ReasonWindowFamilyAbsent,
-	// ReasonOutsideWindows, ReasonEpochRaced, ReasonUncacheable).
-	// ReasonNone on hits and shared/deduped copies of a hit.
+	// ReasonOutsideWindows, ReasonSkeletonUncertified, ReasonEpochRaced,
+	// ReasonUncacheable). ReasonNone on hits and shared/deduped copies
+	// of a hit.
 	Explain obs.Reason
 }
 
@@ -138,6 +162,7 @@ type Stats struct {
 	Batches        int64 `json:"batches"`         // RouteBatch calls
 	CacheHits      int64 `json:"cache_hits"`      // outcomes served from the exact result cache
 	WindowHits     int64 `json:"window_hits"`     // outcomes served from the validity-window cache
+	SkeletonHits   int64 `json:"skeleton_hits"`   // outcomes composed from a stored skeleton family
 	Deduped        int64 `json:"deduped"`         // batch entries shared from an identical query
 	EnginesCreated int64 `json:"engines_created"` // engines constructed (vs reused from the pool)
 	// EngineSearches counts actual engine runs. It is its own monotone
@@ -171,6 +196,9 @@ type Stats struct {
 	Windows         int64 `json:"windows"`
 	WindowCapacity  int64 `json:"window_capacity"`
 	WindowEvictions int64 `json:"window_evictions"`
+	SkelFamilies    int64 `json:"skel_families"`
+	SkelCapacity    int64 `json:"skel_capacity"`
+	SkelEvictions   int64 `json:"skel_evictions"`
 	// Reasons are the cumulative decision-provenance tallies: why
 	// queries missed every cache and why planned members ran solo.
 	Reasons ReasonStats `json:"reasons"`
@@ -182,14 +210,15 @@ type Stats struct {
 // dedicated search instead of joining a shared run. Field names match
 // the obs.Reason wire vocabulary.
 type ReasonStats struct {
-	MissUncacheable        int64 `json:"miss_uncacheable"`
-	MissNoExactEntry       int64 `json:"miss_no_exact_entry"`
-	MissWindowFamilyAbsent int64 `json:"miss_window_family_absent"`
-	MissOutsideWindows     int64 `json:"miss_outside_windows"`
-	MissEpochRaced         int64 `json:"miss_epoch_raced"`
-	SoloPrivatePartition   int64 `json:"solo_private_partition"`
-	SoloSingletonGroup     int64 `json:"solo_singleton_group"`
-	SoloAblation           int64 `json:"solo_ablation"`
+	MissUncacheable         int64 `json:"miss_uncacheable"`
+	MissNoExactEntry        int64 `json:"miss_no_exact_entry"`
+	MissWindowFamilyAbsent  int64 `json:"miss_window_family_absent"`
+	MissOutsideWindows      int64 `json:"miss_outside_windows"`
+	MissSkeletonUncertified int64 `json:"miss_skeleton_uncertified"`
+	MissEpochRaced          int64 `json:"miss_epoch_raced"`
+	SoloPrivatePartition    int64 `json:"solo_private_partition"`
+	SoloSingletonGroup      int64 `json:"solo_singleton_group"`
+	SoloAblation            int64 `json:"solo_ablation"`
 }
 
 // ReasonCount pairs a provenance code with its tally.
@@ -207,6 +236,7 @@ func (r ReasonStats) Counts() []ReasonCount {
 		{obs.ReasonNoExactEntry, r.MissNoExactEntry},
 		{obs.ReasonWindowFamilyAbsent, r.MissWindowFamilyAbsent},
 		{obs.ReasonOutsideWindows, r.MissOutsideWindows},
+		{obs.ReasonSkeletonUncertified, r.MissSkeletonUncertified},
 		{obs.ReasonEpochRaced, r.MissEpochRaced},
 		{obs.ReasonPrivatePartition, r.SoloPrivatePartition},
 		{obs.ReasonSingletonGroup, r.SoloSingletonGroup},
@@ -218,40 +248,44 @@ func (r ReasonStats) Counts() []ReasonCount {
 // two snapshots (replay phases report these deltas).
 func (r ReasonStats) Sub(o ReasonStats) ReasonStats {
 	return ReasonStats{
-		MissUncacheable:        r.MissUncacheable - o.MissUncacheable,
-		MissNoExactEntry:       r.MissNoExactEntry - o.MissNoExactEntry,
-		MissWindowFamilyAbsent: r.MissWindowFamilyAbsent - o.MissWindowFamilyAbsent,
-		MissOutsideWindows:     r.MissOutsideWindows - o.MissOutsideWindows,
-		MissEpochRaced:         r.MissEpochRaced - o.MissEpochRaced,
-		SoloPrivatePartition:   r.SoloPrivatePartition - o.SoloPrivatePartition,
-		SoloSingletonGroup:     r.SoloSingletonGroup - o.SoloSingletonGroup,
-		SoloAblation:           r.SoloAblation - o.SoloAblation,
+		MissUncacheable:         r.MissUncacheable - o.MissUncacheable,
+		MissNoExactEntry:        r.MissNoExactEntry - o.MissNoExactEntry,
+		MissWindowFamilyAbsent:  r.MissWindowFamilyAbsent - o.MissWindowFamilyAbsent,
+		MissOutsideWindows:      r.MissOutsideWindows - o.MissOutsideWindows,
+		MissSkeletonUncertified: r.MissSkeletonUncertified - o.MissSkeletonUncertified,
+		MissEpochRaced:          r.MissEpochRaced - o.MissEpochRaced,
+		SoloPrivatePartition:    r.SoloPrivatePartition - o.SoloPrivatePartition,
+		SoloSingletonGroup:      r.SoloSingletonGroup - o.SoloSingletonGroup,
+		SoloAblation:            r.SoloAblation - o.SoloAblation,
 	}
 }
 
 // Add returns the field-wise sum r + o (summing across method pools).
 func (r ReasonStats) Add(o ReasonStats) ReasonStats {
 	return ReasonStats{
-		MissUncacheable:        r.MissUncacheable + o.MissUncacheable,
-		MissNoExactEntry:       r.MissNoExactEntry + o.MissNoExactEntry,
-		MissWindowFamilyAbsent: r.MissWindowFamilyAbsent + o.MissWindowFamilyAbsent,
-		MissOutsideWindows:     r.MissOutsideWindows + o.MissOutsideWindows,
-		MissEpochRaced:         r.MissEpochRaced + o.MissEpochRaced,
-		SoloPrivatePartition:   r.SoloPrivatePartition + o.SoloPrivatePartition,
-		SoloSingletonGroup:     r.SoloSingletonGroup + o.SoloSingletonGroup,
-		SoloAblation:           r.SoloAblation + o.SoloAblation,
+		MissUncacheable:         r.MissUncacheable + o.MissUncacheable,
+		MissNoExactEntry:        r.MissNoExactEntry + o.MissNoExactEntry,
+		MissWindowFamilyAbsent:  r.MissWindowFamilyAbsent + o.MissWindowFamilyAbsent,
+		MissOutsideWindows:      r.MissOutsideWindows + o.MissOutsideWindows,
+		MissSkeletonUncertified: r.MissSkeletonUncertified + o.MissSkeletonUncertified,
+		MissEpochRaced:          r.MissEpochRaced + o.MissEpochRaced,
+		SoloPrivatePartition:    r.SoloPrivatePartition + o.SoloPrivatePartition,
+		SoloSingletonGroup:      r.SoloSingletonGroup + o.SoloSingletonGroup,
+		SoloAblation:            r.SoloAblation + o.SoloAblation,
 	}
 }
 
 // CacheMisses returns the number of queries that went to an engine:
-// every query that was not an exact hit, a window hit, or shared from
-// an identical batch entry.
-func (s Stats) CacheMisses() int64 { return s.Queries - s.CacheHits - s.WindowHits - s.Deduped }
+// every query that was not an exact hit, a window hit, a skeleton
+// composition, or shared from an identical batch entry.
+func (s Stats) CacheMisses() int64 {
+	return s.Queries - s.CacheHits - s.WindowHits - s.SkeletonHits - s.Deduped
+}
 
 // String renders a one-line summary of the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("queries=%d batches=%d cacheHits=%d windowHits=%d cacheMisses=%d deduped=%d sharedRuns=%d sharedAnswers=%d engines=%d epoch=%d",
-		s.Queries, s.Batches, s.CacheHits, s.WindowHits, s.CacheMisses(), s.Deduped, s.SharedRuns, s.SharedAnswers, s.EnginesCreated, s.Epoch)
+	return fmt.Sprintf("queries=%d batches=%d cacheHits=%d windowHits=%d skeletonHits=%d cacheMisses=%d deduped=%d sharedRuns=%d sharedAnswers=%d engines=%d epoch=%d",
+		s.Queries, s.Batches, s.CacheHits, s.WindowHits, s.SkeletonHits, s.CacheMisses(), s.Deduped, s.SharedRuns, s.SharedAnswers, s.EnginesCreated, s.Epoch)
 }
 
 // poolBackend bundles one graph with the engine pool and result cache
@@ -282,6 +316,7 @@ type Pool struct {
 	batches        atomic.Int64
 	cacheHits      atomic.Int64
 	windowHits     atomic.Int64
+	skeletonHits   atomic.Int64
 	deduped        atomic.Int64
 	enginesCreated atomic.Int64
 	engineSearches atomic.Int64
@@ -312,13 +347,14 @@ type Pool struct {
 	effortRelax  *obs.Histogram
 	effortTV     *obs.Histogram
 
-	// cacheEvictBase / windowEvictBase fold retired backends' eviction
-	// counts in at swap time, keeping the exported eviction counters
-	// monotone across SetGraph swaps. A scrape racing a swap can
-	// transiently under-read by the retiring backend's count; the next
-	// scrape corrects it.
+	// cacheEvictBase / windowEvictBase / skelEvictBase fold retired
+	// backends' eviction counts in at swap time, keeping the exported
+	// eviction counters monotone across SetGraph swaps. A scrape racing
+	// a swap can transiently under-read by the retiring backend's
+	// count; the next scrape corrects it.
 	cacheEvictBase  atomic.Int64
 	windowEvictBase atomic.Int64
+	skelEvictBase   atomic.Int64
 }
 
 // New builds a Pool over the graph.
@@ -375,11 +411,22 @@ func (p *Pool) Effort() EffortSnapshot {
 // WindowCoverage snapshots the live window store's per-pair window
 // counts and day coverage (nil when the window cache is disabled).
 func (p *Pool) WindowCoverage() []tcache.PairCoverage {
-	w := p.backend.Load().windows
-	if w == nil {
+	b := p.backend.Load()
+	if b.windows == nil || !p.opts.WindowCache {
 		return nil
 	}
-	return w.Coverage()
+	return b.windows.Coverage()
+}
+
+// SkeletonCoverage snapshots the live store's per-pair skeleton
+// occupancy — slot families, stored chains and covered slot seconds —
+// nil when the skeleton cache is disabled.
+func (p *Pool) SkeletonCoverage() []tcache.PairCoverage {
+	b := p.backend.Load()
+	if !p.skeletonEnabled(b) {
+		return nil
+	}
+	return b.windows.SkeletonCoverage()
 }
 
 // observeEffort feeds one completed search's statistics into the
@@ -412,10 +459,19 @@ func (p *Pool) newBackend(g *itgraph.Graph) *poolBackend {
 	default:
 		b.cache = newResultCache(p.opts.CacheCapacity)
 	}
-	if p.opts.WindowCache && p.opts.WindowCapacity >= 0 {
+	if (p.opts.WindowCache || p.opts.SkeletonCache) && p.opts.WindowCapacity >= 0 {
 		b.windows = tcache.NewStore(p.opts.WindowCapacity)
 	}
 	return b
+}
+
+// skeletonEnabled reports whether the backend serves and builds
+// skeleton families: the option is on, the shared temporal store
+// exists, and the engine is not the SinglePartitionExpansion ablation
+// (whose visited-partition gate makes per-entry-door families
+// unsound — core.BuildSkeletonFamily refuses them anyway).
+func (p *Pool) skeletonEnabled(b *poolBackend) bool {
+	return p.opts.SkeletonCache && b.windows != nil && !p.opts.Engine.SinglePartitionExpansion
 }
 
 // Graph returns the shared IT-Graph.
@@ -443,6 +499,7 @@ func (p *Pool) SetGraph(g *itgraph.Graph) {
 	}
 	if old.windows != nil {
 		p.windowEvictBase.Add(old.windows.Evictions())
+		p.skelEvictBase.Add(old.windows.FamEvictions())
 	}
 }
 
@@ -470,13 +527,15 @@ func (p *Pool) UpdateSchedules(updates map[model.DoorID]temporal.Schedule) error
 func (p *Pool) Stats() Stats {
 	hits := p.cacheHits.Load()
 	windowHits := p.windowHits.Load()
+	skeletonHits := p.skeletonHits.Load()
 	deduped := p.deduped.Load()
 	// Eviction bases before backend counts: a swap between the two
 	// reads can only under-read (next scrape corrects), never regress.
 	cacheEv := p.cacheEvictBase.Load()
 	windowEv := p.windowEvictBase.Load()
+	skelEv := p.skelEvictBase.Load()
 	b := p.backend.Load()
-	var cacheSize, cacheCap, winSize, winCap int
+	var cacheSize, cacheCap, winSize, winCap, skelSize, skelCap int
 	if b.cache != nil {
 		var ev int64
 		cacheSize, cacheCap, ev = b.cache.usage()
@@ -485,11 +544,14 @@ func (p *Pool) Stats() Stats {
 	if b.windows != nil {
 		winSize, winCap = b.windows.Len(), b.windows.Cap()
 		windowEv += b.windows.Evictions()
+		skelSize, skelCap = b.windows.FamLen(), b.windows.Cap()
+		skelEv += b.windows.FamEvictions()
 	}
 	return Stats{
 		Batches:         p.batches.Load(),
 		CacheHits:       hits,
 		WindowHits:      windowHits,
+		SkeletonHits:    skeletonHits,
 		Deduped:         deduped,
 		EnginesCreated:  p.enginesCreated.Load(),
 		EngineSearches:  p.engineSearches.Load(),
@@ -502,6 +564,9 @@ func (p *Pool) Stats() Stats {
 		Windows:         int64(winSize),
 		WindowCapacity:  int64(winCap),
 		WindowEvictions: windowEv,
+		SkelFamilies:    int64(skelSize),
+		SkelCapacity:    int64(skelCap),
+		SkelEvictions:   skelEv,
 		Reasons:         p.reasonStats(),
 		Queries:         p.queries.Load(),
 	}
@@ -509,14 +574,15 @@ func (p *Pool) Stats() Stats {
 
 func (p *Pool) reasonStats() ReasonStats {
 	return ReasonStats{
-		MissUncacheable:        p.reasonCounts[obs.ReasonUncacheable].Load(),
-		MissNoExactEntry:       p.reasonCounts[obs.ReasonNoExactEntry].Load(),
-		MissWindowFamilyAbsent: p.reasonCounts[obs.ReasonWindowFamilyAbsent].Load(),
-		MissOutsideWindows:     p.reasonCounts[obs.ReasonOutsideWindows].Load(),
-		MissEpochRaced:         p.reasonCounts[obs.ReasonEpochRaced].Load(),
-		SoloPrivatePartition:   p.reasonCounts[obs.ReasonPrivatePartition].Load(),
-		SoloSingletonGroup:     p.reasonCounts[obs.ReasonSingletonGroup].Load(),
-		SoloAblation:           p.reasonCounts[obs.ReasonAblation].Load(),
+		MissUncacheable:         p.reasonCounts[obs.ReasonUncacheable].Load(),
+		MissNoExactEntry:        p.reasonCounts[obs.ReasonNoExactEntry].Load(),
+		MissWindowFamilyAbsent:  p.reasonCounts[obs.ReasonWindowFamilyAbsent].Load(),
+		MissOutsideWindows:      p.reasonCounts[obs.ReasonOutsideWindows].Load(),
+		MissSkeletonUncertified: p.reasonCounts[obs.ReasonSkeletonUncertified].Load(),
+		MissEpochRaced:          p.reasonCounts[obs.ReasonEpochRaced].Load(),
+		SoloPrivatePartition:    p.reasonCounts[obs.ReasonPrivatePartition].Load(),
+		SoloSingletonGroup:      p.reasonCounts[obs.ReasonSingletonGroup].Load(),
+		SoloAblation:            p.reasonCounts[obs.ReasonAblation].Load(),
 	}
 }
 
@@ -644,15 +710,21 @@ type planAttrs struct {
 }
 
 // lookupCaches serves q from the exact cache, then the validity-window
-// cache, counting hits (pool counters and the load ring — a hit's whole
-// outcome is fed here in one sample). On a miss it returns the store
-// epochs captured before any search, for the epoch-guarded inserts of
-// storeOutcome, plus the miss's provenance; the caller books the miss
-// (noteMiss) once the outcome — including a possible epoch race — is
-// known.
+// cache, then the pair's skeleton family, counting hits (pool counters
+// and the load ring — a hit's whole outcome is fed here in one
+// sample). On a miss it returns the store epochs captured before any
+// search, for the epoch-guarded inserts of storeOutcome, plus the
+// miss's provenance; the caller books the miss (noteMiss) once the
+// outcome — including a possible epoch race — is known.
+//
+// Probe order is cheapest-first: an exact hit is a map step, a window
+// hit a binary search plus an arrival rebase, a skeleton hit a
+// composition over the family's chains (two distance-matrix reads per
+// chain). None of the three checks out an engine.
 func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey entryKey, cacheable bool) (Result, bool, uint64, uint64, obs.Reason) {
 	useCache := cacheable && b.cache != nil
-	useWindows := cacheable && b.windows != nil
+	useWindows := cacheable && b.windows != nil && p.opts.WindowCache
+	useSkel := cacheable && p.skeletonEnabled(b) && key.src != key.tgt
 	reason := obs.ReasonNoExactEntry
 	if !cacheable {
 		reason = obs.ReasonUncacheable
@@ -669,8 +741,10 @@ func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey ent
 		}
 		epoch = b.cache.epoch()
 	}
-	if useWindows {
+	if useWindows || useSkel {
 		wepoch = b.windows.Epoch()
+	}
+	if useWindows {
 		ent, mk := b.windows.Probe(windowKey(key), windowPointKey(ekey), ekey.at)
 		if ent != nil {
 			// Deliberately not promoted into the exact cache: a sweep
@@ -691,12 +765,43 @@ func (p *Pool) lookupCaches(b *poolBackend, q core.Query, key cacheKey, ekey ent
 			reason = obs.ReasonWindowFamilyAbsent
 		}
 	}
+	if useSkel {
+		fe, mk := b.windows.ProbeFamily(windowKey(key), ekey.at)
+		switch {
+		case fe != nil:
+			if path, ok := core.ComposeSkeletonPath(b.g, q.Source, q.Target, ekey.at, ekey.speed, fe.Fam); ok {
+				r := Result{Path: path, Stats: fe.Stats, CacheHit: true, Hit: HitSkeleton}
+				p.skeletonHits.Add(1)
+				p.load.Feed(obs.LoadSample{Queries: 1, SkeletonHits: 1})
+				p.pairs.Feed(pairKeyOf(key), obs.PairSample{Queries: 1, SkeletonHits: 1})
+				return r, true, 0, 0, obs.ReasonNone
+			}
+			// A family covers the departure but refused these endpoints:
+			// the most specific provenance, overriding the point-window
+			// miss kinds.
+			reason = obs.ReasonSkeletonUncertified
+		case mk == tcache.MissOutsideWindows && reason != obs.ReasonOutsideWindows:
+			// Skeletons exist for the pair, just not this slot: upgrade
+			// "family absent" to the sharper outside-windows provenance
+			// (same rule the point probe applies).
+			reason = obs.ReasonOutsideWindows
+		case reason == obs.ReasonNoExactEntry:
+			// Skeleton-only configuration (window cache off): the family
+			// store is the temporal cache that had nothing for the pair.
+			reason = obs.ReasonWindowFamilyAbsent
+		}
+	}
 	return Result{}, false, epoch, wepoch, reason
 }
 
 // storeOutcome feeds one computed outcome into the exact and window
-// caches. The engine that produced (or rebased) the answer must still
-// be checked out: the window derivation replays its leg arithmetic.
+// caches, and — when the skeleton layer is on and the pair has no
+// family covering this departure yet — builds and stores the pair's
+// skeleton family, riding the same engine checkout (the build is part
+// of the triggering miss's cost; later same-pair queries compose
+// instead of searching). The engine that produced (or rebased) the
+// answer must still be checked out: the window derivation replays its
+// leg arithmetic and the family build runs its frozen Dijkstras.
 // Reports whether an insert was discarded by an epoch guard (an
 // invalidation ran while the search was in flight) — the epoch_raced
 // provenance.
@@ -708,13 +813,27 @@ func (p *Pool) storeOutcome(b *poolBackend, e *core.Engine, q core.Query, key ca
 			raced = true
 		}
 	}
-	if cacheable && b.windows != nil && r.Err == nil && r.Path != nil {
+	if cacheable && b.windows != nil && p.opts.WindowCache && r.Err == nil && r.Path != nil {
 		if went := windowEntryFor(e, q, r.Path, r.Stats); went != nil {
 			// Insert also rejects overlaps and degenerate windows; only
 			// an epoch move counts as a race.
 			if !b.windows.Insert(windowKey(key), windowPointKey(ekey), went, wepoch) &&
 				b.windows.Epoch() != wepoch {
 				raced = true
+			}
+		}
+	}
+	if cacheable && p.skeletonEnabled(b) && key.src != key.tgt && r.Err == nil {
+		if _, mk := b.windows.ProbeFamily(windowKey(key), ekey.at); mk != tcache.MissNone {
+			if fam := e.BuildSkeletonFamily(key.src, key.tgt, ekey.at); fam != nil {
+				fe := &tcache.FamilyEntry{Window: fam.Window, Fam: fam, Stats: r.Stats}
+				// A losing insert against a concurrent same-slot build is
+				// not a race — identical families, first-in wins. Only an
+				// epoch move is.
+				if !b.windows.InsertFamily(windowKey(key), fe, wepoch) &&
+					b.windows.Epoch() != wepoch {
+					raced = true
+				}
 			}
 		}
 	}
@@ -821,13 +940,14 @@ func keysFor(b *poolBackend, q core.Query) (cacheKey, entryKey, bool) {
 // entries came from each cache, how many engine searches actually ran
 // (Searches counts runs, so one shared run answering a 64-query group
 // adds 1, not 64), and the shared-execution tallies. Queries ==
-// ExactHits + WindowHits + Deduped + SharedAnswers + (Searches -
-// SharedRuns) always holds: every entry is a hit, a duplicate, a
-// shared-run answer, or a dedicated search.
+// ExactHits + WindowHits + SkeletonHits + Deduped + SharedAnswers +
+// (Searches - SharedRuns) always holds: every entry is a hit, a
+// duplicate, a shared-run answer, or a dedicated search.
 type BatchSummary struct {
 	Queries       int
 	ExactHits     int
 	WindowHits    int
+	SkeletonHits  int
 	Deduped       int
 	Searches      int
 	SharedRuns    int
@@ -924,7 +1044,11 @@ func (p *Pool) RouteBatchSummaryTraced(tr *obs.Trace, qs []core.Query) ([]Result
 				TgtPrivate: b.v.Partition(keys[i].tgt).Kind.IsPrivate(),
 			})
 		}
-		plan := batchplan.New(items, p.opts.Engine.Method)
+		plan := batchplan.NewOpts(items, p.opts.Engine.Method, batchplan.Options{
+			// Partition-pair coalescing rides the skeleton layer: without
+			// a family store the members would just run solo anyway.
+			PartitionGroups: p.skeletonEnabled(b),
+		})
 		units = make([]unit, 0, len(plan.Groups)+len(uncacheable))
 		for gi := range plan.Groups {
 			units = append(units, unit{solo: -1, grp: &plan.Groups[gi]})
@@ -1032,6 +1156,8 @@ func (p *Pool) RouteBatchSummaryTraced(tr *obs.Trace, qs []core.Query) ([]Result
 			sum.ExactHits++
 		case r.Hit == HitWindow:
 			sum.WindowHits++
+		case r.Hit == HitSkeleton:
+			sum.SkeletonHits++
 		case r.SharedRun:
 			sum.SharedAnswers++
 		default:
@@ -1053,6 +1179,10 @@ func (p *Pool) RouteBatchSummaryTraced(tr *obs.Trace, qs []core.Query) ([]Result
 func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items []batchplan.Item, grp *batchplan.Group,
 	keys []cacheKey, ekeys []entryKey, out []Result, sharedRuns *atomic.Int64) {
 
+	if grp.Kind == batchplan.SharedPartition {
+		p.routePartitionGroup(tr, b, qs, items, grp, keys, ekeys, out)
+		return
+	}
 	if grp.Kind == batchplan.Solo || len(grp.Members) == 1 {
 		soloWhy := grp.Why
 		if soloWhy == obs.ReasonNone {
@@ -1233,6 +1363,38 @@ func (p *Pool) routeGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items 
 	}
 	if nShared > 0 {
 		p.load.Feed(obs.LoadSample{EngineSearches: 1}) // the one shared search
+	}
+}
+
+// routePartitionGroup executes one SharedPartition group: members
+// sharing (source partition, target partition, departure, speed) but
+// not their exact endpoints, served sequentially so that the first
+// member's miss builds the pair's skeleton family (inside routeKeyed's
+// store stage) and every later member composes from it — a jittered
+// wave out of one hot lobby collapses to about one engine search. Each
+// member runs the full probe/engine/store path of a solo query, so
+// hit, miss and provenance accounting are identical to the unplanned
+// flow; members the family cannot certify fall back to dedicated
+// searches and are booked as singleton-group solo decisions (the
+// producer's search is not solo — the family it built IS the sharing).
+func (p *Pool) routePartitionGroup(tr *obs.Trace, b *poolBackend, qs []core.Query, items []batchplan.Item,
+	grp *batchplan.Group, keys []cacheKey, ekeys []entryKey, out []Result) {
+
+	produced := false
+	for _, m := range grp.Members {
+		i := items[m].Index
+		r := p.routeKeyed(tr, b, qs[i], keys[i], ekeys[i], true)
+		out[i] = r
+		if r.CacheHit {
+			continue
+		}
+		if !produced {
+			// The group's first engine run: its store stage built the
+			// family the rest of the wave composes from.
+			produced = true
+			continue
+		}
+		p.noteSolo(obs.ReasonSingletonGroup)
 	}
 }
 

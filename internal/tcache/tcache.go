@@ -1,41 +1,59 @@
-// Package tcache is the validity-window temporal result cache of the
-// serving layer: it stores computed indoor paths keyed by the interval
-// of departure times over which the engine's answer is provably
-// unchanged (core.Engine.AnswerWindow), so that *any* departure inside a
-// stored window — not just the exact instant that was searched — is
-// served without running an engine.
+// Package tcache is the temporal result cache of the serving layer,
+// holding two complementary stores under one epoch/invalidation
+// regime, both keyed at the (source partition, target partition)
+// granularity schedule invalidation works at:
+//
+//   - Skeleton families (the primary, point-free index): per pair and
+//     per checkpoint slot, a core.SkeletonFamily of door-to-door
+//     chains with the point-dependent legs factored out, so one
+//     stored family answers *any* endpoints inside the pair — the
+//     cross-space complement (ROADMAP open item 1).
+//   - Validity windows (the exact-point fast path): per exact
+//     (source point, target point, speed) triple, paths keyed by the
+//     departure interval over which the engine's answer is provably
+//     unchanged (core.Engine.AnswerWindow) — the cross-time
+//     complement. An exact hit skips even the composition arithmetic,
+//     so it probes first.
 //
 // The paper's whole premise is that indoor shortest paths vary with
 // departure time; the flip side is that between topology checkpoints
-// they do not vary at all, and a time-sweep or rush-hour workload
-// asking one OD pair at many nearby departures can reuse one search
-// across the whole window. An exact-identity cache (service's
-// resultCache) gets near-zero reuse on such workloads; this store is
-// the cross-time complement.
+// they do not vary at all, and within one slot they do not vary with
+// the endpoints' exact coordinates beyond the first and last legs. A
+// time-sweep workload reuses one search across a window; a jittered
+// crowd leaving one hot lobby reuses one family across all of its
+// members' distinct points.
 //
-// Layout: buckets keyed by the (source partition, target partition)
-// pair — the spatial granularity schedule invalidation works at —
-// each holding, per exact (source point, target point, speed) triple,
-// a series of windows sorted by opening time and pairwise disjoint, so
-// a lookup is one map step plus an O(log n) binary search. One store
-// serves one engine method (service.Pool keeps one pool, and so one
-// store, per method).
+// Layout: buckets keyed by the partition pair, each holding the
+// pair's skeleton families (at most one per slot, sorted by window
+// opening, pairwise disjoint) and, per exact point triple, a series
+// of windows sorted by opening time and pairwise disjoint, so either
+// lookup is one map step plus a short ordered scan. One store serves
+// one engine method (service.Pool keeps one pool, and so one store,
+// per method).
 //
 // Invariants the serving layer relies on:
 //
-//   - stored entries are immutable once inserted; Lookup hands the
-//     same *Entry to many goroutines (the door/partition slices are
-//     shared into materialised paths, which are immutable by the
-//     repository-wide path contract);
+//   - stored entries and families are immutable once inserted; Lookup
+//     and ProbeFamily hand the same pointers to many goroutines (the
+//     door/partition slices are shared into materialised paths, which
+//     are immutable by the repository-wide path contract);
 //   - windows are derived for no-waiting paths only, and a served
 //     answer must recompute arrival times from Dists for the query's
-//     own departure — never reuse the original instants;
+//     own departure — never reuse the original instants; likewise a
+//     family answer must be recomposed per query
+//     (core.ComposeSkeletonPath), never replayed;
 //   - a schedule swap must drop the whole store (service swaps the
 //     backend, store included); InvalidateRange supports the finer
-//     slot-granular knob;
+//     slot-granular knob and voids families and windows alike;
 //   - the epoch counter guards the same race as resultCache's: a
 //     search that overlapped an invalidation must not re-insert its
-//     pre-invalidation window.
+//     pre-invalidation window or family.
+//
+// Accounting: Len/Cap/Evictions cover point windows, FamLen/
+// FamEvictions cover skeleton families. The two populations share the
+// same capacity *value* but are budgeted independently — families are
+// far fewer and far heavier than windows, so one knob with two
+// ledgers keeps both bounded without starving either.
 package tcache
 
 import (
@@ -48,8 +66,8 @@ import (
 	"indoorpath/internal/temporal"
 )
 
-// DefaultCapacity bounds the number of stored windows when NewStore is
-// given zero.
+// DefaultCapacity bounds the number of stored windows (and,
+// separately, stored families) when NewStore is given zero.
 const DefaultCapacity = 4096
 
 // Key addresses one bucket: the OD partition pair of the cached paths.
@@ -88,6 +106,21 @@ type Entry struct {
 	Stats core.SearchStats
 }
 
+// FamilyEntry is one stored skeleton family with the statistics of the
+// search whose miss produced it. All fields are read-only after
+// insertion; Window duplicates Fam.Window so probes never chase the
+// inner pointer.
+type FamilyEntry struct {
+	// Window is the departure interval the family's frozen topology
+	// holds for (the slot; the whole day for a static-method family).
+	Window temporal.Interval
+	// Fam is the immutable chain table (core.ComposeSkeletonPath input).
+	Fam *core.SkeletonFamily
+	// Stats are the search statistics of the engine run whose miss
+	// triggered the family build, reported on every skeleton hit.
+	Stats core.SearchStats
+}
+
 // series is the per-PointKey window list: sorted by Window.Open and
 // pairwise disjoint, the invariant that makes lookups a binary search.
 type series struct {
@@ -103,28 +136,54 @@ func (s *series) find(at temporal.TimeOfDay) (*Entry, bool) {
 	return nil, false
 }
 
-// Store is a bounded, concurrency-safe window cache. The zero value is
-// not usable; construct with NewStore.
-type Store struct {
-	mu      sync.RWMutex
-	cap     int
-	size    int   // total windows across all series
-	evicted int64 // windows shed by capacity eviction (not invalidation)
-	epochN  uint64
-	buckets map[Key]map[PointKey]*series
+// bucket holds everything stored for one partition pair: the skeleton
+// families (primary, point-free index) and the exact-point window
+// series (fast path).
+type bucket struct {
+	points map[PointKey]*series
+	skels  []*FamilyEntry
 }
 
-// NewStore builds a store holding at most capacity windows (0 means
+func (b *bucket) empty() bool { return len(b.points) == 0 && len(b.skels) == 0 }
+
+// findFam returns the family whose window contains at, if any. Linear:
+// a pair stores at most one family per checkpoint slot and hot pairs
+// touch a handful of slots.
+func (b *bucket) findFam(at temporal.TimeOfDay) (*FamilyEntry, bool) {
+	for _, fe := range b.skels {
+		if fe.Window.Contains(at) {
+			return fe, true
+		}
+	}
+	return nil, false
+}
+
+// Store is a bounded, concurrency-safe temporal cache. The zero value
+// is not usable; construct with NewStore.
+type Store struct {
+	mu         sync.RWMutex
+	cap        int
+	size       int   // total point windows across all series
+	evicted    int64 // windows shed by capacity eviction (not invalidation)
+	famSize    int   // total skeleton families across all buckets
+	famEvicted int64 // families shed by capacity eviction (not invalidation)
+	epochN     uint64
+	buckets    map[Key]*bucket
+}
+
+// NewStore builds a store holding at most capacity windows and,
+// independently, at most capacity skeleton families (0 means
 // DefaultCapacity).
 func NewStore(capacity int) *Store {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Store{cap: capacity, buckets: make(map[Key]map[PointKey]*series)}
+	return &Store{cap: capacity, buckets: make(map[Key]*bucket)}
 }
 
 // Epoch returns the invalidation epoch; capture it before the search
-// whose result will be inserted and hand it back to Insert.
+// whose result will be inserted and hand it back to Insert or
+// InsertFamily.
 func (s *Store) Epoch() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -138,21 +197,29 @@ func (s *Store) Lookup(k Key, pk PointKey, at temporal.TimeOfDay) (*Entry, bool)
 	return e, e != nil
 }
 
-// MissKind says why a Probe found nothing — the decision-provenance
-// split between "we never cached this family" and "we cached it, but
-// not for this departure" (the latter is the gap point-free answers,
-// ROADMAP open item 1, would close).
+// MissKind says why a probe found nothing — the decision-provenance
+// split between "we never cached this", "we cached it, but not for
+// this departure", and "we cached it, but could not certify it for
+// this query".
 type MissKind uint8
 
 const (
 	// MissNone: the probe hit.
 	MissNone MissKind = iota
-	// MissFamilyAbsent: no validity series is stored for the endpoint
-	// family (speed bucket or point pair never inserted).
+	// MissFamilyAbsent: nothing is stored for the probed identity (the
+	// point triple's series, or the pair's slot family, was never
+	// inserted).
 	MissFamilyAbsent
-	// MissOutsideWindows: the family's series exists but the departure
+	// MissOutsideWindows: the probed identity exists but the departure
 	// time falls outside every stored validity window.
 	MissOutsideWindows
+	// MissSkeletonUncertified: a skeleton family covers the departure,
+	// but composing it for the concrete endpoints could not be
+	// certified byte-identical to a fresh search (see
+	// core.ComposeSkeletonPath). The store itself never returns this —
+	// certification needs the query's points — but the serving layer
+	// reports the outcome through the same vocabulary.
+	MissSkeletonUncertified
 )
 
 // Probe is Lookup additionally reporting why it missed. A hit returns
@@ -164,12 +231,29 @@ func (s *Store) Probe(k Key, pk PointKey, at temporal.TimeOfDay) (*Entry, MissKi
 	if !ok {
 		return nil, MissFamilyAbsent
 	}
-	ser, ok := b[pk]
+	ser, ok := b.points[pk]
 	if !ok {
 		return nil, MissFamilyAbsent
 	}
 	if e, ok := ser.find(at); ok {
 		return e, MissNone
+	}
+	return nil, MissOutsideWindows
+}
+
+// ProbeFamily returns the pair's skeleton family covering departure
+// at, with the same miss vocabulary as Probe. The returned entry is
+// immutable and shared; the caller composes it per query and must
+// fall back to an engine when composition refuses.
+func (s *Store) ProbeFamily(k Key, at temporal.TimeOfDay) (*FamilyEntry, MissKind) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[k]
+	if !ok || len(b.skels) == 0 {
+		return nil, MissFamilyAbsent
+	}
+	if fe, ok := b.findFam(at); ok {
+		return fe, MissNone
 	}
 	return nil, MissOutsideWindows
 }
@@ -191,13 +275,13 @@ func (s *Store) Insert(k Key, pk PointKey, e *Entry, epoch uint64) bool {
 	}
 	b, ok := s.buckets[k]
 	if !ok {
-		b = make(map[PointKey]*series)
+		b = &bucket{points: make(map[PointKey]*series)}
 		s.buckets[k] = b
 	}
-	ser, ok := b[pk]
+	ser, ok := b.points[pk]
 	if !ok {
 		ser = &series{}
-		b[pk] = ser
+		b.points[pk] = ser
 	}
 	i := sort.Search(len(ser.entries), func(i int) bool { return ser.entries[i].Window.Open >= e.Window.Open })
 	if i > 0 && ser.entries[i-1].Window.Overlaps(e.Window) {
@@ -216,66 +300,155 @@ func (s *Store) Insert(k Key, pk PointKey, e *Entry, epoch uint64) bool {
 	return true
 }
 
-// evictLocked sheds one bucket other than keep (the bucket just written
-// to); when keep is the only bucket left it drops that bucket's windows
-// other than keepE instead, so a hot OD pair larger than the capacity
-// still serves its latest window.
+// InsertFamily stores a skeleton family for its pair, keeping the
+// family list sorted by opening and pairwise disjoint. A family whose
+// window overlaps a stored one is dropped — concurrent misses in one
+// slot build identical families, so first-in wins. Families computed
+// before the current epoch are discarded (they raced an
+// invalidation). Reports whether the family was stored.
+func (s *Store) InsertFamily(k Key, fe *FamilyEntry, epoch uint64) bool {
+	if fe == nil || fe.Fam == nil || fe.Window.Duration() <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epochN {
+		return false
+	}
+	b, ok := s.buckets[k]
+	if !ok {
+		b = &bucket{points: make(map[PointKey]*series)}
+		s.buckets[k] = b
+	}
+	i := sort.Search(len(b.skels), func(i int) bool { return b.skels[i].Window.Open >= fe.Window.Open })
+	if i > 0 && b.skels[i-1].Window.Overlaps(fe.Window) {
+		return false
+	}
+	if i < len(b.skels) && b.skels[i].Window.Overlaps(fe.Window) {
+		return false
+	}
+	b.skels = append(b.skels, nil)
+	copy(b.skels[i+1:], b.skels[i:])
+	b.skels[i] = fe
+	s.famSize++
+	for s.famSize > s.cap {
+		s.evictFamilyLocked(k, fe)
+	}
+	return true
+}
+
+// evictLocked sheds point windows, preferring a bucket other than keep
+// (the bucket just written to), whole-bucket first; when keep is the
+// only bucket holding windows it drops keep's windows other than keepE
+// instead, so a hot OD pair larger than the capacity still serves its
+// latest window. Skeleton families are untouched — they have their own
+// ledger and evictor.
 func (s *Store) evictLocked(keep Key, keepE *Entry) {
+	var keepB *bucket
 	for k, b := range s.buckets {
 		if k == keep {
-			if len(s.buckets) > 1 {
-				continue
-			}
-			for pk, ser := range b {
-				for i := 0; i < len(ser.entries); {
-					if ser.entries[i] == keepE {
-						i++
-						continue
-					}
-					copy(ser.entries[i:], ser.entries[i+1:])
-					ser.entries[len(ser.entries)-1] = nil // release for GC
-					ser.entries = ser.entries[:len(ser.entries)-1]
-					s.size--
-					s.evicted++
-					if s.size <= s.cap {
-						s.dropEmptyLocked(k, pk)
-						return
-					}
-				}
-				s.dropEmptyLocked(k, pk)
-			}
-			return
+			keepB = b
+			continue
 		}
-		for _, ser := range b {
+		if len(b.points) == 0 {
+			continue
+		}
+		for pk, ser := range b.points {
 			s.size -= len(ser.entries)
 			s.evicted += int64(len(ser.entries))
+			delete(b.points, pk)
 		}
-		delete(s.buckets, k)
+		s.dropEmptyLocked(k)
+		return
+	}
+	if keepB == nil {
+		return
+	}
+	for pk, ser := range keepB.points {
+		for i := 0; i < len(ser.entries); {
+			if ser.entries[i] == keepE {
+				i++
+				continue
+			}
+			copy(ser.entries[i:], ser.entries[i+1:])
+			ser.entries[len(ser.entries)-1] = nil // release for GC
+			ser.entries = ser.entries[:len(ser.entries)-1]
+			s.size--
+			s.evicted++
+			if s.size <= s.cap {
+				s.dropEmptyPointLocked(keep, pk)
+				return
+			}
+		}
+		s.dropEmptyPointLocked(keep, pk)
+	}
+}
+
+// evictFamilyLocked sheds one skeleton family, preferring a bucket
+// other than keep; within keep it spares keepFE (the family just
+// inserted) so a single hot pair past the cap still serves its newest
+// slot.
+func (s *Store) evictFamilyLocked(keep Key, keepFE *FamilyEntry) {
+	var keepB *bucket
+	for k, b := range s.buckets {
+		if k == keep {
+			keepB = b
+			continue
+		}
+		if len(b.skels) == 0 {
+			continue
+		}
+		b.skels[0] = nil
+		b.skels = b.skels[1:]
+		s.famSize--
+		s.famEvicted++
+		s.dropEmptyLocked(k)
+		return
+	}
+	if keepB == nil {
+		return
+	}
+	for i, fe := range keepB.skels {
+		if fe == keepFE {
+			continue
+		}
+		copy(keepB.skels[i:], keepB.skels[i+1:])
+		keepB.skels[len(keepB.skels)-1] = nil
+		keepB.skels = keepB.skels[:len(keepB.skels)-1]
+		s.famSize--
+		s.famEvicted++
 		return
 	}
 }
 
-func (s *Store) dropEmptyLocked(k Key, pk PointKey) {
-	if ser, ok := s.buckets[k][pk]; ok && len(ser.entries) == 0 {
-		delete(s.buckets[k], pk)
-		if len(s.buckets[k]) == 0 {
-			delete(s.buckets, k)
-		}
+func (s *Store) dropEmptyPointLocked(k Key, pk PointKey) {
+	b, ok := s.buckets[k]
+	if !ok {
+		return
+	}
+	if ser, ok := b.points[pk]; ok && len(ser.entries) == 0 {
+		delete(b.points, pk)
+	}
+	s.dropEmptyLocked(k)
+}
+
+func (s *Store) dropEmptyLocked(k Key) {
+	if b, ok := s.buckets[k]; ok && b.empty() {
+		delete(s.buckets, k)
 	}
 }
 
-// InvalidateRange drops every window overlapping the interval — the
-// slot-granular invalidation hook: a schedule concern scoped to one
-// checkpoint slot voids exactly the windows whose departures (and so,
-// by the answer-window clamp, whose whole walks) touch that slot.
-// Full-day windows (static-method answers) overlap every slot and are
-// always dropped.
+// InvalidateRange drops every window and every skeleton family
+// overlapping the interval — the slot-granular invalidation hook: a
+// schedule concern scoped to one checkpoint slot voids exactly the
+// state whose validity touches that slot. Full-day windows and
+// static-method families overlap every slot and are always dropped.
 func (s *Store) InvalidateRange(iv temporal.Interval) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.epochN++
 	for k, b := range s.buckets {
-		for pk, ser := range b {
+		for pk, ser := range b.points {
 			old := ser.entries
 			kept := old[:0]
 			for _, e := range old {
@@ -290,32 +463,55 @@ func (s *Store) InvalidateRange(iv temporal.Interval) {
 			}
 			ser.entries = kept
 			if len(ser.entries) == 0 {
-				delete(b, pk)
+				delete(b.points, pk)
 			}
 		}
-		if len(b) == 0 {
+		oldF := b.skels
+		keptF := oldF[:0]
+		for _, fe := range oldF {
+			if fe.Window.Overlaps(iv) {
+				s.famSize--
+				continue
+			}
+			keptF = append(keptF, fe)
+		}
+		for i := len(keptF); i < len(oldF); i++ {
+			oldF[i] = nil
+		}
+		b.skels = keptF
+		if b.empty() {
 			delete(s.buckets, k)
 		}
 	}
 }
 
-// InvalidateAll drops every window.
+// InvalidateAll drops every window and every skeleton family.
 func (s *Store) InvalidateAll() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.epochN++
-	s.buckets = make(map[Key]map[PointKey]*series)
+	s.buckets = make(map[Key]*bucket)
 	s.size = 0
+	s.famSize = 0
 }
 
-// Len returns the number of stored windows.
+// Len returns the number of stored point windows (families are
+// counted by FamLen).
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.size
 }
 
-// Cap returns the window capacity the store evicts down to.
+// FamLen returns the number of stored skeleton families.
+func (s *Store) FamLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.famSize
+}
+
+// Cap returns the capacity each population (windows; families) evicts
+// down to.
 func (s *Store) Cap() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -331,12 +527,25 @@ func (s *Store) Evictions() int64 {
 	return s.evicted
 }
 
-// PairCoverage summarises one OD-pair bucket: the distinct endpoint
-// families it holds, the total stored windows, and the summed window
-// duration in seconds. Windows within one family are disjoint (the
-// series invariant), so CoveredSec/Families never exceeds a day —
+// FamEvictions returns the number of skeleton families shed by
+// capacity eviction since construction (invalidation drops excluded,
+// as with Evictions).
+func (s *Store) FamEvictions() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.famEvicted
+}
+
+// PairCoverage summarises one OD-pair bucket: the distinct identities
+// it holds, the total stored units, and the summed validity duration
+// in seconds. For window coverage (Coverage) the identities are
+// exact-point families and the units their disjoint windows; for
+// skeleton coverage (SkeletonCoverage) the identities are slot
+// families and the units their chains. In both, the validity windows
+// behind a bucket's identities are pairwise disjoint, so
+// CoveredSec/Families never exceeds a day —
 // CoveredSec/(Families·86400) is the mean share of the 24h departure
-// axis a family of the pair can answer without an engine.
+// axis answerable without an engine.
 type PairCoverage struct {
 	Key        Key
 	Families   int
@@ -344,15 +553,18 @@ type PairCoverage struct {
 	CoveredSec float64
 }
 
-// Coverage snapshots every bucket's window-count and day-coverage
-// tallies under one read lock, sorted by descending window count (ties
-// by ascending Src then Tgt) so scrape output is deterministic.
+// Coverage snapshots every bucket's point-window tallies under one
+// read lock, sorted by descending window count (ties by ascending Src
+// then Tgt) so scrape output is deterministic.
 func (s *Store) Coverage() []PairCoverage {
 	s.mu.RLock()
 	out := make([]PairCoverage, 0, len(s.buckets))
 	for k, b := range s.buckets {
-		pc := PairCoverage{Key: k, Families: len(b)}
-		for _, ser := range b {
+		if len(b.points) == 0 {
+			continue
+		}
+		pc := PairCoverage{Key: k, Families: len(b.points)}
+		for _, ser := range b.points {
 			pc.Windows += len(ser.entries)
 			for _, e := range ser.entries {
 				pc.CoveredSec += float64(e.Window.Duration())
@@ -361,6 +573,34 @@ func (s *Store) Coverage() []PairCoverage {
 		out = append(out, pc)
 	}
 	s.mu.RUnlock()
+	sortCoverage(out)
+	return out
+}
+
+// SkeletonCoverage snapshots every bucket's skeleton tallies under
+// one read lock: Families counts the pair's slot families, Windows
+// its stored chains, CoveredSec the summed slot durations (disjoint
+// by the insert invariant). Same ordering as Coverage.
+func (s *Store) SkeletonCoverage() []PairCoverage {
+	s.mu.RLock()
+	out := make([]PairCoverage, 0, len(s.buckets))
+	for k, b := range s.buckets {
+		if len(b.skels) == 0 {
+			continue
+		}
+		pc := PairCoverage{Key: k, Families: len(b.skels)}
+		for _, fe := range b.skels {
+			pc.Windows += len(fe.Fam.Chains)
+			pc.CoveredSec += float64(fe.Window.Duration())
+		}
+		out = append(out, pc)
+	}
+	s.mu.RUnlock()
+	sortCoverage(out)
+	return out
+}
+
+func sortCoverage(out []PairCoverage) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Windows != out[j].Windows {
 			return out[i].Windows > out[j].Windows
@@ -370,5 +610,4 @@ func (s *Store) Coverage() []PairCoverage {
 		}
 		return out[i].Key.Tgt < out[j].Key.Tgt
 	})
-	return out
 }
